@@ -1,0 +1,25 @@
+"""Benchmark-suite fixtures: report capture and shared design cache."""
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(report_dir):
+    """Write one experiment's rendered report to benchmarks/output/."""
+
+    def _save(experiment_id: str, text: str):
+        path = report_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _save

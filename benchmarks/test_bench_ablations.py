@@ -1,0 +1,121 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. **Improved goal attainment, stage ablation** — drop the multi-start
+   and the goal-tightening stages and measure what each buys on the
+   real LNA problem.
+2. **Dispersive vs ideal passives** — re-evaluate the selected design
+   with ideal (lossless, parasitic-free) L/C elements to quantify how
+   much the paper's step 3 (frequency-dependent Q/ESR) changes the
+   predicted answer.
+"""
+
+import numpy as np
+
+from repro.analysis.acsolver import solve_ac
+from repro.analysis.netlist import Circuit
+from repro.core.amplifier import AmplifierTemplate, DesignVariables
+from repro.core.bands import design_grid
+from repro.core.design import DEFAULT_GOALS, DesignFlow
+from repro.devices.reference import make_reference_device
+from repro.experiments.common import selected_design
+
+
+def test_bench_ablation_goal_attainment_stages(benchmark, save_report):
+    """Improved method vs itself without multi-start / tightening."""
+    device = make_reference_device()
+
+    def run_variant(n_starts, tighten_rounds):
+        flow = DesignFlow(device.small_signal)
+        result = flow.run_improved(goals=DEFAULT_GOALS, seed=11,
+                                   n_probe=40, n_starts=n_starts,
+                                   tighten_rounds=tighten_rounds)
+        return result
+
+    def run_all():
+        return {
+            "full": run_variant(3, 2),
+            "no multistart": run_variant(1, 2),
+            "no tightening": run_variant(3, 0),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["ablation of the improved goal-attainment stages",
+             "variant          | NFmax  | GTmin  | gamma   | feasible | nfev"]
+    for name, result in results.items():
+        lines.append(
+            f"{name:16s} | {result.objectives[0]:.3f}  | "
+            f"{-result.objectives[1]:.2f}  | {result.gamma:+.3f}  | "
+            f"{'yes' if result.constraint_violation <= 1e-6 else 'NO ':8s} | "
+            f"{result.nfev}"
+        )
+    report = "\n".join(lines)
+    save_report("ablation_goal_attainment_stages", report)
+    print("\n" + report)
+
+    # The full method is never worse (in gamma) than either ablation.
+    full = results["full"]
+    assert full.constraint_violation <= 1e-6
+    for name in ("no multistart", "no tightening"):
+        variant = results[name]
+        if variant.constraint_violation <= 1e-6:
+            assert full.gamma <= variant.gamma + 0.02
+
+
+def _ideal_template_circuit(template, variables):
+    """The LNA rebuilt with ideal (lossless) lumped elements."""
+    v = variables
+    circuit = Circuit("ideal_lna")
+    circuit.port("p1", "in", z0=template.z0)
+    circuit.port("p2", "out", z0=template.z0)
+    template.line_in.add_to(circuit, "in", "n_blk")
+    circuit.capacitor("Cin", "n_blk", "n_lin", v.c_in)
+    circuit.inductor("Lin", "n_lin", "gate", v.l_in)
+    circuit.resistor("Rbias", "gate", "gnd", template.bias_resistance)
+    template.device.add_to(circuit, "gate", "drain", "src", v.vgs, v.vds)
+    circuit.inductor("Ldeg", "src", "gnd", v.l_deg)
+    circuit.inductor("Lchoke", "drain", "n_vdd", v.l_choke)
+    circuit.resistor("Rstab", "n_vdd", "n_dec", v.r_stab)
+    circuit.capacitor("Cdec", "n_dec", "gnd", 100e-12)
+    circuit.capacitor("Cout", "drain", "n_out", v.c_out)
+    circuit.resistor("Rsh", "n_out", "n_rc", v.r_sh)
+    circuit.capacitor("Csh", "n_rc", "gnd", v.c_sh)
+    template.line_out.add_to(circuit, "n_out", "out")
+    return circuit
+
+
+def test_bench_ablation_dispersive_passives(benchmark, save_report):
+    """Quantify the error of ignoring passive loss/dispersion."""
+    design = selected_design("fast")
+    device = make_reference_device()
+    template = AmplifierTemplate(device.small_signal)
+    grid = design_grid(25)
+
+    def run_both():
+        real = solve_ac(template.build_circuit(design.snapped), grid)
+        ideal = solve_ac(_ideal_template_circuit(template, design.snapped),
+                         grid)
+        return real, ideal
+
+    real, ideal = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    nf_real = real.as_noisy_twoport().noise_figure_db()
+    nf_ideal = ideal.as_noisy_twoport().noise_figure_db()
+    gt_real = 20 * np.log10(np.abs(real.s[:, 1, 0]))
+    gt_ideal = 20 * np.log10(np.abs(ideal.s[:, 1, 0]))
+
+    nf_gap = float(np.max(nf_real - nf_ideal))
+    gt_gap = float(np.max(np.abs(gt_real - gt_ideal)))
+    report = (
+        "dispersive vs ideal passives on the selected design\n"
+        f"max NF underestimate of the ideal model: {nf_gap:.3f} dB\n"
+        f"max |GT| discrepancy: {gt_gap:.3f} dB\n"
+        "The paper's step 3 exists because these gaps are design-"
+        "relevant for a sub-1 dB NF target."
+    )
+    save_report("ablation_dispersive_passives", report)
+    print("\n" + report)
+
+    # The ideal model must be optimistic on noise by a visible margin
+    # (a meaningful fraction of the total NF budget).
+    assert nf_gap > 0.02
+    assert gt_gap > 0.1

@@ -1,0 +1,15 @@
+"""Bench E1 (Table I): pHEMT model-comparison extraction."""
+
+from repro.experiments import e1_model_comparison as e1
+
+
+def test_bench_e1_model_comparison(benchmark, save_report):
+    result = benchmark.pedantic(e1.run, rounds=1, iterations=1)
+    report = e1.format_report(result)
+    save_report("E1_table1_model_comparison", report)
+    print("\n" + report)
+
+    by_model = {row["model"]: row["rms_iv_percent"] for row in result.rows}
+    # Reproduction target: Angelov best, plain square law worst.
+    assert by_model["angelov"] < by_model["statz"] < by_model["curtice2"]
+    assert by_model["angelov"] < 0.6

@@ -1,0 +1,22 @@
+"""Bench E10 (Fig. 6): designed vs measured noise figure."""
+
+import numpy as np
+
+from repro.experiments import e10_measured_nf as e10
+
+
+def test_bench_e10_measured_nf(benchmark, save_report):
+    result = benchmark.pedantic(e10.run, rounds=1, iterations=1)
+    report = e10.format_report(result)
+    save_report("E10_fig6_measured_nf", report)
+    print("\n" + report)
+
+    # Sub-dB noise figure across the whole GNSS band, designed and
+    # measured, with the measurement scattered around the design.
+    assert result.nf_designed_max_db < 0.8
+    assert result.nf_measured_max_db < 1.0
+    deviation = np.abs(
+        result.measurement.nf_measured_db
+        - result.measurement.nf_designed_db
+    )
+    assert np.max(deviation) < 0.4

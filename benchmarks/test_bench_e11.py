@@ -1,0 +1,21 @@
+"""Bench E11 (Table V): two-tone third-order intermodulation."""
+
+import pytest
+
+from repro.experiments import e11_intermodulation as e11
+
+
+def test_bench_e11_intermodulation(benchmark, save_report):
+    result = benchmark.pedantic(e11.run, rounds=1, iterations=1)
+    report = e11.format_report(result)
+    save_report("E11_table5_intermodulation", report)
+    print("\n" + report)
+
+    for two_tone in result.results:
+        # Classic 3:1 IM3 slope and consistent intercepts.
+        assert two_tone.im3_slope() == pytest.approx(3.0, abs=1e-6)
+        assert two_tone.oip3_dbm == pytest.approx(
+            two_tone.iip3_dbm + two_tone.gt_db, abs=1e-9
+        )
+        # Intercept comfortably above GNSS signal levels.
+        assert two_tone.oip3_dbm > 15.0

@@ -1,0 +1,17 @@
+"""Bench E3 (Fig. 1): measured vs fitted output characteristics."""
+
+import numpy as np
+
+from repro.experiments import e3_iv_curves as e3
+
+
+def test_bench_e3_iv_curves(benchmark, save_report):
+    result = benchmark.pedantic(e3.run, rounds=1, iterations=1)
+    report = e3.format_report(result)
+    save_report("E3_fig1_iv_curves", report)
+    print("\n" + report)
+
+    assert result.rms_error_percent < 0.6
+    for curve in result.curves:
+        worst = np.max(np.abs(curve["measured_ma"] - curve["fitted_ma"]))
+        assert worst < 2.0  # mA, across the whole curve family

@@ -1,0 +1,27 @@
+"""Bench E4 (Fig. 2): measured vs modelled S-parameters."""
+
+import numpy as np
+
+from repro.experiments import e4_sparam_fit as e4
+
+
+def test_bench_e4_sparam_fit(benchmark, save_report):
+    result = benchmark.pedantic(e4.run, rounds=1, iterations=1)
+    report = e4.format_report(result)
+    save_report("E4_fig2_sparam_fit", report)
+    print("\n" + report)
+
+    assert result.extraction.rms_error < 0.03
+    # gm and Cgs recovered within a few percent of the golden values.
+    assert abs(result.extraction.intrinsic.gm - result.gm_true) < (
+        0.05 * result.gm_true
+    )
+    assert abs(result.extraction.intrinsic.cgs - result.cgs_true) < (
+        0.10 * result.cgs_true
+    )
+    # Modelled S21 tracks the measurement across the sweep.
+    s21_err_db = np.abs(
+        20 * np.log10(np.abs(result.s_modelled[:, 1, 0]))
+        - 20 * np.log10(np.abs(result.s_measured[:, 1, 0]))
+    )
+    assert np.max(s21_err_db) < 0.5

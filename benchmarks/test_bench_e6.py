@@ -1,0 +1,26 @@
+"""Bench E6 (Fig. 3): the NF/GT trade-off front."""
+
+import numpy as np
+
+from repro.experiments import e6_tradeoff_front as e6
+
+
+def test_bench_e6_tradeoff_front(benchmark, save_report):
+    result = benchmark.pedantic(
+        e6.run, kwargs={"n_points": 4}, rounds=1, iterations=1
+    )
+    report = e6.format_report(result)
+    save_report("E6_fig3_tradeoff_front", report)
+    print("\n" + report)
+
+    # The goal-attainment sweep must produce a real front: at least two
+    # distinct non-dominated points with a visible NF/GT trade.
+    assert result.front.shape[0] >= 2
+    nf = result.front[:, 0]
+    gt = -result.front[:, 1]
+    assert np.all(np.diff(nf) > 0)
+    assert np.all(np.diff(gt) > 0)  # more gain costs more noise
+    assert gt.max() - gt.min() > 0.5
+    # Goal attainment covers at least as much objective space as the
+    # weighted-sum baseline.
+    assert result.hypervolume_goal >= result.hypervolume_wsum

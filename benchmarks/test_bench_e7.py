@@ -1,0 +1,22 @@
+"""Bench E7 (Fig. 4): passive-element frequency dispersion."""
+
+import numpy as np
+
+from repro.experiments import e7_passive_dispersion as e7
+
+
+def test_bench_e7_passive_dispersion(benchmark, save_report):
+    result = benchmark.pedantic(e7.run, rounds=1, iterations=1)
+    report = e7.format_report(result)
+    save_report("E7_fig4_passive_dispersion", report)
+    print("\n" + report)
+
+    # Inductor Q peaks inside the sweep and collapses at the SRF.
+    peak = int(np.argmax(result.inductor_q))
+    assert 0 < peak < len(result.inductor_q) - 1
+    assert result.inductor_q[-1] < 0.5 * result.inductor_q[peak]
+    # Capacitor ESR is not constant (dispersion is real).
+    assert result.capacitor_esr.max() > 2.0 * result.capacitor_esr.min()
+    # Microstrip eps_eff rises with frequency; loss grows monotonically.
+    assert np.all(np.diff(result.eps_eff) >= -1e-9)
+    assert np.all(np.diff(result.line_loss_db_per_m) > 0)

@@ -1,0 +1,22 @@
+"""Bench E8 (Table IV): the selected design (full optimization budget)."""
+
+from repro.experiments import e8_selected_design as e8
+
+
+def test_bench_e8_selected_design(benchmark, save_report):
+    result = benchmark.pedantic(e8.run, rounds=1, iterations=1)
+    report = e8.format_report(result)
+    save_report("E8_table4_selected_design", report)
+    print("\n" + report)
+
+    design = result.design
+    perf = design.snapped_performance
+    # The shipped (snapped) board meets the paper-style spec.
+    assert perf.nf_max_db < 0.8
+    assert perf.gt_min_db > 13.0
+    assert perf.mu_min > 1.0
+    assert perf.ids < 80e-3
+    # Every GNSS band individually in spec.
+    for values in design.per_band.values():
+        assert values["NF_dB"] < 0.8
+        assert values["GT_dB"] > 13.0

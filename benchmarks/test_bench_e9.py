@@ -1,0 +1,24 @@
+"""Bench E9 (Fig. 5): designed vs measured preamplifier S-parameters."""
+
+import numpy as np
+
+from repro.experiments import e9_measured_sparams as e9
+
+
+def test_bench_e9_measured_sparams(benchmark, save_report):
+    result = benchmark.pedantic(e9.run, rounds=1, iterations=1)
+    report = e9.format_report(result)
+    save_report("E9_fig5_measured_sparams", report)
+    print("\n" + report)
+
+    measurement = result.measurement
+    # Measurement rides on the design within instrument uncertainty.
+    assert result.worst_s21_deviation_db < 0.5
+    # In-band (1.1-1.7 GHz) gain and matching of the measured board.
+    in_band = (measurement.frequency.f_hz >= 1.1e9) & (
+        measurement.frequency.f_hz <= 1.7e9
+    )
+    s21_db = measurement.sparam_db(2, 1)[in_band]
+    s11_db = measurement.sparam_db(1, 1)[in_band]
+    assert np.min(s21_db) > 13.0
+    assert np.max(s11_db) < -8.0

@@ -1,0 +1,64 @@
+"""Receiver-chain noise budget: the reason the preamplifier exists.
+
+Run:  python examples/antenna_system_budget.py
+
+Composes the full antenna installation the paper's introduction
+motivates — antenna, the optimized preamplifier, a long coax downlead,
+and a splitter feeding two receivers (e.g. a GPS unit and a
+GLONASS/Galileo unit) — and prints the system noise figure at the
+receiver plane with and without the preamplifier, for three cable
+classes and lengths.
+"""
+
+import numpy as np
+
+from repro.core import DesignVariables, SystemBudget, format_table
+from repro.core.amplifier import AmplifierTemplate
+from repro.devices import make_reference_device
+from repro.passives import WilkinsonDivider, lmr240_like, rg58_like, rg174_like
+from repro.rf import FrequencyGrid
+
+
+def main():
+    device = make_reference_device()
+    template = AmplifierTemplate(device.small_signal)
+    variables = DesignVariables()
+    frequency = FrequencyGrid.linear(1.1e9, 1.7e9, 13)
+    splitter = WilkinsonDivider(1.4e9)
+
+    print("== system noise figure at the receiver input ==")
+    print("(preamp at the antenna, coax downlead, 2-way splitter)\n")
+    rows = []
+    for cable_factory, length in [
+        (rg174_like, 5.0),
+        (rg58_like, 15.0),
+        (lmr240_like, 30.0),
+    ]:
+        cable = cable_factory(length)
+        budget = SystemBudget(template, variables, downlead=cable,
+                              splitter=splitter)
+        result = budget.evaluate(frequency)
+        summary = result.summary()
+        rows.append((
+            f"{cable.name} x {length:.0f} m",
+            float(np.mean(cable.loss_db(frequency.f_hz))),
+            summary["NF_without_preamp_max_dB"],
+            summary["NF_with_preamp_max_dB"],
+            summary["improvement_min_dB"],
+            summary["gain_with_preamp_min_dB"],
+        ))
+    print(format_table(
+        ["downlead", "cable loss [dB]", "NF no preamp [dB]",
+         "NF with preamp [dB]", "improvement [dB]", "net gain [dB]"],
+        rows, float_format="{:.2f}",
+    ))
+    print(
+        "\nWithout the antenna preamplifier the receiver noise figure is"
+        "\nthe full passive loss; with it, every installation sees an"
+        "\nalmost cable-independent sub-3 dB system NF — the premise of"
+        "\nthe paper's multi-constellation antenna unit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""pHEMT model extraction demo: the paper's three-step identification.
+
+Run:  python examples/model_extraction.py
+
+Fits all five compact models (Curtice quadratic/cubic, Statz, TOM,
+Angelov) to the "measured" I-V grid of the reference device with the
+three-step robust procedure, then extracts the small-signal intrinsic
+elements from VNA data at the design bias.
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.devices import BiasPoint, MODEL_REGISTRY, make_reference_device
+from repro.optimize import extract_dc_model, extract_small_signal
+from repro.rf import FrequencyGrid
+
+
+def main():
+    device = make_reference_device()
+    iv = device.iv_dataset()
+    print("== DC model comparison (three-step robust identification) ==")
+    rows = []
+    best_name, best_error = None, np.inf
+    for name, model_class in MODEL_REGISTRY.items():
+        result = extract_dc_model(model_class, iv, seed=0,
+                                  de_population=30, de_iterations=100)
+        rows.append((
+            name,
+            len(model_class.parameter_names()),
+            result.rms_error_percent,
+            result.stage_errors["global"],
+            result.stage_errors["robust"],
+            result.nfev_total,
+        ))
+        if result.rms_error_percent < best_error:
+            best_name, best_error = name, result.rms_error_percent
+    rows.sort(key=lambda r: r[2])
+    print(format_table(
+        ["model", "params", "final RMS [%]", "after DE [%]",
+         "after robust [%]", "nfev"],
+        rows,
+    ))
+    print(f"\nbest model: {best_name} ({best_error:.3f}% of Imax)\n")
+
+    print("== small-signal intrinsic extraction at the design bias ==")
+    bias = BiasPoint(0.52, 3.0)
+    frequency = FrequencyGrid.linear(0.5e9, 3.0e9, 21)
+    record = device.sparam_record(frequency, bias)
+    ss_result = extract_small_signal(record,
+                                     device.small_signal.extrinsics,
+                                     seed=0)
+    truth = device.small_signal.intrinsic_at(bias.vgs, bias.vds)
+    fit = ss_result.intrinsic
+    print(format_table(
+        ["element", "extracted", "golden truth"],
+        [
+            ("gm [mS]", fit.gm * 1e3, truth.gm * 1e3),
+            ("gds [mS]", fit.gds * 1e3, truth.gds * 1e3),
+            ("Cgs [pF]", fit.cgs * 1e12, truth.cgs * 1e12),
+            ("Cgd [pF]", fit.cgd * 1e12, truth.cgd * 1e12),
+            ("Cds [pF]", fit.cds * 1e12, truth.cds * 1e12),
+            ("Ri [ohm]", fit.ri, truth.ri),
+            ("tau [ps]", fit.tau * 1e12, truth.tau * 1e12),
+        ],
+    ))
+    print(f"\nfit residual (normalized RMS): {ss_result.rms_error:.4f}")
+    print(f"extracted fT: {fit.ft_hz / 1e9:.1f} GHz "
+          f"(truth {truth.ft_hz / 1e9:.1f} GHz)")
+
+    print("\n== cold-FET (Vds = 0) extrinsic extraction ==")
+    from repro.optimize import extract_extrinsics_cold_fet
+
+    cold_grid = FrequencyGrid.linear(0.5e9, 6.0e9, 23)
+    cold_record = device.sparam_record(cold_grid, BiasPoint(0.55, 0.0))
+    cold = extract_extrinsics_cold_fet(cold_record, seed=0)
+    true_ext = device.small_signal.extrinsics
+    print(format_table(
+        ["parasitic", "extracted", "golden truth"],
+        [
+            ("Lg [nH]", cold.extrinsics.lg * 1e9, true_ext.lg * 1e9),
+            ("Ld [nH]", cold.extrinsics.ld * 1e9, true_ext.ld * 1e9),
+            ("Ls [nH]", cold.extrinsics.ls * 1e9, true_ext.ls * 1e9),
+            ("Cpg [fF]", cold.extrinsics.cpg * 1e15, true_ext.cpg * 1e15),
+            ("Cpd [fF]", cold.extrinsics.cpd * 1e15, true_ext.cpd * 1e15),
+        ],
+    ))
+    print(
+        "(access resistances are degenerate with the cold channel at a\n"
+        " single gate bias — the textbook reason Dambrine's method sweeps\n"
+        " Vgs; the identifiable total drain-path resistance is recovered)"
+    )
+
+
+if __name__ == "__main__":
+    main()

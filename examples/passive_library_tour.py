@@ -1,0 +1,82 @@
+"""Tour of the dispersive passive library (the paper's step 3).
+
+Run:  python examples/passive_library_tour.py
+
+Shows the frequency dispersion of real parts — exactly what the paper
+insists must be inside the optimization loop — plus the microstrip and
+splitter substrate:
+
+* Q(f) / ESR(f) of a catalogue inductor and capacitor,
+* microstrip synthesis, dispersion, and loss on RO4003,
+* a T splitter and a 1.4 GHz Wilkinson divider solved through the MNA
+  simulator, including the splitters' own noise.
+"""
+
+import numpy as np
+
+from repro.core import format_series, format_table
+from repro.passives import (
+    MicrostripLine,
+    MicrostripSubstrate,
+    ResistiveSplitter,
+    WilkinsonDivider,
+    coilcraft_style_inductor,
+    murata_style_capacitor,
+    synthesize_width,
+)
+from repro.rf import FrequencyGrid
+
+
+def main():
+    f = np.array([0.5e9, 1.1e9, 1.4e9, 1.7e9, 2.5e9, 4.0e9])
+
+    print("== real components: dispersion of Q and ESR ==")
+    inductor = coilcraft_style_inductor(9.1e-9, name="L 9.1 nH")
+    capacitor = murata_style_capacitor(8.2e-12, name="C 8.2 pF")
+    print(format_series(
+        "f [GHz]",
+        ["Q(L)", "ESR(L) [ohm]", "Q(C)", "ESR(C) [ohm]"],
+        f / 1e9,
+        [inductor.q_factor(f), inductor.esr(f),
+         capacitor.q_factor(f), capacitor.esr(f)],
+    ))
+    print(f"inductor SRF: {inductor.srf_hz / 1e9:.2f} GHz, "
+          f"capacitor SRF: {capacitor.srf_hz / 1e9:.2f} GHz\n")
+
+    print("== microstrip on RO4003C ==")
+    substrate = MicrostripSubstrate()
+    width = synthesize_width(substrate, 50.0)
+    line = MicrostripLine(substrate, width, 20e-3, name="feed")
+    print(f"50-ohm strip width: {width * 1e3:.3f} mm")
+    loss_db_per_m = 8.686 * (line.alpha_conductor(f)
+                             + line.alpha_dielectric(f))
+    print(format_series(
+        "f [GHz]", ["eps_eff", "Z0 [ohm]", "loss [dB/m]"],
+        f / 1e9, [line.eps_eff(f), line.z0(f), loss_db_per_m],
+    ))
+
+    print("\n== splitters (for multi-receiver antenna units) ==")
+    fg = FrequencyGrid.linear(1.1e9, 1.7e9, 7)
+    resistive = ResistiveSplitter().solve(fg)
+    wilkinson = WilkinsonDivider(1.4e9).solve(fg)
+    rows = []
+    for label, result in (("resistive star", resistive),
+                          ("Wilkinson @1.4 GHz", wilkinson)):
+        s = result.s[fg.index_of(1.4e9)]
+        rows.append((
+            label,
+            20 * np.log10(abs(s[0, 0]) + 1e-12),
+            20 * np.log10(abs(s[1, 0])),
+            20 * np.log10(abs(s[2, 1]) + 1e-12),
+        ))
+    print(format_table(
+        ["splitter", "S11 [dB]", "S21 [dB]", "S32 (isolation) [dB]"],
+        rows, float_format="{:.1f}",
+    ))
+    print("\nThe Wilkinson splits with ~3.1 dB (0.1 dB of real line loss)"
+          "\nand >30 dB isolation; the resistive star pays 6 dB but is"
+          "\nbroadband and compact.")
+
+
+if __name__ == "__main__":
+    main()

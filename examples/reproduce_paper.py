@@ -1,0 +1,51 @@
+"""Reproduce every table and figure of the paper in one run.
+
+Run:  python examples/reproduce_paper.py [--fast] [E1 E5 ...]
+
+Without arguments, runs all eleven reconstructed experiments (see
+DESIGN.md for the experiment index) and prints each paper-style report.
+``--fast`` uses reduced optimization budgets where available.
+Positional arguments select a subset, e.g. ``E1 E7``.
+"""
+
+import sys
+import time
+
+from repro.experiments import REGISTRY
+
+FAST_KWARGS = {
+    "E1": {"de_population": 20, "de_iterations": 60},
+    "E2": {"n_trials": 4, "de_population": 20, "de_iterations": 60},
+    "E3": {"de_population": 20, "de_iterations": 60},
+    "E4": {"de_population": 20, "de_iterations": 80},
+    "E6": {"n_points": 3},
+    "E8": {"profile": "fast"},
+    "E9": {"profile": "fast"},
+    "E10": {"profile": "fast"},
+    "E11": {"profile": "fast"},
+}
+
+
+def main(argv):
+    fast = "--fast" in argv
+    selected = [a for a in argv if not a.startswith("-")]
+    experiment_ids = selected or list(REGISTRY)
+    for experiment_id in experiment_ids:
+        if experiment_id not in REGISTRY:
+            raise SystemExit(
+                f"unknown experiment {experiment_id!r}; "
+                f"choose from {', '.join(REGISTRY)}"
+            )
+        module = REGISTRY[experiment_id]
+        kwargs = FAST_KWARGS.get(experiment_id, {}) if fast else {}
+        print("=" * 72)
+        print(f"{experiment_id}: {module.__doc__.strip().splitlines()[0]}")
+        print("=" * 72)
+        started = time.time()
+        result = module.run(**kwargs)
+        print(module.format_report(result))
+        print(f"[{experiment_id} completed in {time.time() - started:.1f} s]\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

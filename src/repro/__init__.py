@@ -1,0 +1,24 @@
+"""repro — reproduction of Dobes et al., "Multi-objective optimization of a
+low-noise antenna amplifier for multi-constellation satellite-navigation
+receivers" (SOCC 2015).
+
+The package is layered bottom-up:
+
+* :mod:`repro.util` — constants and unit conversions.
+* :mod:`repro.rf` — linear network theory (two-ports, noise, gain, stability).
+* :mod:`repro.analysis` — a from-scratch MNA circuit simulator with noise
+  analysis and a DC operating-point solver.
+* :mod:`repro.passives` — dispersive passive-component models (real L/C/R,
+  microstrip lines, T splitters).
+* :mod:`repro.devices` — pHEMT large-signal models (Curtice, Statz, TOM,
+  Angelov), the bias-dependent small-signal shell, noise models, and the
+  synthetic reference device used in place of proprietary measurements.
+* :mod:`repro.optimize` — metaheuristics, the three-step robust extraction
+  procedure, and standard + improved goal-attainment multi-objective solvers.
+* :mod:`repro.core` — the GNSS LNA design flow itself.
+* :mod:`repro.experiments` — drivers reproducing each table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,20 @@
+"""From-scratch circuit simulation substrate.
+
+* :mod:`repro.analysis.netlist` — the element/circuit data model.
+* :mod:`repro.analysis.acsolver` — MNA small-signal S-parameter and
+  noise-correlation analysis.
+* :mod:`repro.analysis.dc` — nonlinear DC operating-point solver.
+"""
+
+from repro.analysis.netlist import Circuit
+from repro.analysis.acsolver import ACResult, solve_ac
+from repro.analysis.dc import DcCircuit, DcConvergenceError, DcSolution
+
+__all__ = [
+    "Circuit",
+    "ACResult",
+    "solve_ac",
+    "DcCircuit",
+    "DcConvergenceError",
+    "DcSolution",
+]

@@ -1,0 +1,238 @@
+"""DC operating-point solver (damped Newton on nodal equations).
+
+Used by the amplifier design flow to find the bias point a concrete
+bias network establishes (supply + resistors + the nonlinear FET), and
+by the extraction pipeline to evaluate candidate model I-V surfaces
+inside realistic fixtures.
+
+Supported elements: resistor, independent voltage source, independent
+current source, and a three-terminal FET whose model exposes
+``ids(vgs, vds)`` plus the partial derivatives ``gm(vgs, vds)`` and
+``gds(vgs, vds)`` (every model in :mod:`repro.devices.dcmodels` does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["DcCircuit", "DcSolution", "DcConvergenceError"]
+
+_GROUND = ("0", "gnd", "GND")
+_GMIN = 1e-12  # tiny conductance from every node to ground, aids convergence
+_MAX_STEP_V = 0.5
+
+
+class DcConvergenceError(RuntimeError):
+    """Raised when the Newton iteration fails to converge."""
+
+
+@dataclass
+class DcSolution:
+    """Converged node voltages and per-FET operating points."""
+
+    voltages: Dict[str, float]
+    fet_bias: Dict[str, Dict[str, float]]
+    iterations: int
+
+    def v(self, node: str) -> float:
+        """Voltage of *node* (ground returns 0)."""
+        if node in _GROUND:
+            return 0.0
+        return self.voltages[node]
+
+
+class _Resistor:
+    def __init__(self, name, a, b, r):
+        if r <= 0:
+            raise ValueError(f"resistor {name!r}: resistance must be positive")
+        self.name, self.a, self.b, self.g = name, a, b, 1.0 / float(r)
+
+
+class _VSource:
+    def __init__(self, name, pos, neg, v):
+        self.name, self.pos, self.neg, self.v = name, pos, neg, float(v)
+
+
+class _ISource:
+    def __init__(self, name, into, out_of, i):
+        self.name, self.into, self.out_of, self.i = name, into, out_of, float(i)
+
+
+class _Fet:
+    def __init__(self, name, drain, gate, source, model):
+        for attr in ("ids", "gm", "gds"):
+            if not hasattr(model, attr):
+                raise TypeError(
+                    f"FET model for {name!r} must provide .{attr}(vgs, vds)"
+                )
+        self.name = name
+        self.drain, self.gate, self.source = drain, gate, source
+        self.model = model
+
+
+class DcCircuit:
+    """A nonlinear DC netlist with a damped-Newton solver."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._resistors: List[_Resistor] = []
+        self._vsources: List[_VSource] = []
+        self._isources: List[_ISource] = []
+        self._fets: List[_Fet] = []
+        self._nodes: Dict[str, int] = {}
+
+    # -- construction -----------------------------------------------------
+    def resistor(self, name, node_a, node_b, resistance) -> "DcCircuit":
+        self._resistors.append(_Resistor(name, node_a, node_b, resistance))
+        self._touch(node_a, node_b)
+        return self
+
+    def vsource(self, name, node_pos, node_neg, volts) -> "DcCircuit":
+        self._vsources.append(_VSource(name, node_pos, node_neg, volts))
+        self._touch(node_pos, node_neg)
+        return self
+
+    def isource(self, name, node_into, node_out_of, amps) -> "DcCircuit":
+        self._isources.append(_ISource(name, node_into, node_out_of, amps))
+        self._touch(node_into, node_out_of)
+        return self
+
+    def fet(self, name, drain, gate, source, model) -> "DcCircuit":
+        self._fets.append(_Fet(name, drain, gate, source, model))
+        self._touch(drain, gate, source)
+        return self
+
+    def _touch(self, *nodes):
+        for node in nodes:
+            if node not in _GROUND and node not in self._nodes:
+                self._nodes[node] = len(self._nodes)
+
+    def _index(self, node: str) -> int:
+        return -1 if node in _GROUND else self._nodes[node]
+
+    # -- solver ------------------------------------------------------------
+    def solve(self, max_iterations: int = 200,
+              tolerance: float = 1e-10) -> DcSolution:
+        """Find the DC operating point; raises on non-convergence."""
+        n = len(self._nodes)
+        m = len(self._vsources)
+        x = np.zeros(n + m)
+        # Seed node voltages from the sources to shorten the Newton path.
+        for k, src in enumerate(self._vsources):
+            pos = self._index(src.pos)
+            if pos >= 0:
+                x[pos] = src.v
+
+        for iteration in range(1, max_iterations + 1):
+            jacobian, residual = self._linearize(x, n, m)
+            try:
+                delta = np.linalg.solve(jacobian, -residual)
+            except np.linalg.LinAlgError as exc:
+                raise DcConvergenceError(
+                    f"singular DC Jacobian in {self.name!r}: {exc}"
+                ) from None
+            step = np.max(np.abs(delta[:n])) if n else 0.0
+            if step > _MAX_STEP_V:
+                delta = delta * (_MAX_STEP_V / step)
+            x = x + delta
+            if np.max(np.abs(delta)) < tolerance:
+                return self._package(x, iteration)
+        raise DcConvergenceError(
+            f"DC analysis of {self.name!r} did not converge in "
+            f"{max_iterations} iterations"
+        )
+
+    def _linearize(self, x, n, m):
+        jac = np.zeros((n + m, n + m))
+        res = np.zeros(n + m)
+        volts = x[:n]
+
+        def v_of(idx):
+            return 0.0 if idx < 0 else volts[idx]
+
+        for i in range(n):
+            jac[i, i] += _GMIN
+            res[i] += _GMIN * volts[i]
+
+        for r in self._resistors:
+            a, b = self._index(r.a), self._index(r.b)
+            current = r.g * (v_of(a) - v_of(b))
+            if a >= 0:
+                res[a] += current
+                jac[a, a] += r.g
+                if b >= 0:
+                    jac[a, b] -= r.g
+            if b >= 0:
+                res[b] -= current
+                jac[b, b] += r.g
+                if a >= 0:
+                    jac[b, a] -= r.g
+
+        for src in self._isources:
+            into, out = self._index(src.into), self._index(src.out_of)
+            if into >= 0:
+                res[into] -= src.i
+            if out >= 0:
+                res[out] += src.i
+
+        for fet in self._fets:
+            d = self._index(fet.drain)
+            g = self._index(fet.gate)
+            s = self._index(fet.source)
+            vgs = v_of(g) - v_of(s)
+            vds = v_of(d) - v_of(s)
+            ids = float(fet.model.ids(vgs, vds))
+            gm = float(fet.model.gm(vgs, vds))
+            gds = float(fet.model.gds(vgs, vds))
+            # KCL: ids leaves the drain node and enters the source node.
+            stamps = ((d, +1.0), (s, -1.0))
+            for node, sign in stamps:
+                if node < 0:
+                    continue
+                res[node] += sign * ids
+                if g >= 0:
+                    jac[node, g] += sign * gm
+                if d >= 0:
+                    jac[node, d] += sign * gds
+                if s >= 0:
+                    jac[node, s] -= sign * (gm + gds)
+
+        for k, src in enumerate(self._vsources):
+            row = n + k
+            pos, neg = self._index(src.pos), self._index(src.neg)
+            res[row] = v_of(pos) - v_of(neg) - src.v
+            if pos >= 0:
+                jac[row, pos] += 1.0
+                jac[pos, row] += 1.0
+                res[pos] += x[row]
+            if neg >= 0:
+                jac[row, neg] -= 1.0
+                jac[neg, row] -= 1.0
+                res[neg] -= x[row]
+        return jac, res
+
+    def _package(self, x, iterations) -> DcSolution:
+        n = len(self._nodes)
+        voltages = {
+            node: float(x[idx]) for node, idx in self._nodes.items()
+        }
+
+        def v_of(node):
+            return 0.0 if node in _GROUND else voltages[node]
+
+        fet_bias = {}
+        for fet in self._fets:
+            vgs = v_of(fet.gate) - v_of(fet.source)
+            vds = v_of(fet.drain) - v_of(fet.source)
+            fet_bias[fet.name] = {
+                "vgs": vgs,
+                "vds": vds,
+                "ids": float(fet.model.ids(vgs, vds)),
+                "gm": float(fet.model.gm(vgs, vds)),
+                "gds": float(fet.model.gds(vgs, vds)),
+            }
+        return DcSolution(voltages=voltages, fet_bias=fet_bias,
+                          iterations=iterations)

@@ -1,0 +1,280 @@
+"""Netlist data model for the in-house circuit simulator.
+
+A :class:`Circuit` is a flat collection of elements connected between
+named nodes; the node ``"0"`` (alias ``"gnd"``) is ground.  Ports are
+declared explicitly and define both the S-parameter reference planes
+and the terminals at which noise is characterised.
+
+Element set (sufficient for a complete LNA with bias network):
+
+* ``resistor`` — thermal noise at an element-specific temperature;
+* ``capacitor`` / ``inductor`` — ideal reactances (lossy real parts are
+  modelled by explicit resistors, which keeps the noise bookkeeping
+  honest);
+* ``vccs`` — voltage-controlled current source with optional delay,
+  the small-signal transconductance of the FET;
+* ``transmission_line`` — ideal or lossy line via its 2x2 Y-matrix;
+* ``y_block`` — an arbitrary frequency-dependent N-terminal admittance
+  block (used to drop full device models into a circuit);
+* ``noise_current`` — an explicit noise current source with a
+  user-supplied one-sided PSD [A^2/Hz] (used for drain noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.constants import T_AMBIENT
+
+__all__ = [
+    "Circuit",
+    "Port",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "Vccs",
+    "TransmissionLineElement",
+    "YBlock",
+    "NoiseCurrent",
+]
+
+GROUND_ALIASES = ("0", "gnd", "GND")
+
+
+@dataclass(frozen=True)
+class Resistor:
+    name: str
+    node_a: str
+    node_b: str
+    resistance: float
+    temperature: float = T_AMBIENT
+
+    def __post_init__(self):
+        if self.resistance <= 0:
+            raise ValueError(
+                f"resistor {self.name!r}: resistance must be positive, "
+                f"got {self.resistance}"
+            )
+        if self.temperature < 0:
+            raise ValueError(
+                f"resistor {self.name!r}: temperature must be >= 0 K"
+            )
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    name: str
+    node_a: str
+    node_b: str
+    capacitance: float
+
+    def __post_init__(self):
+        if self.capacitance <= 0:
+            raise ValueError(
+                f"capacitor {self.name!r}: capacitance must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class Inductor:
+    name: str
+    node_a: str
+    node_b: str
+    inductance: float
+
+    def __post_init__(self):
+        if self.inductance <= 0:
+            raise ValueError(
+                f"inductor {self.name!r}: inductance must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class Vccs:
+    """Current ``gm * exp(-j w tau) * (V(ctrl_p) - V(ctrl_n))`` flows
+    from ``out_p`` to ``out_n`` through the source (into out_n node)."""
+
+    name: str
+    out_p: str
+    out_n: str
+    ctrl_p: str
+    ctrl_n: str
+    gm: float
+    tau: float = 0.0
+
+
+@dataclass(frozen=True)
+class TransmissionLineElement:
+    """A two-conductor line between (node_a, gnd) and (node_b, gnd)."""
+
+    name: str
+    node_a: str
+    node_b: str
+    z_characteristic: complex
+    gamma_length: complex  # may be callable(f_hz) -> complex
+
+    def y_matrix(self, f_hz: float) -> np.ndarray:
+        gl = self.gamma_length(f_hz) if callable(self.gamma_length) else self.gamma_length
+        zc = (
+            self.z_characteristic(f_hz)
+            if callable(self.z_characteristic)
+            else self.z_characteristic
+        )
+        sinh_gl = np.sinh(gl)
+        cosh_gl = np.cosh(gl)
+        if abs(sinh_gl) < 1e-30:
+            raise ValueError(
+                f"line {self.name!r}: zero electrical length is singular; "
+                "omit the element instead"
+            )
+        y0 = 1.0 / (zc * sinh_gl)
+        return np.array(
+            [[cosh_gl * y0, -y0], [-y0, cosh_gl * y0]], dtype=complex
+        )
+
+
+@dataclass(frozen=True)
+class YBlock:
+    """An N-terminal admittance block, e.g. a full transistor model.
+
+    ``y_function(f_hz)`` must return an ``(n, n)`` complex admittance
+    matrix referenced to the block's own terminal list (voltages are
+    node-to-ground).  An optional ``cy_function(f_hz)`` returns the
+    block's noise-current correlation matrix at the same terminals, in
+    the 2kT-normalized convention of :mod:`repro.rf.noise`.
+    """
+
+    name: str
+    nodes: Tuple[str, ...]
+    y_function: Callable[[float], np.ndarray]
+    cy_function: Optional[Callable[[float], np.ndarray]] = None
+
+
+@dataclass(frozen=True)
+class NoiseCurrent:
+    """Noise current source between two nodes.
+
+    ``psd(f_hz)`` must return the **2kT-normalized** current-noise
+    density [A^2/Hz] used throughout :mod:`repro.rf.noise` — i.e. half
+    the physical one-sided density.  A conductance ``g`` at temperature
+    ``T`` corresponds to ``2 k T g``.
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    psd: Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class Port:
+    name: str
+    node: str
+    z0: float = 50.0
+
+    def __post_init__(self):
+        if self.z0 <= 0:
+            raise ValueError(f"port {self.name!r}: z0 must be positive")
+
+
+class Circuit:
+    """A mutable netlist builder.
+
+    Nodes are created implicitly on first use.  All element names must
+    be unique — a duplicate is almost always a construction bug in a
+    generated circuit, so it raises immediately.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.elements: List[object] = []
+        self.ports: List[Port] = []
+        self._names: set = set()
+        self._nodes: Dict[str, int] = {}
+
+    # -- construction API -------------------------------------------------
+    def resistor(self, name, node_a, node_b, resistance,
+                 temperature=T_AMBIENT) -> "Circuit":
+        self._add(Resistor(name, node_a, node_b, float(resistance),
+                           float(temperature)))
+        return self
+
+    def capacitor(self, name, node_a, node_b, capacitance) -> "Circuit":
+        self._add(Capacitor(name, node_a, node_b, float(capacitance)))
+        return self
+
+    def inductor(self, name, node_a, node_b, inductance) -> "Circuit":
+        self._add(Inductor(name, node_a, node_b, float(inductance)))
+        return self
+
+    def vccs(self, name, out_p, out_n, ctrl_p, ctrl_n, gm,
+             tau=0.0) -> "Circuit":
+        self._add(Vccs(name, out_p, out_n, ctrl_p, ctrl_n, float(gm),
+                       float(tau)))
+        return self
+
+    def transmission_line(self, name, node_a, node_b, z_characteristic,
+                          gamma_length) -> "Circuit":
+        self._add(TransmissionLineElement(name, node_a, node_b,
+                                          z_characteristic, gamma_length))
+        return self
+
+    def y_block(self, name, nodes: Sequence[str], y_function,
+                cy_function=None) -> "Circuit":
+        self._add(YBlock(name, tuple(nodes), y_function, cy_function))
+        return self
+
+    def noise_current(self, name, node_a, node_b, psd) -> "Circuit":
+        self._add(NoiseCurrent(name, node_a, node_b, psd))
+        return self
+
+    def port(self, name, node, z0=50.0) -> "Circuit":
+        if any(p.name == name for p in self.ports):
+            raise ValueError(f"duplicate port name {name!r}")
+        self._register_node(node)
+        self.ports.append(Port(name, node, float(z0)))
+        return self
+
+    # -- node bookkeeping ---------------------------------------------------
+    @staticmethod
+    def is_ground(node: str) -> bool:
+        return node in GROUND_ALIASES
+
+    @property
+    def node_names(self) -> List[str]:
+        """Non-ground node names in registration order."""
+        return list(self._nodes)
+
+    def node_index(self, node: str) -> int:
+        """Index of a non-ground node, or -1 for ground."""
+        if self.is_ground(node):
+            return -1
+        return self._nodes[node]
+
+    def _register_node(self, node: str):
+        if not self.is_ground(node) and node not in self._nodes:
+            self._nodes[node] = len(self._nodes)
+
+    def _add(self, element):
+        if element.name in self._names:
+            raise ValueError(f"duplicate element name {element.name!r}")
+        self._names.add(element.name)
+        if isinstance(element, Vccs):
+            nodes = [element.out_p, element.out_n,
+                     element.ctrl_p, element.ctrl_n]
+        else:
+            nodes = getattr(element, "nodes", None)
+            if nodes is None:
+                nodes = [element.node_a, element.node_b]
+        for node in nodes:
+            self._register_node(node)
+        self.elements.append(element)
+
+    def __repr__(self):
+        return (
+            f"<Circuit {self.name!r}: {len(self.elements)} elements, "
+            f"{len(self._nodes)} nodes, {len(self.ports)} ports>"
+        )

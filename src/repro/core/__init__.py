@@ -1,0 +1,58 @@
+"""The paper's contribution: the multi-objective GNSS LNA design flow."""
+
+from repro.core.bands import (
+    DESIGN_BAND,
+    GNSS_BANDS,
+    STABILITY_BAND,
+    design_grid,
+    stability_grid,
+)
+from repro.core.amplifier import (
+    AmplifierPerformance,
+    AmplifierTemplate,
+    DesignVariables,
+)
+from repro.core.objectives import DesignSpec, LnaEvaluator, build_lna_problem
+from repro.core.design import DEFAULT_GOALS, DesignFlow, FinalDesign
+from repro.core.evaluation import (
+    MeasuredPerformance,
+    MeasurementSettings,
+    simulate_measurement,
+)
+from repro.core.intermod import TwoToneResult, two_tone_analysis
+from repro.core.system_budget import BudgetResult, SystemBudget
+from repro.core.tolerance import (
+    ToleranceSpec,
+    YieldResult,
+    monte_carlo_yield,
+)
+from repro.core.report import format_series, format_table
+
+__all__ = [
+    "DESIGN_BAND",
+    "GNSS_BANDS",
+    "STABILITY_BAND",
+    "design_grid",
+    "stability_grid",
+    "AmplifierPerformance",
+    "AmplifierTemplate",
+    "DesignVariables",
+    "DesignSpec",
+    "LnaEvaluator",
+    "build_lna_problem",
+    "DEFAULT_GOALS",
+    "DesignFlow",
+    "FinalDesign",
+    "MeasuredPerformance",
+    "MeasurementSettings",
+    "simulate_measurement",
+    "TwoToneResult",
+    "two_tone_analysis",
+    "BudgetResult",
+    "SystemBudget",
+    "ToleranceSpec",
+    "YieldResult",
+    "monte_carlo_yield",
+    "format_series",
+    "format_table",
+]

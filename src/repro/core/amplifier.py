@@ -1,0 +1,250 @@
+"""The GNSS LNA circuit template and its evaluation.
+
+Topology (the classic inductively-degenerated common-source LNA the
+paper optimizes)::
+
+    in o--Cin--Lin--+--[pHEMT gate          drain]--+--Cout--o out
+                    |                :              |
+                  Rbias            [Ldeg]         Lchoke (drain bias
+                    |                :              |       feed; also
+                  (Vg bias)         gnd           (Vdd)     output match)
+
+* ``Cin``  — DC block; with ``Lin`` it forms the input match.
+* ``Lin``  — series input inductor (noise match).
+* ``Ldeg`` — source degeneration: trades gain for simultaneous
+  noise/impedance match and stability.
+* ``Lchoke`` — drain bias feed; its reactance doubles as the output
+  shunt-L match.
+* ``Cout`` — DC block; with ``Lchoke`` forms the output match.
+* ``Rbias`` — high-value gate bias resistor (its noise is included and
+  is negligible by design).
+
+All passive elements are the **dispersive catalogue models** from
+:mod:`repro.passives.rlc` and enter the optimizer as such, plus two
+microstrip access lines on the RO4003 substrate.  Everything is
+evaluated through the MNA simulator, noise included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.acsolver import solve_ac
+from repro.analysis.netlist import Circuit
+from repro.core.bands import design_grid, stability_grid
+from repro.devices.smallsignal import PHEMTSmallSignal
+from repro.passives.microstrip import (
+    MicrostripLine,
+    MicrostripSubstrate,
+    synthesize_width,
+)
+from repro.passives.rlc import (
+    coilcraft_style_inductor,
+    murata_style_capacitor,
+)
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.noise import NoisyTwoPort
+from repro.rf.stability import mu_source
+from repro.util.constants import T_AMBIENT
+
+__all__ = ["DesignVariables", "AmplifierTemplate", "AmplifierPerformance"]
+
+
+@dataclass(frozen=True)
+class DesignVariables:
+    """The optimizer's free variables: operating point + element values.
+
+    Besides the matching elements, two stabilization branches are free:
+    ``r_stab`` (in series with the drain choke, loading the device at
+    low frequency where the choke is transparent) and the output shunt
+    ``r_sh`` + ``c_sh`` (loading it at high frequency).  Together they
+    let the optimizer trade unconditional stability against gain and
+    noise — part of the multi-objective problem, not a fixed afterthought.
+    """
+
+    vgs: float = 0.52        # [V]
+    vds: float = 3.0         # [V]
+    l_in: float = 6.8e-9     # [H] series input inductor
+    l_deg: float = 1.2e-9    # [H] source degeneration
+    c_in: float = 8.2e-12    # [F] input DC block / match
+    c_out: float = 4.7e-12   # [F] output DC block / match
+    l_choke: float = 12e-9   # [H] drain feed / output shunt match
+    r_stab: float = 50.0     # [ohm] drain-feed stabilization resistor
+    r_sh: float = 150.0      # [ohm] output shunt stabilization resistor
+    c_sh: float = 3.0e-12    # [F] output shunt stabilization capacitor
+
+    NAMES = ("vgs", "vds", "l_in", "l_deg", "c_in", "c_out", "l_choke",
+             "r_stab", "r_sh", "c_sh")
+
+    #: Optimization box: electrically sensible, catalogue-available ranges.
+    LOWER = np.array([0.35, 1.0, 1.0e-9, 0.1e-9, 1.0e-12, 0.8e-12, 3.0e-9,
+                      2.0, 30.0, 0.3e-12])
+    UPPER = np.array([0.68, 4.5, 27.0e-9, 3.0e-9, 33e-12, 33e-12, 39e-9,
+                      300.0, 1000.0, 10e-12])
+
+    def to_vector(self) -> np.ndarray:
+        return np.array([getattr(self, name) for name in self.NAMES])
+
+    @classmethod
+    def from_vector(cls, vector) -> "DesignVariables":
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (len(cls.NAMES),):
+            raise ValueError(
+                f"expected {len(cls.NAMES)} design variables, "
+                f"got shape {vector.shape}"
+            )
+        return cls(**dict(zip(cls.NAMES, vector)))
+
+    # -- normalized (unit-box) coordinates ------------------------------
+    # Component values span 14 orders of magnitude (farads vs ohms), so
+    # the optimizers work in [0, 1]^n and map here.
+    def to_unit(self) -> np.ndarray:
+        return (self.to_vector() - self.LOWER) / (self.UPPER - self.LOWER)
+
+    @classmethod
+    def from_unit(cls, unit_vector) -> "DesignVariables":
+        unit_vector = np.clip(np.asarray(unit_vector, dtype=float), 0.0, 1.0)
+        return cls.from_vector(
+            cls.LOWER + unit_vector * (cls.UPPER - cls.LOWER)
+        )
+
+    def replaced(self, **changes) -> "DesignVariables":
+        return replace(self, **changes)
+
+
+@dataclass
+class AmplifierPerformance:
+    """Figures of merit of one evaluated design."""
+
+    frequency: FrequencyGrid
+    nf_db: np.ndarray            # noise figure vs f, 50-ohm source
+    gt_db: np.ndarray            # transducer gain |S21|^2 vs f [dB]
+    s11_db: np.ndarray
+    s22_db: np.ndarray
+    mu_min: float                # worst-case stability over the guard band
+    ids: float                   # drain bias current [A]
+    nf_max_db: float
+    gt_min_db: float
+    gt_ripple_db: float
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for table rows."""
+        return {
+            "NFmax_dB": self.nf_max_db,
+            "GTmin_dB": self.gt_min_db,
+            "ripple_dB": self.gt_ripple_db,
+            "S11max_dB": float(np.max(self.s11_db)),
+            "S22max_dB": float(np.max(self.s22_db)),
+            "mu_min": self.mu_min,
+            "Ids_mA": self.ids * 1e3,
+        }
+
+
+class AmplifierTemplate:
+    """Builds and evaluates the LNA circuit for a set of design variables."""
+
+    def __init__(self, device: PHEMTSmallSignal,
+                 substrate: MicrostripSubstrate = None,
+                 z0: float = 50.0,
+                 bias_resistance: float = 10e3,
+                 access_line_length: float = 4e-3):
+        self.device = device
+        self.substrate = substrate or MicrostripSubstrate()
+        self.z0 = float(z0)
+        self.bias_resistance = float(bias_resistance)
+        width = synthesize_width(self.substrate, self.z0)
+        self.line_in = MicrostripLine(self.substrate, width,
+                                      access_line_length, name="TLin")
+        self.line_out = MicrostripLine(self.substrate, width,
+                                       access_line_length, name="TLout")
+
+    # -- circuit assembly ---------------------------------------------------
+    def build_circuit(self, variables: DesignVariables) -> Circuit:
+        """The full LNA netlist at the given design point."""
+        v = variables
+        circuit = Circuit("gnss_lna")
+        circuit.port("p1", "in", z0=self.z0)
+        circuit.port("p2", "out", z0=self.z0)
+
+        # Input chain: access line, DC block, series matching inductor.
+        self.line_in.add_to(circuit, "in", "n_blk")
+        murata_style_capacitor(v.c_in, name="Cin").add_to(
+            circuit, "n_blk", "n_lin"
+        )
+        coilcraft_style_inductor(v.l_in, name="Lin").add_to(
+            circuit, "n_lin", "gate"
+        )
+        # Gate bias resistor: RF-grounded at its far end (decoupled supply).
+        circuit.resistor("Rbias", "gate", "gnd", self.bias_resistance,
+                         temperature=T_AMBIENT)
+
+        # The transistor with source degeneration.
+        self.device.add_to(circuit, "gate", "drain", "src", v.vgs, v.vds)
+        coilcraft_style_inductor(v.l_deg, name="Ldeg").add_to(
+            circuit, "src", "gnd"
+        )
+
+        # Drain bias feed doubling as output shunt-L match; r_stab loads
+        # the drain at low frequency where the choke is transparent.
+        coilcraft_style_inductor(v.l_choke, name="Lchoke").add_to(
+            circuit, "drain", "n_vdd"
+        )
+        circuit.resistor("Rstab", "n_vdd", "n_dec", v.r_stab,
+                         temperature=T_AMBIENT)
+        murata_style_capacitor(100e-12, name="Cdec").add_to(
+            circuit, "n_dec", "gnd"
+        )
+
+        # Output DC block, high-frequency shunt stabilization, access line.
+        murata_style_capacitor(v.c_out, name="Cout").add_to(
+            circuit, "drain", "n_out"
+        )
+        circuit.resistor("Rsh", "n_out", "n_rc", v.r_sh,
+                         temperature=T_AMBIENT)
+        murata_style_capacitor(v.c_sh, name="Csh").add_to(
+            circuit, "n_rc", "gnd"
+        )
+        self.line_out.add_to(circuit, "n_out", "out")
+        return circuit
+
+    # -- evaluation -----------------------------------------------------------
+    def solve(self, variables: DesignVariables,
+              frequency: FrequencyGrid) -> NoisyTwoPort:
+        """Signal + noise solution of the LNA over a grid."""
+        circuit = self.build_circuit(variables)
+        return solve_ac(circuit, frequency).as_noisy_twoport("gnss_lna")
+
+    def evaluate(self, variables: DesignVariables,
+                 frequency: FrequencyGrid = None,
+                 guard: FrequencyGrid = None) -> AmplifierPerformance:
+        """Full figure-of-merit evaluation (band + stability guard)."""
+        if frequency is None:
+            frequency = design_grid()
+        if guard is None:
+            guard = stability_grid()
+        noisy = self.solve(variables, frequency)
+        s = noisy.network.s
+        nf_db = noisy.noise_figure_db()
+        gt_db = 20.0 * np.log10(np.maximum(np.abs(s[:, 1, 0]), 1e-12))
+        s11_db = 20.0 * np.log10(np.maximum(np.abs(s[:, 0, 0]), 1e-12))
+        s22_db = 20.0 * np.log10(np.maximum(np.abs(s[:, 1, 1]), 1e-12))
+
+        guard_result = solve_ac(self.build_circuit(variables), guard,
+                                compute_noise=False)
+        mu_min = float(np.min(mu_source(guard_result.s)))
+        ids = float(self.device.dc_model.ids(variables.vgs, variables.vds))
+        return AmplifierPerformance(
+            frequency=frequency,
+            nf_db=nf_db,
+            gt_db=gt_db,
+            s11_db=s11_db,
+            s22_db=s22_db,
+            mu_min=mu_min,
+            ids=ids,
+            nf_max_db=float(np.max(nf_db)),
+            gt_min_db=float(np.min(gt_db)),
+            gt_ripple_db=float(np.max(gt_db) - np.min(gt_db)),
+        )

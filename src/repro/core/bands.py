@@ -1,0 +1,51 @@
+"""GNSS frequency plan: GPS, GLONASS, Galileo, Compass/BeiDou.
+
+The paper's premise: all principal navigation systems transmit between
+roughly 1.1 and 1.7 GHz, so one wideband preamplifier can serve every
+constellation.  ``DESIGN_BAND`` is the composite optimization band;
+the individual signal bands below drive the per-band reporting of the
+selected design (experiment E8).
+"""
+
+from __future__ import annotations
+
+from repro.rf.frequency import Band, FrequencyGrid
+
+__all__ = [
+    "GNSS_BANDS",
+    "DESIGN_BAND",
+    "STABILITY_BAND",
+    "design_grid",
+    "stability_grid",
+]
+
+#: Individual GNSS signal bands (centre +/- main-lobe width) [Hz].
+GNSS_BANDS = (
+    Band("GPS L5 / Galileo E5a", 1164.45e6, 1188.45e6),
+    Band("GLONASS G3 / BeiDou B2", 1195.14e6, 1219.14e6),
+    Band("GPS L2", 1215.6e6, 1239.6e6),
+    Band("GLONASS G2", 1242.9375e6, 1248.625e6),
+    Band("BeiDou B3", 1256.52e6, 1280.52e6),
+    Band("Galileo E6", 1260.0e6, 1300.0e6),
+    Band("BeiDou B1", 1553.098e6, 1569.098e6),
+    Band("GPS L1 / Galileo E1", 1563.42e6, 1587.42e6),
+    Band("GLONASS G1", 1598.0625e6, 1609.3125e6),
+)
+
+#: The composite band the multi-objective optimization targets.
+DESIGN_BAND = Band("GNSS composite", 1.10e9, 1.70e9)
+
+#: Guard band over which unconditional stability is enforced.
+STABILITY_BAND = Band("stability guard", 0.10e9, 6.00e9)
+
+
+def design_grid(n_points: int = 25) -> FrequencyGrid:
+    """The frequency grid used to evaluate in-band objectives."""
+    return DESIGN_BAND.grid(n_points)
+
+
+def stability_grid(n_points: int = 30) -> FrequencyGrid:
+    """Logarithmic grid spanning the stability guard band."""
+    return FrequencyGrid.logarithmic(
+        STABILITY_BAND.f_low, STABILITY_BAND.f_high, n_points
+    )

@@ -1,0 +1,105 @@
+"""Measurement simulation of the finished preamplifier (paper step 5).
+
+Substitution for the paper's VNA + noise-figure-meter measurements of
+the fabricated board (see DESIGN.md): the snapped design is solved
+through the full MNA path on a dense grid and then corrupted with
+instrument-class uncertainty:
+
+* VNA: per-point complex Gaussian error (residual post-calibration
+  ripple), a slow systematic phase drift, and a -55 dB additive floor;
+* NF meter (Y-factor): Gaussian jitter plus a small systematic offset
+  from the ENR calibration table.
+
+Experiments E9/E10 plot the designed vs "measured" curves from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.amplifier import AmplifierTemplate, DesignVariables
+from repro.rf.frequency import FrequencyGrid
+
+__all__ = ["MeasurementSettings", "MeasuredPerformance", "simulate_measurement"]
+
+
+@dataclass(frozen=True)
+class MeasurementSettings:
+    """Instrument uncertainty knobs."""
+
+    vna_ripple: float = 0.006        # relative complex error, 1 sigma
+    vna_floor: float = 10 ** (-55 / 20)  # additive error floor (linear)
+    vna_phase_drift_deg: float = 1.0     # systematic drift across the sweep
+    nf_jitter_db: float = 0.06       # Y-factor repeatability, 1 sigma
+    nf_offset_db: float = 0.05       # ENR table systematic offset
+    seed: int = 7
+
+
+@dataclass
+class MeasuredPerformance:
+    """Designed vs measured traces over the verification grid."""
+
+    frequency: FrequencyGrid
+    s_designed: np.ndarray       # (F, 2, 2)
+    s_measured: np.ndarray       # (F, 2, 2)
+    nf_designed_db: np.ndarray   # (F,)
+    nf_measured_db: np.ndarray   # (F,)
+
+    def sparam_db(self, i: int, j: int, measured: bool = True) -> np.ndarray:
+        """|Sij| in dB (1-indexed ports) from either trace set."""
+        s = self.s_measured if measured else self.s_designed
+        return 20.0 * np.log10(np.maximum(np.abs(s[:, i - 1, j - 1]), 1e-12))
+
+    def worst_deviation_db(self, i: int, j: int) -> float:
+        """Max |designed - measured| of one S magnitude trace [dB]."""
+        return float(np.max(np.abs(
+            self.sparam_db(i, j, True) - self.sparam_db(i, j, False)
+        )))
+
+
+def simulate_measurement(template: AmplifierTemplate,
+                         variables: DesignVariables,
+                         frequency: FrequencyGrid = None,
+                         settings: MeasurementSettings = None
+                         ) -> MeasuredPerformance:
+    """Run the bench: dense solve + instrument corruption."""
+    if frequency is None:
+        frequency = FrequencyGrid.linear(1.0e9, 1.8e9, 81)
+    settings = settings or MeasurementSettings()
+    rng = np.random.default_rng(settings.seed)
+
+    noisy = template.solve(variables, frequency)
+    s_true = noisy.network.s
+    nf_true = noisy.noise_figure_db()
+
+    drift = np.exp(
+        1j * np.deg2rad(settings.vna_phase_drift_deg)
+        * (frequency.f_hz - frequency.f_hz[0])
+        / (frequency.f_hz[-1] - frequency.f_hz[0])
+    )[:, None, None]
+    ripple = 1.0 + settings.vna_ripple * (
+        rng.standard_normal(s_true.shape)
+        + 1j * rng.standard_normal(s_true.shape)
+    ) / np.sqrt(2.0)
+    floor = settings.vna_floor * (
+        rng.standard_normal(s_true.shape)
+        + 1j * rng.standard_normal(s_true.shape)
+    ) / np.sqrt(2.0)
+    s_measured = s_true * ripple * drift + floor
+
+    nf_measured = (
+        nf_true
+        + settings.nf_offset_db
+        + settings.nf_jitter_db * rng.standard_normal(nf_true.shape)
+    )
+    nf_measured = np.maximum(nf_measured, 0.0)
+
+    return MeasuredPerformance(
+        frequency=frequency,
+        s_designed=s_true,
+        s_measured=s_measured,
+        nf_designed_db=nf_true,
+        nf_measured_db=nf_measured,
+    )

@@ -1,0 +1,123 @@
+"""Multi-objective problem formulation for the GNSS LNA.
+
+The paper's trade-off is **noise figure vs transducer power gain**
+over the composite 1.1-1.7 GHz band.  We minimize:
+
+* ``f1 = max NF(f)``  [dB] over the design band, and
+* ``f2 = -min GT(f)`` [dB] (maximizing the worst-case gain),
+
+subject to the hard design constraints a shippable preamplifier must
+satisfy:
+
+* unconditional stability, ``mu >= mu_margin`` over 0.1-6 GHz;
+* input and output return loss better than ``rl_spec_db`` in band;
+* gain ripple below ``ripple_spec_db``;
+* drain current below ``ids_max`` (the antenna unit is phantom-fed).
+
+Every optimizer in experiment E5 consumes the same
+:class:`~repro.optimize.goal_attainment.MultiObjectiveProblem` built
+here, with one shared memoized evaluator so evaluation counts are
+comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.amplifier import (
+    AmplifierPerformance,
+    AmplifierTemplate,
+    DesignVariables,
+)
+from repro.core.bands import design_grid, stability_grid
+from repro.optimize.goal_attainment import MultiObjectiveProblem
+from repro.rf.frequency import FrequencyGrid
+
+__all__ = ["DesignSpec", "LnaEvaluator", "build_lna_problem"]
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Hard constraints of the preamplifier.
+
+    The stability and ripple margins are deliberately tighter than the
+    shipping requirement (mu > 1, ripple < 5 dB) so that snapping the
+    optimized values to the E24 catalogue cannot push the built board
+    out of spec.
+    """
+
+    rl_spec_db: float = 9.0        # min in-band return loss (both ports)
+    ripple_spec_db: float = 4.0    # max in-band gain ripple
+    mu_margin: float = 1.10        # unconditional stability margin
+    ids_max: float = 80e-3         # supply budget [A]
+
+
+class LnaEvaluator:
+    """Memoized map from a design vector to amplifier figures of merit.
+
+    Objectives and constraints share one circuit solve per design
+    point; the single-entry cache makes the SLSQP finite-difference
+    pattern (objective then constraints at the same x) cost one
+    evaluation, exactly as in the goal-attainment counter.
+    """
+
+    def __init__(self, template: AmplifierTemplate,
+                 band_grid: FrequencyGrid = None,
+                 guard_grid: FrequencyGrid = None):
+        self.template = template
+        self.band_grid = band_grid or design_grid(17)
+        self.guard_grid = guard_grid or stability_grid(24)
+        self.n_solves = 0
+        self._last_key = None
+        self._last_value: AmplifierPerformance = None
+
+    def performance(self, unit_x: np.ndarray) -> AmplifierPerformance:
+        """Figures of merit at a *unit-box* design vector."""
+        unit_x = np.asarray(unit_x, dtype=float)
+        key = unit_x.tobytes()
+        if key != self._last_key:
+            variables = DesignVariables.from_unit(unit_x)
+            self._last_value = self.template.evaluate(
+                variables, self.band_grid, self.guard_grid
+            )
+            self._last_key = key
+            self.n_solves += 1
+        return self._last_value
+
+
+def build_lna_problem(template: AmplifierTemplate,
+                      spec: DesignSpec = None,
+                      evaluator: LnaEvaluator = None) -> MultiObjectiveProblem:
+    """The (NFmax, -GTmin) problem with the spec's hard constraints.
+
+    The problem is posed in the **unit box** [0, 1]^n; use
+    :meth:`DesignVariables.from_unit` to decode solution vectors.
+    """
+    spec = spec or DesignSpec()
+    evaluator = evaluator or LnaEvaluator(template)
+
+    def objectives(x: np.ndarray) -> np.ndarray:
+        perf = evaluator.performance(x)
+        return np.array([perf.nf_max_db, -perf.gt_min_db])
+
+    def constraints(x: np.ndarray) -> np.ndarray:
+        perf = evaluator.performance(x)
+        return np.array([
+            float(np.max(perf.s11_db)) + spec.rl_spec_db,   # S11 <= -RL
+            float(np.max(perf.s22_db)) + spec.rl_spec_db,   # S22 <= -RL
+            spec.mu_margin - perf.mu_min,                   # mu >= margin
+            perf.gt_ripple_db - spec.ripple_spec_db,        # ripple <= spec
+            (perf.ids - spec.ids_max) / spec.ids_max,       # Ids <= budget
+        ])
+
+    n_vars = len(DesignVariables.NAMES)
+    return MultiObjectiveProblem(
+        objectives=objectives,
+        n_objectives=2,
+        lower=np.zeros(n_vars),
+        upper=np.ones(n_vars),
+        constraints=constraints,
+        objective_names=("NFmax_dB", "-GTmin_dB"),
+    )

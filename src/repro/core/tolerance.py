@@ -1,0 +1,154 @@
+"""Monte-Carlo tolerance (yield) analysis of a finished design.
+
+After snapping to catalogue values, a board house populates parts with
+manufacturing tolerances and the bias point drifts with the regulator.
+This module samples those variations and reports the fraction of boards
+meeting the shipping spec — the standard post-design step that decides
+whether the optimized point is *robust*, not just optimal.
+
+Every trial is a full MNA evaluation of the perturbed circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.amplifier import AmplifierTemplate, DesignVariables
+from repro.core.bands import design_grid, stability_grid
+from repro.core.objectives import DesignSpec
+from repro.rf.frequency import FrequencyGrid
+
+__all__ = ["ToleranceSpec", "YieldResult", "monte_carlo_yield"]
+
+
+@dataclass(frozen=True)
+class ToleranceSpec:
+    """1-sigma-equivalent uniform tolerances per element class.
+
+    Values are relative half-widths of a uniform distribution (0.05 =
+    +/-5 %), except the bias entries which are absolute volts.
+    """
+
+    inductor: float = 0.05
+    capacitor: float = 0.05
+    resistor: float = 0.01
+    vgs_volts: float = 0.01
+    vds_volts: float = 0.05
+
+    @classmethod
+    def tight(cls) -> "ToleranceSpec":
+        """Premium parts: 2 % reactives, 1 % resistors."""
+        return cls(inductor=0.02, capacitor=0.02, resistor=0.01,
+                   vgs_volts=0.005, vds_volts=0.02)
+
+    @classmethod
+    def loose(cls) -> "ToleranceSpec":
+        """Cheap parts: 10 % reactives, 5 % resistors."""
+        return cls(inductor=0.10, capacitor=0.10, resistor=0.05,
+                   vgs_volts=0.02, vds_volts=0.1)
+
+
+@dataclass
+class YieldResult:
+    """Outcome of a Monte-Carlo yield run."""
+
+    n_trials: int
+    n_pass: int
+    nf_max_db: np.ndarray       # per-trial worst-case NF
+    gt_min_db: np.ndarray       # per-trial worst-case GT
+    mu_min: np.ndarray
+    failures: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def yield_fraction(self) -> float:
+        return self.n_pass / self.n_trials if self.n_trials else 0.0
+
+    def percentile(self, quantity: str, q: float) -> float:
+        """Percentile of a per-trial array ('nf_max_db', ...)."""
+        return float(np.percentile(getattr(self, quantity), q))
+
+
+def monte_carlo_yield(
+    template: AmplifierTemplate,
+    nominal: DesignVariables,
+    tolerances: ToleranceSpec = None,
+    spec: DesignSpec = None,
+    n_trials: int = 50,
+    seed: Optional[int] = 0,
+    band_grid: FrequencyGrid = None,
+    guard_grid: FrequencyGrid = None,
+    nf_ship_limit_db: float = 0.8,
+    gt_ship_limit_db: float = 13.0,
+) -> YieldResult:
+    """Sample component variations and evaluate the shipping yield.
+
+    A board passes when NFmax <= *nf_ship_limit_db*, GTmin >=
+    *gt_ship_limit_db*, and it is unconditionally stable (mu > 1).
+    Return-loss and ripple are tracked in ``failures`` but judged
+    against the (looser) shipping limits derived from *spec*.
+    """
+    tolerances = tolerances or ToleranceSpec()
+    spec = spec or DesignSpec()
+    band_grid = band_grid or design_grid(13)
+    guard_grid = guard_grid or stability_grid(16)
+    rng = np.random.default_rng(seed)
+
+    nf_max = np.empty(n_trials)
+    gt_min = np.empty(n_trials)
+    mu_min = np.empty(n_trials)
+    failures: Dict[str, int] = {"nf": 0, "gt": 0, "stability": 0}
+    n_pass = 0
+
+    for trial in range(n_trials):
+        perturbed = _perturb(nominal, tolerances, rng)
+        perf = template.evaluate(perturbed, band_grid, guard_grid)
+        nf_max[trial] = perf.nf_max_db
+        gt_min[trial] = perf.gt_min_db
+        mu_min[trial] = perf.mu_min
+        ok = True
+        if perf.nf_max_db > nf_ship_limit_db:
+            failures["nf"] += 1
+            ok = False
+        if perf.gt_min_db < gt_ship_limit_db:
+            failures["gt"] += 1
+            ok = False
+        if perf.mu_min <= 1.0:
+            failures["stability"] += 1
+            ok = False
+        if ok:
+            n_pass += 1
+
+    return YieldResult(
+        n_trials=n_trials,
+        n_pass=n_pass,
+        nf_max_db=nf_max,
+        gt_min_db=gt_min,
+        mu_min=mu_min,
+        failures=failures,
+    )
+
+
+def _perturb(nominal: DesignVariables, tolerances: ToleranceSpec,
+             rng: np.random.Generator) -> DesignVariables:
+    def rel(value, width):
+        return value * (1.0 + width * (2.0 * rng.random() - 1.0))
+
+    def absolute(value, width):
+        return value + width * (2.0 * rng.random() - 1.0)
+
+    perturbed = DesignVariables(
+        vgs=absolute(nominal.vgs, tolerances.vgs_volts),
+        vds=absolute(nominal.vds, tolerances.vds_volts),
+        l_in=rel(nominal.l_in, tolerances.inductor),
+        l_deg=rel(nominal.l_deg, tolerances.inductor),
+        c_in=rel(nominal.c_in, tolerances.capacitor),
+        c_out=rel(nominal.c_out, tolerances.capacitor),
+        l_choke=rel(nominal.l_choke, tolerances.inductor),
+        r_stab=rel(nominal.r_stab, tolerances.resistor),
+        r_sh=rel(nominal.r_sh, tolerances.resistor),
+        c_sh=rel(nominal.c_sh, tolerances.capacitor),
+    )
+    return perturbed

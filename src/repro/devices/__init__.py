@@ -1,0 +1,54 @@
+"""pHEMT device models: DC laws, small-signal shell, noise, golden device."""
+
+from repro.devices.dcmodels import (
+    MODEL_REGISTRY,
+    AngelovModel,
+    CurticeCubic,
+    CurticeQuadratic,
+    FetDcModel,
+    StatzModel,
+    TomModel,
+)
+from repro.devices.smallsignal import (
+    CapacitanceModel,
+    ExtrinsicParams,
+    IntrinsicParams,
+    PHEMTSmallSignal,
+    embed_intrinsic,
+)
+from repro.devices.datasets import (
+    BiasPoint,
+    DeviceDataset,
+    IVDataset,
+    SParamRecord,
+)
+from repro.devices.noise_models import fukui_fmin, fukui_nfmin_db
+from repro.devices.reference import (
+    GoldenDC,
+    ReferencePHEMT,
+    make_reference_device,
+)
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "AngelovModel",
+    "CurticeCubic",
+    "CurticeQuadratic",
+    "FetDcModel",
+    "StatzModel",
+    "TomModel",
+    "CapacitanceModel",
+    "ExtrinsicParams",
+    "IntrinsicParams",
+    "PHEMTSmallSignal",
+    "embed_intrinsic",
+    "BiasPoint",
+    "DeviceDataset",
+    "IVDataset",
+    "SParamRecord",
+    "fukui_fmin",
+    "fukui_nfmin_db",
+    "GoldenDC",
+    "ReferencePHEMT",
+    "make_reference_device",
+]

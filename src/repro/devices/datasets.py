@@ -1,0 +1,100 @@
+"""Measurement-dataset containers used by the extraction pipeline.
+
+These mirror what a device characterization lab produces: a DC I-V
+grid, S-parameter sweeps at several bias points, and spot noise
+parameters.  The synthetic reference device fills them with
+instrument-noise-corrupted values; the extractor only ever sees these
+containers, never the golden model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.noise import NoiseParameters
+from repro.rf.twoport import TwoPort
+
+__all__ = ["BiasPoint", "IVDataset", "SParamRecord", "DeviceDataset"]
+
+
+@dataclass(frozen=True)
+class BiasPoint:
+    """A (Vgs, Vds) operating point."""
+
+    vgs: float
+    vds: float
+
+    def __str__(self):
+        return f"Vgs={self.vgs:.3f} V, Vds={self.vds:.2f} V"
+
+
+@dataclass
+class IVDataset:
+    """Measured output characteristics on a rectangular bias grid."""
+
+    vgs: np.ndarray          # (M,)
+    vds: np.ndarray          # (N,)
+    ids: np.ndarray          # (M, N) drain current [A]
+
+    def __post_init__(self):
+        self.vgs = np.asarray(self.vgs, dtype=float)
+        self.vds = np.asarray(self.vds, dtype=float)
+        self.ids = np.asarray(self.ids, dtype=float)
+        expected = (self.vgs.size, self.vds.size)
+        if self.ids.shape != expected:
+            raise ValueError(
+                f"ids must have shape {expected}, got {self.ids.shape}"
+            )
+
+    @property
+    def mesh(self):
+        """Broadcast (Vgs, Vds) meshes matching ``ids``."""
+        return np.meshgrid(self.vgs, self.vds, indexing="ij")
+
+    @property
+    def i_max(self) -> float:
+        """Peak measured current [A] (used for error normalization)."""
+        return float(np.max(np.abs(self.ids)))
+
+    def rms_error_percent(self, model) -> float:
+        """RMS fit error of a DC model against this dataset, in % of Imax."""
+        vgs_mesh, vds_mesh = self.mesh
+        predicted = model.ids(vgs_mesh, vds_mesh)
+        residual = predicted - self.ids
+        return float(
+            100.0 * np.sqrt(np.mean(residual**2)) / max(self.i_max, 1e-12)
+        )
+
+
+@dataclass
+class SParamRecord:
+    """One S-parameter sweep at a fixed bias."""
+
+    bias: BiasPoint
+    network: TwoPort
+
+
+@dataclass
+class DeviceDataset:
+    """Everything the extraction pipeline consumes for one device."""
+
+    iv: IVDataset
+    sparams: List[SParamRecord] = field(default_factory=list)
+    noise: Optional[NoiseParameters] = None
+    noise_frequency: Optional[FrequencyGrid] = None
+    noise_bias: Optional[BiasPoint] = None
+    label: str = "device"
+
+    def sparams_at(self, bias: BiasPoint, atol: float = 1e-6) -> SParamRecord:
+        """The S-parameter record matching *bias* (exact grid point)."""
+        for record in self.sparams:
+            if (
+                abs(record.bias.vgs - bias.vgs) < atol
+                and abs(record.bias.vds - bias.vds) < atol
+            ):
+                return record
+        raise KeyError(f"no S-parameter record at {bias}")

@@ -1,0 +1,292 @@
+"""Large-signal DC drain-current models for GaAs pHEMTs.
+
+The paper's first step compares **several transistor models** during
+parameter extraction.  This module implements the five classic
+compact-model families used for MESFET/pHEMT design:
+
+* :class:`CurticeQuadratic` — Curtice (1980) square-law model;
+* :class:`CurticeCubic`    — Curtice-Ettenberg (1985) cubic model;
+* :class:`StatzModel`      — Statz et al. (1987), a.k.a. Raytheon model;
+* :class:`TomModel`        — TriQuint's Own Model (McCamant 1990);
+* :class:`AngelovModel`    — Angelov/Chalmers (1992) tanh model.
+
+Every model exposes the same interface: ``ids(vgs, vds)`` (vectorized),
+the derivatives ``gm`` / ``gds``, and a flat parameter vector with
+bounds for the extraction machinery.  ``ids`` is defined for
+``vds >= 0`` (forward operation, which is all the extraction datasets
+exercise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import ClassVar, Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FetDcModel",
+    "CurticeQuadratic",
+    "CurticeCubic",
+    "StatzModel",
+    "TomModel",
+    "AngelovModel",
+    "MODEL_REGISTRY",
+]
+
+_DERIVATIVE_STEP = 1e-5
+
+
+@dataclass(frozen=True)
+class FetDcModel:
+    """Base class: flat-parameter access and numeric derivatives."""
+
+    #: name -> (lower, upper) extraction bounds; subclasses override.
+    BOUNDS: ClassVar[Dict[str, Tuple[float, float]]] = {}
+
+    def ids(self, vgs, vds):
+        """Drain current [A] for gate-source / drain-source voltages."""
+        raise NotImplementedError
+
+    def gm(self, vgs, vds):
+        """Transconductance dIds/dVgs [S] (central difference)."""
+        step = _DERIVATIVE_STEP
+        return (self.ids(vgs + step, vds) - self.ids(vgs - step, vds)) / (
+            2.0 * step
+        )
+
+    def gds(self, vgs, vds):
+        """Output conductance dIds/dVds [S] (central difference)."""
+        step = _DERIVATIVE_STEP
+        vds = np.asarray(vds, dtype=float)
+        # One-sided near vds = 0 to stay in the defined region.
+        lo = np.maximum(vds - step, 0.0)
+        hi = lo + 2.0 * step
+        return (self.ids(vgs, hi) - self.ids(vgs, lo)) / (hi - lo)
+
+    # -- flat-vector plumbing for the extractor ----------------------------
+    @classmethod
+    def parameter_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    def parameter_vector(self) -> np.ndarray:
+        return np.array(
+            [getattr(self, name) for name in self.parameter_names()],
+            dtype=float,
+        )
+
+    @classmethod
+    def from_vector(cls, vector) -> "FetDcModel":
+        names = cls.parameter_names()
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (len(names),):
+            raise ValueError(
+                f"{cls.__name__} expects {len(names)} parameters "
+                f"{names}, got shape {vector.shape}"
+            )
+        return cls(**dict(zip(names, vector)))
+
+    @classmethod
+    def bounds_arrays(cls) -> Tuple[np.ndarray, np.ndarray]:
+        names = cls.parameter_names()
+        lower = np.array([cls.BOUNDS[n][0] for n in names], dtype=float)
+        upper = np.array([cls.BOUNDS[n][1] for n in names], dtype=float)
+        return lower, upper
+
+    def replaced(self, **changes) -> "FetDcModel":
+        """A copy with some parameters changed."""
+        return replace(self, **changes)
+
+
+def _saturating(vds, alpha):
+    """tanh saturation term, safe for vectorized vds >= 0."""
+    return np.tanh(alpha * np.asarray(vds, dtype=float))
+
+
+@dataclass(frozen=True)
+class CurticeQuadratic(FetDcModel):
+    """Ids = beta (Vgs - Vto)^2 (1 + lambda Vds) tanh(alpha Vds)."""
+
+    beta: float = 0.3      # [A/V^2]
+    vto: float = 0.3       # [V] threshold (enhancement pHEMT: positive)
+    lambda_: float = 0.05  # [1/V] channel-length modulation
+    alpha: float = 2.5     # [1/V] knee sharpness
+
+    BOUNDS = {
+        "beta": (1e-3, 2.0),
+        "vto": (-2.0, 1.0),
+        "lambda_": (0.0, 0.5),
+        "alpha": (0.1, 10.0),
+    }
+
+    def ids(self, vgs, vds):
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        overdrive = np.maximum(vgs - self.vto, 0.0)
+        return (
+            self.beta
+            * overdrive**2
+            * (1.0 + self.lambda_ * vds)
+            * _saturating(vds, self.alpha)
+        )
+
+
+@dataclass(frozen=True)
+class CurticeCubic(FetDcModel):
+    """Curtice-Ettenberg cubic: Ids = poly3(V1) (1 + λVds) tanh(γ Vds).
+
+    ``V1 = Vgs (1 + beta_v (vds0 - Vds))`` shifts the effective gate
+    drive with drain voltage; the cubic polynomial is clamped at zero
+    below pinch-off.
+    """
+
+    a0: float = 0.01
+    a1: float = 0.05
+    a2: float = 0.2
+    a3: float = 0.1
+    beta_v: float = 0.02
+    gamma: float = 2.5
+    lambda_: float = 0.04
+    vds0: float = 3.0
+
+    BOUNDS = {
+        "a0": (-0.2, 0.5),
+        "a1": (-1.0, 2.0),
+        "a2": (-2.0, 4.0),
+        "a3": (-4.0, 4.0),
+        "beta_v": (-0.3, 0.3),
+        "gamma": (0.1, 10.0),
+        "lambda_": (0.0, 0.5),
+        "vds0": (0.5, 8.0),
+    }
+
+    def ids(self, vgs, vds):
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        v1 = vgs * (1.0 + self.beta_v * (self.vds0 - vds))
+        poly = self.a0 + v1 * (self.a1 + v1 * (self.a2 + v1 * self.a3))
+        poly = np.maximum(poly, 0.0)
+        return poly * (1.0 + self.lambda_ * vds) * _saturating(vds, self.gamma)
+
+
+@dataclass(frozen=True)
+class StatzModel(FetDcModel):
+    """Statz (Raytheon) model with the polynomial knee region.
+
+    ``Ids = beta (Vgs-Vto)^2 / (1 + b (Vgs-Vto)) * K(Vds) (1 + λVds)``
+    where ``K = 1 - (1 - alpha Vds / 3)^3`` below the knee and 1 above.
+    """
+
+    beta: float = 0.3
+    vto: float = 0.3
+    b: float = 1.0        # [1/V] drive compression
+    alpha: float = 2.0    # [1/V] knee parameter
+    lambda_: float = 0.05
+
+    BOUNDS = {
+        "beta": (1e-3, 2.0),
+        "vto": (-2.0, 1.0),
+        "b": (0.0, 20.0),
+        "alpha": (0.1, 10.0),
+        "lambda_": (0.0, 0.5),
+    }
+
+    def ids(self, vgs, vds):
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        overdrive = np.maximum(vgs - self.vto, 0.0)
+        drive = self.beta * overdrive**2 / (1.0 + self.b * overdrive)
+        knee_arg = 1.0 - self.alpha * vds / 3.0
+        knee = np.where(vds < 3.0 / self.alpha, 1.0 - knee_arg**3, 1.0)
+        return drive * knee * (1.0 + self.lambda_ * vds)
+
+
+@dataclass(frozen=True)
+class TomModel(FetDcModel):
+    """TriQuint's Own Model: Statz-style knee plus self-consistent
+    drain feedback ``Ids = Ids0 / (1 + delta Vds Ids0)`` and a
+    non-integer drive exponent ``q``.
+    """
+
+    beta: float = 0.25
+    vto: float = 0.3
+    q: float = 2.0
+    alpha: float = 2.0
+    delta: float = 0.2    # [1/W] self-heating-like compression
+    lambda_: float = 0.02
+
+    BOUNDS = {
+        "beta": (1e-3, 2.0),
+        "vto": (-2.0, 1.0),
+        "q": (1.0, 3.5),
+        "alpha": (0.1, 10.0),
+        "delta": (0.0, 5.0),
+        "lambda_": (0.0, 0.5),
+    }
+
+    def ids(self, vgs, vds):
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        overdrive = np.maximum(vgs - self.vto, 0.0)
+        knee_arg = 1.0 - self.alpha * vds / 3.0
+        knee = np.where(vds < 3.0 / self.alpha, 1.0 - knee_arg**3, 1.0)
+        ids0 = (
+            self.beta
+            * overdrive**self.q
+            * knee
+            * (1.0 + self.lambda_ * vds)
+        )
+        return ids0 / (1.0 + self.delta * vds * ids0)
+
+
+@dataclass(frozen=True)
+class AngelovModel(FetDcModel):
+    """Angelov (Chalmers) model.
+
+    ``Ids = Ipk (1 + tanh(psi)) (1 + lambda Vds) tanh(alpha Vds)`` with
+    ``psi = p1 (Vgs - Vpk) + p2 (Vgs - Vpk)^2 + p3 (Vgs - Vpk)^3``.
+    ``Ipk`` is the current at peak transconductance, ``Vpk`` the gate
+    voltage there — parameters a designer can read straight off the
+    measured transfer characteristic, which is why the model extracts
+    so robustly.
+    """
+
+    ipk: float = 0.03     # [A]
+    vpk: float = 0.45     # [V]
+    p1: float = 4.0       # [1/V]
+    p2: float = 0.5
+    p3: float = 0.5
+    alpha: float = 2.5
+    lambda_: float = 0.05
+
+    BOUNDS = {
+        "ipk": (1e-4, 0.5),
+        "vpk": (-2.0, 1.5),
+        "p1": (0.1, 20.0),
+        "p2": (-10.0, 10.0),
+        "p3": (-10.0, 10.0),
+        "alpha": (0.1, 10.0),
+        "lambda_": (0.0, 0.5),
+    }
+
+    def ids(self, vgs, vds):
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        dv = vgs - self.vpk
+        psi = dv * (self.p1 + dv * (self.p2 + dv * self.p3))
+        return (
+            self.ipk
+            * (1.0 + np.tanh(psi))
+            * (1.0 + self.lambda_ * vds)
+            * _saturating(vds, self.alpha)
+        )
+
+
+#: Registry used by the model-comparison experiment (E1).
+MODEL_REGISTRY = {
+    "curtice2": CurticeQuadratic,
+    "curtice3": CurticeCubic,
+    "statz": StatzModel,
+    "tom": TomModel,
+    "angelov": AngelovModel,
+}

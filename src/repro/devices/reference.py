@@ -1,0 +1,181 @@
+"""The synthetic reference pHEMT ("golden device") and its datasets.
+
+Substitution note (see DESIGN.md): the paper extracts models from
+measurements of a physical low-noise pHEMT.  Offline we build a golden
+device that is **richer than any candidate compact model** — an Angelov
+tanh drive law combined with a TOM-style drain-feedback compression and
+a soft gate-leakage onset — so that, exactly as with real silicon, no
+candidate fits perfectly and the model-comparison ranking of E1 is
+meaningful.  Electrical targets approximate an Avago ATF-54143-class
+enhancement pHEMT: Vth ≈ +0.3 V, Ids ≈ 60 mA at Vgs = 0.6 V / Vds = 3 V,
+fT ≈ 30 GHz, NFmin ≈ 0.5 dB at 2 GHz.
+
+Measurement corruption mimics lab instruments: the DC analyzer adds
+relative + absolute current noise; the VNA adds complex Gaussian error
+per S-parameter plus a small phase drift; the noise-figure meter
+jitters NFmin by a few hundredths of a dB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.devices.datasets import (
+    BiasPoint,
+    DeviceDataset,
+    IVDataset,
+    SParamRecord,
+)
+from repro.devices.dcmodels import AngelovModel
+from repro.devices.smallsignal import (
+    CapacitanceModel,
+    ExtrinsicParams,
+    PHEMTSmallSignal,
+)
+from repro.rf.frequency import FrequencyGrid
+
+__all__ = ["GoldenDC", "ReferencePHEMT", "make_reference_device"]
+
+
+@dataclass(frozen=True)
+class GoldenDC:
+    """Golden DC law: Angelov drive + TOM-style compression.
+
+    ``Ids = I_angelov / (1 + theta * Vds * I_angelov)`` — the
+    compression term is structurally absent from the pure Angelov
+    candidate and the drive law is absent from TOM, so neither fits
+    exactly.
+    """
+
+    angelov: AngelovModel
+    theta: float = 0.22    # [1/W-ish] compression strength
+
+    def ids(self, vgs, vds):
+        base = self.angelov.ids(vgs, vds)
+        return base / (1.0 + self.theta * np.asarray(vds, dtype=float) * base)
+
+    def gm(self, vgs, vds):
+        step = 1e-5
+        return (self.ids(vgs + step, vds) - self.ids(vgs - step, vds)) / (
+            2.0 * step
+        )
+
+    def gds(self, vgs, vds):
+        step = 1e-5
+        vds = np.asarray(vds, dtype=float)
+        lo = np.maximum(vds - step, 0.0)
+        hi = lo + 2.0 * step
+        return (self.ids(vgs, hi) - self.ids(vgs, lo)) / (hi - lo)
+
+
+class ReferencePHEMT:
+    """The golden device: DC law + small-signal shell + noise model."""
+
+    def __init__(self, seed: int = 20150901):
+        self.dc = GoldenDC(
+            angelov=AngelovModel(
+                ipk=0.042,
+                vpk=0.52,
+                p1=5.2,
+                p2=1.1,
+                p3=0.9,
+                alpha=3.2,
+                lambda_=0.065,
+            ),
+            theta=0.22,
+        )
+        self.small_signal = PHEMTSmallSignal(
+            dc_model=self.dc,
+            capacitances=CapacitanceModel(ri=2.5),
+            extrinsics=ExtrinsicParams(rg=2.0, rd=2.5, rs=1.0),
+            tg=330.0,
+            td0=5000.0,
+            td_slope=90000.0,
+        )
+        self._rng = np.random.default_rng(seed)
+
+    # -- dataset generation -------------------------------------------------
+    def iv_dataset(self, vgs: Sequence[float] = None,
+                   vds: Sequence[float] = None,
+                   relative_noise: float = 0.004,
+                   absolute_noise: float = 25e-6) -> IVDataset:
+        """A "measured" output-characteristic grid."""
+        if vgs is None:
+            vgs = np.linspace(0.25, 0.70, 10)
+        if vds is None:
+            vds = np.linspace(0.0, 4.0, 17)
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        vgs_mesh, vds_mesh = np.meshgrid(vgs, vds, indexing="ij")
+        clean = self.dc.ids(vgs_mesh, vds_mesh)
+        noisy = (
+            clean * (1.0 + relative_noise * self._rng.standard_normal(clean.shape))
+            + absolute_noise * self._rng.standard_normal(clean.shape)
+        )
+        return IVDataset(vgs=vgs, vds=vds, ids=noisy)
+
+    def sparam_record(self, frequency: FrequencyGrid, bias: BiasPoint,
+                      error_magnitude: float = 0.004) -> SParamRecord:
+        """A "VNA-measured" S-parameter sweep at one bias."""
+        clean = self.small_signal.twoport(frequency, bias.vgs, bias.vds)
+        shape = clean.s.shape
+        error = error_magnitude * (
+            self._rng.standard_normal(shape)
+            + 1j * self._rng.standard_normal(shape)
+        ) / np.sqrt(2.0)
+        # Small systematic phase drift, as from imperfect port cables.
+        drift = np.exp(
+            1j
+            * np.deg2rad(0.5)
+            * (frequency.f_hz / frequency.f_hz[-1])[:, None, None]
+        )
+        from repro.rf.twoport import TwoPort
+
+        noisy = TwoPort(frequency, clean.s * drift + error, z0=clean.z0,
+                        name=f"meas@{bias}")
+        return SParamRecord(bias=bias, network=noisy)
+
+    def noise_parameters(self, frequency: FrequencyGrid, bias: BiasPoint,
+                         jitter_db: float = 0.03):
+        """"Measured" noise parameters (NF-meter jitter on NFmin)."""
+        noisy_twoport = self.small_signal.as_noisy_twoport(
+            frequency, bias.vgs, bias.vds
+        )
+        params = noisy_twoport.noise_parameters
+        nfmin_db = params.nfmin_db + jitter_db * self._rng.standard_normal(
+            params.nfmin_db.shape
+        )
+        from repro.rf.noise import NoiseParameters
+
+        fmin = np.maximum(10.0 ** (nfmin_db / 10.0), 1.0)
+        return NoiseParameters(fmin, params.rn, params.y_opt)
+
+    def full_dataset(self, frequency: FrequencyGrid = None,
+                     biases: Sequence[BiasPoint] = None) -> DeviceDataset:
+        """The complete characterization bundle for the extractor."""
+        if frequency is None:
+            frequency = FrequencyGrid.linear(0.5e9, 3.0e9, 26)
+        if biases is None:
+            biases = [
+                BiasPoint(0.45, 2.0),
+                BiasPoint(0.52, 3.0),
+                BiasPoint(0.60, 3.0),
+            ]
+        records = [self.sparam_record(frequency, bias) for bias in biases]
+        design_bias = biases[len(biases) // 2]
+        return DeviceDataset(
+            iv=self.iv_dataset(),
+            sparams=records,
+            noise=self.noise_parameters(frequency, design_bias),
+            noise_frequency=frequency,
+            noise_bias=design_bias,
+            label="golden E-pHEMT (ATF-54143 class)",
+        )
+
+
+def make_reference_device(seed: int = 20150901) -> ReferencePHEMT:
+    """Factory with the canonical seed used by all experiments."""
+    return ReferencePHEMT(seed=seed)

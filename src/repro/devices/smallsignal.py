@@ -1,0 +1,280 @@
+"""Bias-dependent small-signal pHEMT model with parasitic shell.
+
+The standard 15-element equivalent circuit::
+
+            Lg   Rg        Cgd          Rd   Ld
+    G o----UUU--www---+----||----+----www--UUU----o D
+                      |          |
+                      Ri        +-+  +---+
+                      |     gm* | | gds,Cds
+                      Cgs       +-+  +---+
+                      |          |
+                      +----+-----+
+                           |
+                           Rs
+                           Ls
+                           |
+                           o S
+    (pad capacitances Cpg / Cpd from the outer terminals to ground)
+
+``gm* = gm exp(-j w tau) * Vcgs`` is controlled by the voltage across
+Cgs.  The intrinsic elements derive from a DC model (gm, gds at bias)
+plus bias-dependent capacitance laws; the result can be evaluated
+analytically (fast path, used inside optimization loops) or emitted as
+an MNA sub-circuit with Pospieszalski noise sources (gate resistance
+``Ri`` at ``Tg``, drain conductance at ``Td``), which is the reference
+noise path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.netlist import Circuit
+from repro.devices.dcmodels import FetDcModel
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.twoport import TwoPort
+from repro.util.constants import BOLTZMANN, T_AMBIENT
+
+__all__ = [
+    "IntrinsicParams",
+    "ExtrinsicParams",
+    "CapacitanceModel",
+    "PHEMTSmallSignal",
+    "embed_intrinsic",
+]
+
+
+def embed_intrinsic(intrinsic: "IntrinsicParams",
+                    extrinsics: "ExtrinsicParams",
+                    frequency: FrequencyGrid, z0: float = 50.0,
+                    name: str = "phemt") -> TwoPort:
+    """Embed an intrinsic device in its parasitic shell -> common-source S.
+
+    The embedding follows the classic three-stage sequence (series
+    source impedance on all Z entries, series gate/drain impedances on
+    the diagonal, pad capacitances on the final Y diagonal); the test
+    suite asserts it matches the MNA solution to machine precision.
+    """
+    omega = frequency.omega
+    y_int = intrinsic.y_matrix(omega)
+    z = np.linalg.inv(y_int)
+    z_source = extrinsics.rs + 1j * omega * extrinsics.ls
+    z = z + z_source[:, None, None]
+    z[:, 0, 0] += extrinsics.rg + 1j * omega * extrinsics.lg
+    z[:, 1, 1] += extrinsics.rd + 1j * omega * extrinsics.ld
+    y = np.linalg.inv(z)
+    y[:, 0, 0] += 1j * omega * extrinsics.cpg
+    y[:, 1, 1] += 1j * omega * extrinsics.cpd
+    return TwoPort.from_y(frequency, y, z0=z0, name=name)
+
+
+@dataclass(frozen=True)
+class IntrinsicParams:
+    """Intrinsic equivalent-circuit values at one bias point."""
+
+    gm: float        # [S]
+    gds: float       # [S]
+    cgs: float       # [F]
+    cgd: float       # [F]
+    cds: float       # [F]
+    ri: float        # [ohm] gate charging resistance
+    tau: float       # [s] transconductance delay
+
+    @property
+    def ft_hz(self) -> float:
+        """Unity-current-gain frequency estimate gm / 2π(Cgs+Cgd)."""
+        return self.gm / (2.0 * np.pi * (self.cgs + self.cgd))
+
+    def y_matrix(self, omega) -> np.ndarray:
+        """Intrinsic common-source Y-parameters, shape (F, 2, 2)."""
+        omega = np.atleast_1d(np.asarray(omega, dtype=float))
+        jw = 1j * omega
+        gate_branch = jw * self.cgs / (1.0 + jw * self.ri * self.cgs)
+        y = np.empty((omega.size, 2, 2), dtype=complex)
+        y[:, 0, 0] = gate_branch + jw * self.cgd
+        y[:, 0, 1] = -jw * self.cgd
+        y[:, 1, 0] = (
+            self.gm
+            * np.exp(-jw * self.tau)
+            / (1.0 + jw * self.ri * self.cgs)
+            - jw * self.cgd
+        )
+        y[:, 1, 1] = self.gds + jw * (self.cds + self.cgd)
+        return y
+
+
+@dataclass(frozen=True)
+class ExtrinsicParams:
+    """Package/access parasitics (bias independent)."""
+
+    rg: float = 1.0       # [ohm]
+    rd: float = 2.0
+    rs: float = 0.5
+    lg: float = 0.45e-9   # [H]
+    ld: float = 0.55e-9
+    ls: float = 0.20e-9
+    cpg: float = 0.25e-12  # [F] pad capacitances to ground
+    cpd: float = 0.25e-12
+
+
+@dataclass(frozen=True)
+class CapacitanceModel:
+    """Bias laws for the intrinsic capacitances (Angelov-style).
+
+    ``Cgs`` follows the gate charge build-up with a tanh transition
+    around ``vpk``; ``Cgd`` collapses with drain voltage as the
+    depletion region widens.
+    """
+
+    cgs0: float = 0.35e-12   # floor [F]
+    cgs1: float = 0.55e-12   # tanh swing [F]
+    pg: float = 3.0          # [1/V] transition steepness
+    vm: float = 0.35         # [V] transition centre
+    cgd0: float = 0.08e-12   # floor [F]
+    cgd1: float = 0.18e-12   # vds-collapsing part [F]
+    vcd: float = 1.0         # [V] collapse scale
+    cds: float = 0.28e-12
+    ri: float = 1.4          # [ohm]
+    tau: float = 2.0e-12     # [s]
+
+    def cgs(self, vgs) -> np.ndarray:
+        vgs = np.asarray(vgs, dtype=float)
+        return self.cgs0 + self.cgs1 * 0.5 * (
+            1.0 + np.tanh(self.pg * (vgs - self.vm))
+        )
+
+    def cgd(self, vds) -> np.ndarray:
+        vds = np.asarray(vds, dtype=float)
+        return self.cgd0 + self.cgd1 / (1.0 + np.maximum(vds, 0.0) / self.vcd)
+
+
+class PHEMTSmallSignal:
+    """A complete bias-dependent small-signal + noise pHEMT model.
+
+    Parameters
+    ----------
+    dc_model:
+        Any :class:`~repro.devices.dcmodels.FetDcModel`; supplies
+        gm(Vgs, Vds) and gds(Vgs, Vds).
+    capacitances:
+        Bias laws for the intrinsic reactive elements.
+    extrinsics:
+        The parasitic shell.
+    tg, td0, td_slope:
+        Pospieszalski noise temperatures: the gate resistance ``Ri``
+        sits at ``Tg``; the drain conductance at
+        ``Td = td0 + td_slope * Ids`` (drain noise grows with current,
+        the empirically observed behaviour).
+    """
+
+    def __init__(self, dc_model: FetDcModel,
+                 capacitances: CapacitanceModel = None,
+                 extrinsics: ExtrinsicParams = None,
+                 tg: float = 300.0, td0: float = 700.0,
+                 td_slope: float = 12000.0):
+        self.dc_model = dc_model
+        self.capacitances = capacitances or CapacitanceModel()
+        self.extrinsics = extrinsics or ExtrinsicParams()
+        self.tg = float(tg)
+        self.td0 = float(td0)
+        self.td_slope = float(td_slope)
+
+    # -- bias mapping -------------------------------------------------------
+    def intrinsic_at(self, vgs: float, vds: float) -> IntrinsicParams:
+        """Evaluate the intrinsic elements at a bias point."""
+        caps = self.capacitances
+        return IntrinsicParams(
+            gm=float(self.dc_model.gm(vgs, vds)),
+            gds=float(self.dc_model.gds(vgs, vds)),
+            cgs=float(caps.cgs(vgs)),
+            cgd=float(caps.cgd(vds)),
+            cds=caps.cds,
+            ri=caps.ri,
+            tau=caps.tau,
+        )
+
+    def drain_temperature(self, vgs: float, vds: float) -> float:
+        """Pospieszalski drain temperature Td at a bias point [K]."""
+        ids = float(self.dc_model.ids(vgs, vds))
+        return self.td0 + self.td_slope * ids
+
+    # -- analytic two-port ----------------------------------------------------
+    def twoport(self, frequency: FrequencyGrid, vgs: float, vds: float,
+                z0: float = 50.0, name: str = "phemt") -> TwoPort:
+        """Common-source S-parameters at a bias (analytic embedding)."""
+        intrinsic = self.intrinsic_at(vgs, vds)
+        return embed_intrinsic(intrinsic, self.extrinsics, frequency,
+                               z0=z0, name=name)
+
+    # -- MNA emission -----------------------------------------------------------
+    def add_to(self, circuit: Circuit, gate: str, drain: str, source: str,
+               vgs: float, vds: float, prefix: str = "Q",
+               temperature: float = T_AMBIENT) -> Circuit:
+        """Insert the biased device into a netlist with noise sources.
+
+        Internal nodes are prefixed with *prefix*; ``source`` may be any
+        node (ground or a degeneration network).
+        """
+        intrinsic = self.intrinsic_at(vgs, vds)
+        ext = self.extrinsics
+        n = lambda suffix: f"{prefix}_{suffix}"  # noqa: E731 - local shorthand
+
+        circuit.inductor(n("Lg"), gate, n("g1"), ext.lg)
+        circuit.resistor(n("Rg"), n("g1"), n("gi"), ext.rg,
+                         temperature=temperature)
+        circuit.inductor(n("Ld"), drain, n("d1"), ext.ld)
+        circuit.resistor(n("Rd"), n("d1"), n("di"), ext.rd,
+                         temperature=temperature)
+        circuit.inductor(n("Ls"), source, n("s1"), ext.ls)
+        circuit.resistor(n("Rs"), n("s1"), n("si"), ext.rs,
+                         temperature=temperature)
+
+        # Intrinsic network; Ri carries the Pospieszalski gate temperature.
+        circuit.resistor(n("Ri"), n("gi"), n("x"), intrinsic.ri,
+                         temperature=self.tg)
+        circuit.capacitor(n("Cgs"), n("x"), n("si"), intrinsic.cgs)
+        circuit.capacitor(n("Cgd"), n("gi"), n("di"), intrinsic.cgd)
+        circuit.capacitor(n("Cds"), n("di"), n("si"), intrinsic.cds)
+        circuit.vccs(n("gm"), n("di"), n("si"), n("x"), n("si"),
+                     intrinsic.gm, tau=intrinsic.tau)
+        if intrinsic.gds <= 0:
+            raise ValueError(
+                f"device bias Vgs={vgs:.3f} V, Vds={vds:.2f} V yields "
+                f"non-positive gds = {intrinsic.gds:.3e} S; the small-signal "
+                "model is only valid in the saturated forward region"
+            )
+        # The channel conductance is stamped noiseless; its noise is the
+        # dedicated drain-temperature source below (Pospieszalski).
+        circuit.resistor(n("Gds"), n("di"), n("si"),
+                         1.0 / intrinsic.gds, temperature=0.0)
+        td = self.drain_temperature(vgs, vds)
+        psd = 2.0 * BOLTZMANN * td * intrinsic.gds
+        circuit.noise_current(n("ind"), n("di"), n("si"),
+                              lambda f_hz, _psd=psd: _psd)
+
+        # Pad capacitances go to board ground.
+        circuit.capacitor(n("Cpg"), gate, "gnd", ext.cpg)
+        circuit.capacitor(n("Cpd"), drain, "gnd", ext.cpd)
+        return circuit
+
+    def as_noisy_twoport(self, frequency: FrequencyGrid, vgs: float,
+                         vds: float, z0: float = 50.0, name: str = "phemt"):
+        """Reference path: solve the device MNA for signal + noise."""
+        from repro.analysis.acsolver import solve_ac
+        from repro.rf.noise import NoisyTwoPort  # noqa: F401 - return type
+
+        circuit = Circuit(name)
+        circuit.port("p1", "gate_t", z0=z0)
+        circuit.port("p2", "drain_t", z0=z0)
+        self.add_to(circuit, "gate_t", "drain_t", "gnd", vgs, vds)
+        result = solve_ac(circuit, frequency)
+        return result.as_noisy_twoport(name)
+
+    def __repr__(self):
+        return (
+            f"<PHEMTSmallSignal dc={type(self.dc_model).__name__} "
+            f"Tg={self.tg:g}K Td0={self.td0:g}K>"
+        )

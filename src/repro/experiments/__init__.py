@@ -1,0 +1,49 @@
+"""Experiment drivers, one per reconstructed paper table/figure.
+
+Each module exposes ``run(...) -> <E*Result>`` and
+``format_report(result) -> str``.  ``REGISTRY`` maps experiment ids to
+modules for the benchmark harness and the examples.
+"""
+
+from repro.experiments import (
+    e1_model_comparison,
+    e2_extraction_robustness,
+    e3_iv_curves,
+    e4_sparam_fit,
+    e5_optimizer_comparison,
+    e6_tradeoff_front,
+    e7_passive_dispersion,
+    e8_selected_design,
+    e9_measured_sparams,
+    e10_measured_nf,
+    e11_intermodulation,
+)
+
+REGISTRY = {
+    "E1": e1_model_comparison,
+    "E2": e2_extraction_robustness,
+    "E3": e3_iv_curves,
+    "E4": e4_sparam_fit,
+    "E5": e5_optimizer_comparison,
+    "E6": e6_tradeoff_front,
+    "E7": e7_passive_dispersion,
+    "E8": e8_selected_design,
+    "E9": e9_measured_sparams,
+    "E10": e10_measured_nf,
+    "E11": e11_intermodulation,
+}
+
+__all__ = [
+    "REGISTRY",
+    "e1_model_comparison",
+    "e2_extraction_robustness",
+    "e3_iv_curves",
+    "e4_sparam_fit",
+    "e5_optimizer_comparison",
+    "e6_tradeoff_front",
+    "e7_passive_dispersion",
+    "e8_selected_design",
+    "e9_measured_sparams",
+    "e10_measured_nf",
+    "e11_intermodulation",
+]

@@ -1,0 +1,68 @@
+"""E1 (Table I): pHEMT model comparison during extraction.
+
+Fits every candidate compact model to the golden device's measured
+I-V grid with the full three-step robust identification and reports
+the fit quality.  Expected shape: the Angelov model fits the
+(tanh-drive) E-pHEMT best, Statz/TOM land mid-pack, and the Curtice
+quadratic — whose fixed square law cannot reproduce the gm rollover —
+comes last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.report import format_table
+from repro.devices.dcmodels import MODEL_REGISTRY
+from repro.experiments.common import reference_device
+from repro.optimize.extraction import ExtractionResult, extract_dc_model
+
+__all__ = ["E1Result", "run", "format_report"]
+
+_DESIGN_BIAS = (0.52, 3.0)
+
+
+@dataclass
+class E1Result:
+    rows: List[dict]
+    extractions: Dict[str, ExtractionResult]
+
+
+def run(seed: int = 0, de_population: int = 30,
+        de_iterations: int = 120) -> E1Result:
+    """Extract every registered model from the golden I-V dataset."""
+    device = reference_device()
+    iv = device.iv_dataset()
+    vgs, vds = _DESIGN_BIAS
+    gm_true = float(device.dc.gm(vgs, vds))
+
+    rows = []
+    extractions = {}
+    for name, model_class in MODEL_REGISTRY.items():
+        result = extract_dc_model(model_class, iv, seed=seed,
+                                  de_population=de_population,
+                                  de_iterations=de_iterations)
+        extractions[name] = result
+        gm_fit = float(result.model.gm(vgs, vds))
+        rows.append({
+            "model": name,
+            "n_params": len(model_class.parameter_names()),
+            "rms_iv_percent": result.rms_error_percent,
+            "gm_error_percent": 100.0 * abs(gm_fit - gm_true) / gm_true,
+            "nfev": result.nfev_total,
+        })
+    rows.sort(key=lambda r: r["rms_iv_percent"])
+    return E1Result(rows=rows, extractions=extractions)
+
+
+def format_report(result: E1Result) -> str:
+    return format_table(
+        ["model", "params", "RMS I-V [%]", "gm err @bias [%]", "nfev"],
+        [
+            (r["model"], r["n_params"], r["rms_iv_percent"],
+             r["gm_error_percent"], r["nfev"])
+            for r in result.rows
+        ],
+        title="Table I - pHEMT model comparison (three-step extraction)",
+    )

@@ -1,0 +1,69 @@
+"""E3 (Fig. 1): measured vs fitted output characteristics.
+
+The best model from E1 (Angelov) is extracted from the golden I-V grid
+and its output characteristics overlaid on the measurements.  Expected
+shape: the fitted curves track the measured family through the knee and
+saturation regions at every gate voltage, with residuals at the
+measurement-noise level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.report import format_series
+from repro.devices.dcmodels import AngelovModel
+from repro.experiments.common import reference_device
+from repro.optimize.extraction import extract_dc_model
+
+__all__ = ["E3Result", "run", "format_report"]
+
+
+@dataclass
+class E3Result:
+    vds: np.ndarray
+    curves: List[dict]          # per-Vgs: measured + fitted currents [mA]
+    rms_error_percent: float
+
+
+def run(seed: int = 0, vgs_curves=(0.35, 0.45, 0.55, 0.65),
+        de_population: int = 25, de_iterations: int = 80) -> E3Result:
+    """Fit the Angelov model and tabulate the Fig. 1 curve family."""
+    device = reference_device()
+    iv = device.iv_dataset()
+    extraction = extract_dc_model(AngelovModel, iv, seed=seed,
+                                  de_population=de_population,
+                                  de_iterations=de_iterations)
+    model = extraction.model
+    vds = np.linspace(0.0, 4.0, 21)
+    curves = []
+    for vgs in vgs_curves:
+        # "Measured" curve: the golden device re-sampled on this slice
+        # (the dense Fig. 1 sweep the bench would take).
+        measured = device.dc.ids(vgs, vds) * 1e3
+        fitted = model.ids(vgs, vds) * 1e3
+        curves.append({"vgs": vgs, "measured_ma": measured,
+                       "fitted_ma": fitted})
+    return E3Result(vds=vds, curves=curves,
+                    rms_error_percent=extraction.rms_error_percent)
+
+
+def format_report(result: E3Result) -> str:
+    labels = []
+    columns = []
+    for curve in result.curves:
+        labels.append(f"meas Vgs={curve['vgs']:.2f} [mA]")
+        columns.append(curve["measured_ma"])
+        labels.append(f"fit Vgs={curve['vgs']:.2f} [mA]")
+        columns.append(curve["fitted_ma"])
+    return format_series(
+        "Vds [V]", labels, result.vds, columns,
+        title=(
+            "Fig. 1 - output characteristics, measured vs Angelov fit "
+            f"(RMS {result.rms_error_percent:.2f}%)"
+        ),
+        float_format="{:.2f}",
+    )

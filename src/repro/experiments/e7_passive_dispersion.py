@@ -1,0 +1,93 @@
+"""E7 (Fig. 4): frequency dispersion of the passive elements.
+
+Tabulates the Q(f) / ESR(f) curves of the catalogue inductor and
+capacitor models actually used in the LNA, plus the dispersive
+microstrip parameters, over 0.1-6 GHz.  Expected shape: inductor Q
+rises, peaks (mid-GHz), and collapses at the SRF; capacitor ESR is
+U-shaped (dielectric loss falling, conductor loss rising); microstrip
+eps_eff rises monotonically with frequency (Kobayashi dispersion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.report import format_series
+from repro.passives.microstrip import (
+    MicrostripLine,
+    MicrostripSubstrate,
+    synthesize_width,
+)
+from repro.passives.rlc import (
+    coilcraft_style_inductor,
+    murata_style_capacitor,
+)
+from repro.rf.frequency import FrequencyGrid
+
+__all__ = ["E7Result", "run", "format_report"]
+
+
+@dataclass
+class E7Result:
+    frequency: FrequencyGrid
+    inductor_q: np.ndarray
+    inductor_esr: np.ndarray
+    capacitor_q: np.ndarray
+    capacitor_esr: np.ndarray
+    eps_eff: np.ndarray
+    z0_line: np.ndarray
+    line_loss_db_per_m: np.ndarray
+    inductor_srf_ghz: float
+    capacitor_srf_ghz: float
+
+
+def run(inductance: float = 9.1e-9, capacitance: float = 8.2e-12,
+        n_points: int = 25) -> E7Result:
+    """Sweep the element models used by the selected design."""
+    frequency = FrequencyGrid.logarithmic(0.1e9, 6.0e9, n_points)
+    f = frequency.f_hz
+    inductor = coilcraft_style_inductor(inductance)
+    capacitor = murata_style_capacitor(capacitance)
+    substrate = MicrostripSubstrate()
+    line = MicrostripLine(substrate, synthesize_width(substrate, 50.0),
+                          10e-3)
+    alpha = line.alpha_conductor(f) + line.alpha_dielectric(f)
+    return E7Result(
+        frequency=frequency,
+        inductor_q=inductor.q_factor(f),
+        inductor_esr=inductor.esr(f),
+        capacitor_q=capacitor.q_factor(f),
+        capacitor_esr=capacitor.esr(f),
+        eps_eff=line.eps_eff(f),
+        z0_line=line.z0(f),
+        line_loss_db_per_m=8.685889638 * alpha,
+        inductor_srf_ghz=inductor.srf_hz / 1e9,
+        capacitor_srf_ghz=capacitor.srf_hz / 1e9,
+    )
+
+
+def format_report(result: E7Result) -> str:
+    title = (
+        "Fig. 4 - passive element dispersion "
+        f"(L SRF {result.inductor_srf_ghz:.2f} GHz, "
+        f"C SRF {result.capacitor_srf_ghz:.2f} GHz)"
+    )
+    return format_series(
+        "f [GHz]",
+        ["Q(L)", "ESR(L) [ohm]", "Q(C)", "ESR(C) [ohm]", "eps_eff",
+         "Z0 [ohm]", "loss [dB/m]"],
+        result.frequency.f_ghz,
+        [
+            result.inductor_q,
+            result.inductor_esr,
+            result.capacitor_q,
+            result.capacitor_esr,
+            result.eps_eff,
+            result.z0_line,
+            result.line_loss_db_per_m,
+        ],
+        title=title,
+        float_format="{:.3f}",
+    )

@@ -1,0 +1,64 @@
+"""Optimization substrate: metaheuristics, extraction, goal attainment."""
+
+from repro.optimize.metaheuristics import (
+    OptimizationResult,
+    differential_evolution,
+    latin_hypercube,
+    particle_swarm,
+    simulated_annealing,
+)
+from repro.optimize.direct import refine_least_squares, refine_nelder_mead
+from repro.optimize.extraction import (
+    ColdFetExtractionResult,
+    ExtractionResult,
+    SmallSignalExtractionResult,
+    extract_dc_model,
+    extract_de_only,
+    extract_extrinsics_cold_fet,
+    extract_local_only,
+    extract_small_signal,
+)
+from repro.optimize.goal_attainment import (
+    GoalAttainmentResult,
+    MultiObjectiveProblem,
+    goal_attainment_improved,
+    goal_attainment_standard,
+)
+from repro.optimize.nsga2 import Nsga2Result, nsga2
+from repro.optimize.scalarization import epsilon_constraint, weighted_sum
+from repro.optimize.pareto import (
+    dominates,
+    hypervolume_2d,
+    pareto_filter,
+    sweep_goal_front,
+)
+
+__all__ = [
+    "OptimizationResult",
+    "differential_evolution",
+    "latin_hypercube",
+    "particle_swarm",
+    "simulated_annealing",
+    "refine_least_squares",
+    "refine_nelder_mead",
+    "ColdFetExtractionResult",
+    "ExtractionResult",
+    "SmallSignalExtractionResult",
+    "extract_dc_model",
+    "extract_de_only",
+    "extract_extrinsics_cold_fet",
+    "extract_local_only",
+    "extract_small_signal",
+    "GoalAttainmentResult",
+    "MultiObjectiveProblem",
+    "goal_attainment_improved",
+    "goal_attainment_standard",
+    "Nsga2Result",
+    "nsga2",
+    "epsilon_constraint",
+    "weighted_sum",
+    "dominates",
+    "hypervolume_2d",
+    "pareto_filter",
+    "sweep_goal_front",
+]

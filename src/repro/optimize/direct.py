@@ -1,0 +1,89 @@
+"""Direct (local) optimization stages built on SciPy.
+
+These wrap the two local workhorses used by the extraction pipeline
+and the goal-attainment solver with consistent bounds handling and
+evaluation counting:
+
+* :func:`refine_least_squares` — trust-region-reflective nonlinear
+  least squares for residual-vector fitting;
+* :func:`refine_nelder_mead` — bounded Nelder-Mead for scalar
+  objectives (used when residuals are not available).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+from scipy import optimize as sp_optimize
+
+from repro.optimize.metaheuristics import OptimizationResult
+
+__all__ = ["refine_least_squares", "refine_nelder_mead"]
+
+
+def refine_least_squares(
+    residuals: Callable[[np.ndarray], np.ndarray],
+    x0,
+    lower,
+    upper,
+    weights: Optional[np.ndarray] = None,
+    max_nfev: int = 2000,
+) -> OptimizationResult:
+    """Local least-squares refinement of a residual vector.
+
+    Minimizes ``sum((w * residuals(x))**2)`` inside box bounds, starting
+    from *x0*.  Returns the same result record as the metaheuristics so
+    pipeline stages compose.
+    """
+    x0 = np.clip(np.asarray(x0, dtype=float), lower, upper)
+    if weights is None:
+        wrapped = residuals
+    else:
+        weights = np.asarray(weights, dtype=float)
+
+        def wrapped(x, _w=weights):
+            return _w * residuals(x)
+
+    solution = sp_optimize.least_squares(
+        wrapped, x0, bounds=(lower, upper), method="trf",
+        max_nfev=max_nfev,
+    )
+    return OptimizationResult(
+        x=solution.x,
+        fun=float(2.0 * solution.cost),  # cost is 0.5 * sum(r^2)
+        nfev=int(solution.nfev),
+        n_iterations=int(solution.nfev),
+        converged=bool(solution.success),
+        history=[float(2.0 * solution.cost)],
+        message=str(solution.message),
+    )
+
+
+def refine_nelder_mead(
+    objective: Callable[[np.ndarray], float],
+    x0,
+    lower,
+    upper,
+    max_iterations: int = 2000,
+) -> OptimizationResult:
+    """Bounded Nelder-Mead refinement of a scalar objective."""
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    x0 = np.clip(np.asarray(x0, dtype=float), lower, upper)
+    solution = sp_optimize.minimize(
+        objective,
+        x0,
+        method="Nelder-Mead",
+        bounds=list(zip(lower, upper)),
+        options={"maxiter": max_iterations, "xatol": 1e-10, "fatol": 1e-12},
+    )
+    return OptimizationResult(
+        x=np.asarray(solution.x, dtype=float),
+        fun=float(solution.fun),
+        nfev=int(solution.nfev),
+        n_iterations=int(solution.nit),
+        converged=bool(solution.success),
+        history=[float(solution.fun)],
+        message=str(solution.message),
+    )

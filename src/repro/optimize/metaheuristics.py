@@ -1,0 +1,265 @@
+"""Meta-heuristic global optimizers, implemented from scratch.
+
+The paper's extraction procedure combines "meta-heuristic and direct
+optimization methods"; these are the meta-heuristic half.  All three
+share one calling convention and return an :class:`OptimizationResult`
+so the extraction pipeline can swap them freely:
+
+* :func:`differential_evolution` — DE/rand/1/bin with dither, the
+  workhorse;
+* :func:`particle_swarm` — global-best PSO with velocity clamping;
+* :func:`simulated_annealing` — Gaussian-step SA with geometric
+  cooling and per-dimension step adaptation.
+
+All operate on box bounds, are fully deterministic given a seed, and
+count function evaluations honestly (the experiment tables report
+``nfev``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "OptimizationResult",
+    "differential_evolution",
+    "particle_swarm",
+    "simulated_annealing",
+    "latin_hypercube",
+]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a single optimizer run."""
+
+    x: np.ndarray
+    fun: float
+    nfev: int
+    n_iterations: int
+    converged: bool
+    history: List[float] = field(default_factory=list)
+    message: str = ""
+
+
+def _check_bounds(lower, upper):
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if lower.shape != upper.shape or lower.ndim != 1:
+        raise ValueError("bounds must be two 1-D arrays of equal length")
+    if np.any(lower >= upper):
+        raise ValueError("every lower bound must be below its upper bound")
+    return lower, upper
+
+
+def latin_hypercube(n_samples: int, lower, upper,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Latin-hypercube samples within box bounds, shape (n_samples, dim)."""
+    lower, upper = _check_bounds(lower, upper)
+    dim = lower.size
+    samples = np.empty((n_samples, dim))
+    for d in range(dim):
+        perm = rng.permutation(n_samples)
+        jitter = rng.random(n_samples)
+        samples[:, d] = (perm + jitter) / n_samples
+    return lower + samples * (upper - lower)
+
+
+def differential_evolution(
+    objective: Callable[[np.ndarray], float],
+    lower,
+    upper,
+    population_size: int = 30,
+    max_iterations: int = 200,
+    crossover_rate: float = 0.9,
+    mutation: tuple = (0.5, 1.0),
+    tolerance: float = 1e-10,
+    seed: Optional[int] = None,
+    initial: Optional[np.ndarray] = None,
+) -> OptimizationResult:
+    """DE/rand/1/bin with mutation dither and bounce-back bound repair."""
+    lower, upper = _check_bounds(lower, upper)
+    rng = np.random.default_rng(seed)
+    dim = lower.size
+    pop_size = max(int(population_size), 4)
+
+    population = latin_hypercube(pop_size, lower, upper, rng)
+    if initial is not None:
+        population[0] = np.clip(np.asarray(initial, dtype=float), lower, upper)
+    fitness = np.array([objective(ind) for ind in population])
+    nfev = pop_size
+    history = [float(np.min(fitness))]
+
+    for iteration in range(1, max_iterations + 1):
+        f_scale = rng.uniform(*mutation)
+        for i in range(pop_size):
+            candidates = rng.choice(pop_size, size=3, replace=False)
+            # Re-draw until all three donors differ from the target index.
+            while i in candidates:
+                candidates = rng.choice(pop_size, size=3, replace=False)
+            a, b, c = population[candidates]
+            mutant = a + f_scale * (b - c)
+            # Bounce-back repair keeps the mutant inside the box without
+            # piling probability mass on the bounds.
+            below = mutant < lower
+            above = mutant > upper
+            mutant[below] = lower[below] + rng.random(np.sum(below)) * (
+                population[i][below] - lower[below]
+            )
+            mutant[above] = upper[above] - rng.random(np.sum(above)) * (
+                upper[above] - population[i][above]
+            )
+            cross = rng.random(dim) < crossover_rate
+            cross[rng.integers(dim)] = True
+            trial = np.where(cross, mutant, population[i])
+            f_trial = objective(trial)
+            nfev += 1
+            if f_trial <= fitness[i]:
+                population[i] = trial
+                fitness[i] = f_trial
+        best = float(np.min(fitness))
+        history.append(best)
+        spread = float(np.max(fitness) - best)
+        if spread < tolerance * (1.0 + abs(best)):
+            best_idx = int(np.argmin(fitness))
+            return OptimizationResult(
+                x=population[best_idx].copy(), fun=best, nfev=nfev,
+                n_iterations=iteration, converged=True, history=history,
+                message="population collapsed within tolerance",
+            )
+    best_idx = int(np.argmin(fitness))
+    return OptimizationResult(
+        x=population[best_idx].copy(), fun=float(fitness[best_idx]),
+        nfev=nfev, n_iterations=max_iterations, converged=False,
+        history=history, message="iteration limit reached",
+    )
+
+
+def particle_swarm(
+    objective: Callable[[np.ndarray], float],
+    lower,
+    upper,
+    n_particles: int = 30,
+    max_iterations: int = 200,
+    inertia: float = 0.72,
+    cognitive: float = 1.49,
+    social: float = 1.49,
+    tolerance: float = 1e-10,
+    seed: Optional[int] = None,
+) -> OptimizationResult:
+    """Global-best PSO with velocity clamping at half the box width."""
+    lower, upper = _check_bounds(lower, upper)
+    rng = np.random.default_rng(seed)
+    dim = lower.size
+    span = upper - lower
+    v_max = 0.5 * span
+
+    positions = latin_hypercube(n_particles, lower, upper, rng)
+    velocities = rng.uniform(-0.1, 0.1, size=(n_particles, dim)) * span
+    fitness = np.array([objective(p) for p in positions])
+    nfev = n_particles
+    personal_best = positions.copy()
+    personal_fitness = fitness.copy()
+    g_idx = int(np.argmin(fitness))
+    global_best = positions[g_idx].copy()
+    global_fitness = float(fitness[g_idx])
+    history = [global_fitness]
+    stale = 0
+
+    for iteration in range(1, max_iterations + 1):
+        r1 = rng.random((n_particles, dim))
+        r2 = rng.random((n_particles, dim))
+        velocities = (
+            inertia * velocities
+            + cognitive * r1 * (personal_best - positions)
+            + social * r2 * (global_best - positions)
+        )
+        velocities = np.clip(velocities, -v_max, v_max)
+        positions = np.clip(positions + velocities, lower, upper)
+        improved_any = False
+        for i in range(n_particles):
+            value = objective(positions[i])
+            nfev += 1
+            if value < personal_fitness[i]:
+                personal_fitness[i] = value
+                personal_best[i] = positions[i].copy()
+                if value < global_fitness:
+                    global_fitness = float(value)
+                    global_best = positions[i].copy()
+                    improved_any = True
+        history.append(global_fitness)
+        stale = 0 if improved_any else stale + 1
+        if stale >= 30 and np.std(personal_fitness) < tolerance * (
+            1.0 + abs(global_fitness)
+        ):
+            return OptimizationResult(
+                x=global_best, fun=global_fitness, nfev=nfev,
+                n_iterations=iteration, converged=True, history=history,
+                message="swarm stagnated within tolerance",
+            )
+    return OptimizationResult(
+        x=global_best, fun=global_fitness, nfev=nfev,
+        n_iterations=max_iterations, converged=False, history=history,
+        message="iteration limit reached",
+    )
+
+
+def simulated_annealing(
+    objective: Callable[[np.ndarray], float],
+    lower,
+    upper,
+    max_iterations: int = 5000,
+    initial_temperature: float = 1.0,
+    cooling: float = 0.995,
+    seed: Optional[int] = None,
+    initial: Optional[np.ndarray] = None,
+) -> OptimizationResult:
+    """Gaussian-move SA with geometric cooling and adaptive step size."""
+    lower, upper = _check_bounds(lower, upper)
+    rng = np.random.default_rng(seed)
+    span = upper - lower
+
+    current = (
+        np.clip(np.asarray(initial, dtype=float), lower, upper)
+        if initial is not None
+        else lower + rng.random(lower.size) * span
+    )
+    f_current = objective(current)
+    nfev = 1
+    best = current.copy()
+    f_best = f_current
+    temperature = initial_temperature
+    step = 0.25
+    accepted = 0
+    history = [f_best]
+
+    for iteration in range(1, max_iterations + 1):
+        proposal = current + rng.standard_normal(lower.size) * step * span
+        proposal = np.clip(proposal, lower, upper)
+        f_proposal = objective(proposal)
+        nfev += 1
+        delta = f_proposal - f_current
+        if delta <= 0 or rng.random() < np.exp(
+            -delta / max(temperature, 1e-300)
+        ):
+            current, f_current = proposal, f_proposal
+            accepted += 1
+            if f_current < f_best:
+                best, f_best = current.copy(), f_current
+        temperature *= cooling
+        if iteration % 100 == 0:
+            # Keep the acceptance rate near 30-40% by scaling the step.
+            rate = accepted / 100.0
+            accepted = 0
+            if rate > 0.45:
+                step = min(step * 1.3, 1.0)
+            elif rate < 0.2:
+                step = max(step * 0.7, 1e-6)
+            history.append(f_best)
+    return OptimizationResult(
+        x=best, fun=float(f_best), nfev=nfev, n_iterations=max_iterations,
+        converged=True, history=history, message="annealing schedule complete",
+    )

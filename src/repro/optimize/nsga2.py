@@ -1,0 +1,241 @@
+"""NSGA-II: population-based multi-objective baseline.
+
+The paper's contribution is a *point* method (improved goal
+attainment); NSGA-II (Deb et al., 2002) is the standard *front* method
+and serves two roles here:
+
+* an independent generator of the NF/GT Pareto front, cross-checking
+  the goal-attainment sweep of experiment E6;
+* a cost comparison — one NSGA-II run prices the entire front, while
+  goal attainment prices one point per solve.
+
+Implementation: fast non-dominated sorting, crowding distance,
+binary-tournament selection with Deb's constraint-domination rule,
+simulated binary crossover (SBX) and polynomial mutation, all from
+scratch and deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.optimize.goal_attainment import MultiObjectiveProblem
+from repro.optimize.metaheuristics import latin_hypercube
+
+__all__ = ["Nsga2Result", "nsga2"]
+
+
+@dataclass
+class Nsga2Result:
+    """Final non-dominated set of an NSGA-II run."""
+
+    x: np.ndarray            # (m, dim) decision vectors of the front
+    objectives: np.ndarray   # (m, n_obj)
+    violations: np.ndarray   # (m,) max constraint violation (0 = feasible)
+    nfev: int
+    n_generations: int
+
+    @property
+    def feasible_front(self) -> np.ndarray:
+        """Objectives of the feasible non-dominated solutions."""
+        return self.objectives[self.violations <= 1e-9]
+
+
+def nsga2(
+    problem: MultiObjectiveProblem,
+    population_size: int = 40,
+    n_generations: int = 50,
+    crossover_probability: float = 0.9,
+    crossover_eta: float = 15.0,
+    mutation_eta: float = 20.0,
+    seed: Optional[int] = 0,
+) -> Nsga2Result:
+    """Run NSGA-II on *problem* and return the final first front."""
+    if population_size % 2:
+        population_size += 1  # pairing requires an even population
+    rng = np.random.default_rng(seed)
+    dim = problem.lower.size
+    span = problem.upper - problem.lower
+
+    population = latin_hypercube(population_size, problem.lower,
+                                 problem.upper, rng)
+    objectives, violations = _evaluate(problem, population)
+    nfev = population_size
+
+    for __ in range(n_generations):
+        parents = _tournament(population, objectives, violations, rng)
+        children = _sbx_crossover(parents, problem.lower, problem.upper,
+                                  crossover_probability, crossover_eta, rng)
+        children = _polynomial_mutation(children, problem.lower,
+                                        problem.upper, mutation_eta, rng)
+        child_objectives, child_violations = _evaluate(problem, children)
+        nfev += len(children)
+
+        population = np.vstack([population, children])
+        objectives = np.vstack([objectives, child_objectives])
+        violations = np.concatenate([violations, child_violations])
+        keep = _environmental_selection(objectives, violations,
+                                        population_size)
+        population = population[keep]
+        objectives = objectives[keep]
+        violations = violations[keep]
+
+    fronts = _nondominated_sort(objectives, violations)
+    first = np.asarray(fronts[0], dtype=int)
+    return Nsga2Result(
+        x=population[first],
+        objectives=objectives[first],
+        violations=violations[first],
+        nfev=nfev,
+        n_generations=n_generations,
+    )
+
+
+# ----------------------------------------------------------------------
+# building blocks
+# ----------------------------------------------------------------------
+
+def _evaluate(problem, population):
+    objectives = np.array([problem.objectives(x) for x in population])
+    if problem.constraints is None:
+        violations = np.zeros(len(population))
+    else:
+        violations = np.array([
+            float(np.max(np.maximum(problem.constraints(x), 0.0),
+                         initial=0.0))
+            for x in population
+        ])
+    return objectives, violations
+
+
+def _constrained_dominates(i, j, objectives, violations) -> bool:
+    """Deb's rule: feasible beats infeasible; otherwise compare."""
+    vi, vj = violations[i], violations[j]
+    if vi <= 1e-12 and vj > 1e-12:
+        return True
+    if vi > 1e-12 and vj <= 1e-12:
+        return False
+    if vi > 1e-12 and vj > 1e-12:
+        return vi < vj
+    fi, fj = objectives[i], objectives[j]
+    return bool(np.all(fi <= fj) and np.any(fi < fj))
+
+
+def _nondominated_sort(objectives, violations) -> List[List[int]]:
+    n = len(objectives)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = np.zeros(n, dtype=int)
+    fronts: List[List[int]] = [[]]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if _constrained_dominates(i, j, objectives, violations):
+                dominated_by[i].append(j)
+            elif _constrained_dominates(j, i, objectives, violations):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    return fronts[:-1]
+
+
+def _crowding_distance(front_objectives) -> np.ndarray:
+    m, n_obj = front_objectives.shape
+    distance = np.zeros(m)
+    if m <= 2:
+        return np.full(m, np.inf)
+    for k in range(n_obj):
+        order = np.argsort(front_objectives[:, k])
+        values = front_objectives[order, k]
+        spread = values[-1] - values[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if spread <= 0:
+            continue
+        distance[order[1:-1]] += (values[2:] - values[:-2]) / spread
+    return distance
+
+
+def _environmental_selection(objectives, violations, target_size):
+    fronts = _nondominated_sort(objectives, violations)
+    keep: List[int] = []
+    for front in fronts:
+        if len(keep) + len(front) <= target_size:
+            keep.extend(front)
+            continue
+        remaining = target_size - len(keep)
+        front_arr = np.asarray(front, dtype=int)
+        crowding = _crowding_distance(objectives[front_arr])
+        order = np.argsort(-crowding)
+        keep.extend(front_arr[order[:remaining]].tolist())
+        break
+    return np.asarray(keep, dtype=int)
+
+
+def _tournament(population, objectives, violations, rng):
+    n = len(population)
+    fronts = _nondominated_sort(objectives, violations)
+    rank = np.empty(n, dtype=int)
+    for level, front in enumerate(fronts):
+        rank[np.asarray(front, dtype=int)] = level
+    crowding = np.zeros(n)
+    for front in fronts:
+        front_arr = np.asarray(front, dtype=int)
+        crowding[front_arr] = _crowding_distance(objectives[front_arr])
+
+    winners = np.empty((n, population.shape[1]))
+    for slot in range(n):
+        a, b = rng.integers(n, size=2)
+        if rank[a] < rank[b] or (
+            rank[a] == rank[b] and crowding[a] > crowding[b]
+        ):
+            winners[slot] = population[a]
+        else:
+            winners[slot] = population[b]
+    return winners
+
+
+def _sbx_crossover(parents, lower, upper, probability, eta, rng):
+    children = parents.copy()
+    n, dim = parents.shape
+    for i in range(0, n - 1, 2):
+        if rng.random() > probability:
+            continue
+        u = rng.random(dim)
+        beta = np.where(
+            u <= 0.5,
+            (2.0 * u) ** (1.0 / (eta + 1.0)),
+            (1.0 / (2.0 * (1.0 - u))) ** (1.0 / (eta + 1.0)),
+        )
+        parent_a, parent_b = parents[i], parents[i + 1]
+        children[i] = 0.5 * ((1 + beta) * parent_a + (1 - beta) * parent_b)
+        children[i + 1] = 0.5 * ((1 - beta) * parent_a + (1 + beta) * parent_b)
+    return np.clip(children, lower, upper)
+
+
+def _polynomial_mutation(children, lower, upper, eta, rng):
+    n, dim = children.shape
+    span = upper - lower
+    probability = 1.0 / dim
+    mask = rng.random((n, dim)) < probability
+    u = rng.random((n, dim))
+    delta = np.where(
+        u < 0.5,
+        (2.0 * u) ** (1.0 / (eta + 1.0)) - 1.0,
+        1.0 - (2.0 * (1.0 - u)) ** (1.0 / (eta + 1.0)),
+    )
+    mutated = children + mask * delta * span
+    return np.clip(mutated, lower, upper)

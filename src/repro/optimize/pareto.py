@@ -1,0 +1,92 @@
+"""Pareto-front utilities for minimization problems.
+
+Used by experiment E6 to draw the NF/GT trade-off front and to score
+how close each optimizer's answers land to it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "pareto_filter",
+    "hypervolume_2d",
+    "sweep_goal_front",
+]
+
+
+def dominates(a, b, tolerance: float = 0.0) -> bool:
+    """True when point *a* Pareto-dominates *b* (all <=, one strictly <)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a <= b + tolerance) and np.any(a < b - tolerance))
+
+
+def pareto_filter(points) -> np.ndarray:
+    """Indices of the non-dominated points, in input order.
+
+    O(n^2) pairwise scan — fine for the front sizes experiments produce.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError(f"points must be (n, m), got shape {points.shape}")
+    n = points.shape[0]
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        for j in range(n):
+            if i != j and keep[j] and dominates(points[j], points[i]):
+                keep[i] = False
+                break
+    return np.flatnonzero(keep)
+
+
+def hypervolume_2d(points, reference) -> float:
+    """Dominated hypervolume of a 2-objective front w.r.t. *reference*.
+
+    Both objectives minimized; points beyond the reference contribute
+    nothing.  Larger is better.
+    """
+    points = np.asarray(points, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("hypervolume_2d needs (n, 2) points")
+    front = points[pareto_filter(points)]
+    front = front[np.all(front <= reference, axis=1)]
+    if front.size == 0:
+        return 0.0
+    front = front[np.argsort(front[:, 0])]
+    volume = 0.0
+    prev_f2 = reference[1]
+    for f1, f2 in front:
+        if f2 < prev_f2:
+            volume += (reference[0] - f1) * (prev_f2 - f2)
+            prev_f2 = f2
+    return float(volume)
+
+
+def sweep_goal_front(
+    solve: Callable[[np.ndarray], "object"],
+    goal_list,
+    extract: Optional[Callable[[object], np.ndarray]] = None,
+) -> np.ndarray:
+    """Trace a front by solving for a list of goal vectors.
+
+    ``solve(goals)`` runs one multi-objective solve; ``extract`` pulls
+    the objective vector from its result (defaults to the
+    ``objectives`` attribute).  Returns the non-dominated subset of the
+    collected points, sorted by the first objective.
+    """
+    if extract is None:
+        extract = lambda result: result.objectives  # noqa: E731
+    collected: List[np.ndarray] = []
+    for goals in goal_list:
+        result = solve(np.asarray(goals, dtype=float))
+        collected.append(np.asarray(extract(result), dtype=float))
+    points = np.vstack(collected)
+    front = points[pareto_filter(points)]
+    return front[np.argsort(front[:, 0])]

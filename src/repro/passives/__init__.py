@@ -1,0 +1,61 @@
+"""Dispersive passive-element models (the paper's step 3).
+
+* :mod:`repro.passives.rlc` — real capacitors/inductors/resistors with
+  frequency-dependent Q and ESR;
+* :mod:`repro.passives.microstrip` — Hammerstad-Jensen microstrip with
+  Kobayashi dispersion and loss;
+* :mod:`repro.passives.splitter` — T splitters and Wilkinson dividers;
+* :mod:`repro.passives.networks` — matching sections, bias feeds,
+  DC blocks assembled from real parts;
+* :mod:`repro.passives.catalog` — standard value series (E12/E24).
+"""
+
+from repro.passives.rlc import (
+    RealCapacitor,
+    RealInductor,
+    RealResistor,
+    coilcraft_style_inductor,
+    murata_style_capacitor,
+    thin_film_resistor,
+)
+from repro.passives.microstrip import (
+    MicrostripLine,
+    MicrostripSubstrate,
+    synthesize_width,
+)
+from repro.passives.splitter import (
+    ResistiveSplitter,
+    WilkinsonDivider,
+    ideal_tee_sparams,
+    tee_junction_parasitic_sparams,
+)
+from repro.passives.networks import BiasFeed, MatchingSection, dc_block
+from repro.passives.coax import CoaxLine, lmr240_like, rg58_like, rg174_like
+from repro.passives.catalog import E12, E24, series_values, snap_to_series
+
+__all__ = [
+    "RealCapacitor",
+    "RealInductor",
+    "RealResistor",
+    "coilcraft_style_inductor",
+    "murata_style_capacitor",
+    "thin_film_resistor",
+    "MicrostripLine",
+    "MicrostripSubstrate",
+    "synthesize_width",
+    "ResistiveSplitter",
+    "WilkinsonDivider",
+    "ideal_tee_sparams",
+    "tee_junction_parasitic_sparams",
+    "BiasFeed",
+    "MatchingSection",
+    "dc_block",
+    "CoaxLine",
+    "lmr240_like",
+    "rg58_like",
+    "rg174_like",
+    "E12",
+    "E24",
+    "series_values",
+    "snap_to_series",
+]

@@ -1,0 +1,45 @@
+"""Standard component value series and catalogue snapping.
+
+The final step of the design flow rounds optimized element values to
+purchasable parts (E24 for inductors/resistors, E24 for capacitors),
+then re-verifies the circuit — exactly what a board designer does after
+an optimizer hands back 3.1416 nH.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "E12",
+    "E24",
+    "series_values",
+    "snap_to_series",
+]
+
+E12 = (1.0, 1.2, 1.5, 1.8, 2.2, 2.7, 3.3, 3.9, 4.7, 5.6, 6.8, 8.2)
+E24 = (
+    1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7, 3.0,
+    3.3, 3.6, 3.9, 4.3, 4.7, 5.1, 5.6, 6.2, 6.8, 7.5, 8.2, 9.1,
+)
+
+
+def series_values(series=E24, decade_min: int = -12,
+                  decade_max: int = -6) -> np.ndarray:
+    """All values of a series across the given power-of-ten decades."""
+    decades = 10.0 ** np.arange(decade_min, decade_max + 1)
+    values = np.outer(decades, np.asarray(series, dtype=float)).ravel()
+    return np.sort(values)
+
+
+def snap_to_series(value: float, series=E24) -> float:
+    """The closest standard value (geometric distance) to *value*."""
+    if value <= 0:
+        raise ValueError(f"component value must be positive, got {value}")
+    decade = np.floor(np.log10(value))
+    candidates = np.asarray(series, dtype=float) * 10.0**decade
+    candidates = np.concatenate(
+        [candidates / 10.0, candidates, candidates * 10.0]
+    )
+    ratios = np.abs(np.log(candidates / value))
+    return float(candidates[np.argmin(ratios)])

@@ -1,0 +1,138 @@
+"""Coaxial transmission lines (the antenna downlead).
+
+A GNSS antenna preamplifier exists because tens of metres of coax sit
+between the antenna and the receiver; the system-budget example uses
+these models to show the preamplifier rescuing the cascade noise
+figure.  Standard TEM formulas (Pozar): conductor loss with skin
+effect, dielectric loss from tan δ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.noise import NoisyTwoPort
+from repro.rf.twoport import TwoPort, transmission_line
+from repro.util.constants import ETA_0, MU_0, SPEED_OF_LIGHT, T_AMBIENT
+
+__all__ = ["CoaxLine", "rg58_like", "rg174_like", "lmr240_like"]
+
+
+@dataclass(frozen=True)
+class CoaxLine:
+    """A coaxial cable segment.
+
+    Parameters
+    ----------
+    inner_diameter, outer_diameter:
+        Conductor geometry [m] (``a`` and ``b`` radii are the halves).
+    epsilon_r, tan_delta:
+        Dielectric constant and loss tangent of the fill.
+    conductivity:
+        Conductor conductivity [S/m].
+    length:
+        Physical length [m].
+    temperature:
+        Physical temperature for noise [K].
+    """
+
+    inner_diameter: float
+    outer_diameter: float
+    epsilon_r: float
+    tan_delta: float
+    conductivity: float
+    length: float
+    name: str = "coax"
+    temperature: float = T_AMBIENT
+
+    def __post_init__(self):
+        if not 0 < self.inner_diameter < self.outer_diameter:
+            raise ValueError(
+                f"{self.name}: need 0 < inner < outer diameter"
+            )
+        if self.epsilon_r < 1.0 or self.tan_delta < 0:
+            raise ValueError(f"{self.name}: invalid dielectric")
+        if self.conductivity <= 0 or self.length <= 0:
+            raise ValueError(f"{self.name}: invalid conductor/length")
+
+    @property
+    def z0(self) -> float:
+        """Characteristic impedance [ohm]."""
+        return (
+            ETA_0
+            / (2.0 * np.pi * np.sqrt(self.epsilon_r))
+            * np.log(self.outer_diameter / self.inner_diameter)
+        )
+
+    def alpha_conductor(self, f_hz) -> np.ndarray:
+        """Conductor attenuation [Np/m], ~ sqrt(f)."""
+        f = np.asarray(f_hz, dtype=float)
+        r_surface = np.sqrt(np.pi * f * MU_0 / self.conductivity)
+        a = self.inner_diameter / 2.0
+        b = self.outer_diameter / 2.0
+        eta = ETA_0 / np.sqrt(self.epsilon_r)
+        return r_surface * (1.0 / a + 1.0 / b) / (
+            2.0 * eta * np.log(b / a)
+        )
+
+    def alpha_dielectric(self, f_hz) -> np.ndarray:
+        """Dielectric attenuation [Np/m], ~ f."""
+        f = np.asarray(f_hz, dtype=float)
+        k = 2.0 * np.pi * f * np.sqrt(self.epsilon_r) / SPEED_OF_LIGHT
+        return k * self.tan_delta / 2.0
+
+    def gamma(self, f_hz) -> np.ndarray:
+        """Complex propagation constant α + jβ [1/m]."""
+        f = np.asarray(f_hz, dtype=float)
+        beta = 2.0 * np.pi * f * np.sqrt(self.epsilon_r) / SPEED_OF_LIGHT
+        return self.alpha_conductor(f) + self.alpha_dielectric(f) + 1j * beta
+
+    def loss_db(self, f_hz) -> np.ndarray:
+        """Total insertion loss of the segment [dB] (matched)."""
+        alpha = self.alpha_conductor(f_hz) + self.alpha_dielectric(f_hz)
+        return 8.685889638 * alpha * self.length
+
+    def as_twoport(self, frequency: FrequencyGrid,
+                   z0_ref: float = 50.0) -> TwoPort:
+        """The cable as a (dispersive, lossy) TwoPort."""
+        f = frequency.f_hz
+        return transmission_line(frequency, self.z0,
+                                 self.gamma(f) * self.length,
+                                 z0=z0_ref, name=self.name)
+
+    def as_noisy_twoport(self, frequency: FrequencyGrid,
+                         z0_ref: float = 50.0) -> NoisyTwoPort:
+        """The cable with its thermal noise at the physical temperature."""
+        return NoisyTwoPort.from_passive(
+            self.as_twoport(frequency, z0_ref), self.temperature
+        )
+
+
+def rg58_like(length: float, name: str = "RG-58") -> CoaxLine:
+    """A RG-58-class cable (~0.4 dB/m at 1.5 GHz)."""
+    return CoaxLine(
+        inner_diameter=0.9e-3, outer_diameter=3.145e-3,
+        epsilon_r=2.25, tan_delta=4e-4, conductivity=5.8e7,
+        length=length, name=name,
+    )
+
+
+def rg174_like(length: float, name: str = "RG-174") -> CoaxLine:
+    """A thin RG-174-class cable (~1 dB/m at 1.5 GHz)."""
+    return CoaxLine(
+        inner_diameter=0.48e-3, outer_diameter=1.677e-3,
+        epsilon_r=2.25, tan_delta=5e-4, conductivity=5.8e7,
+        length=length, name=name,
+    )
+
+
+def lmr240_like(length: float, name: str = "LMR-240") -> CoaxLine:
+    """A low-loss LMR-240-class cable (~0.25 dB/m at 1.5 GHz)."""
+    return CoaxLine(
+        inner_diameter=1.42e-3, outer_diameter=3.877e-3,
+        epsilon_r=1.45, tan_delta=2e-4, conductivity=5.8e7,
+        length=length, name=name,
+    )

@@ -1,0 +1,274 @@
+"""Microstrip transmission lines with full frequency dispersion and loss.
+
+Static parameters use the Hammerstad–Jensen equations (the standard for
+CAD-accuracy microstrip synthesis); effective-permittivity dispersion
+uses the Kobayashi model; conductor loss includes skin effect and a
+surface-roughness correction; dielectric loss uses the standard
+loss-tangent formula.  Together these give the frequency-dispersive
+line parameters the paper's step 3 calls for.
+
+References: Hammerstad & Jensen (1980); Kobayashi (1988).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.netlist import Circuit
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.twoport import TwoPort, transmission_line
+from repro.util.constants import (
+    BOLTZMANN,
+    ETA_0,
+    MU_0,
+    SPEED_OF_LIGHT,
+    T_AMBIENT,
+)
+
+__all__ = ["MicrostripSubstrate", "MicrostripLine", "synthesize_width"]
+
+
+@dataclass(frozen=True)
+class MicrostripSubstrate:
+    """A PCB laminate for microstrip construction.
+
+    Defaults approximate Rogers RO4003C, a typical low-loss laminate
+    for GNSS front ends.
+    """
+
+    epsilon_r: float = 3.38
+    height: float = 0.508e-3          # dielectric thickness [m]
+    conductor_thickness: float = 35e-6  # copper cladding [m]
+    tan_delta: float = 0.0027
+    conductivity: float = 5.8e7       # copper [S/m]
+    roughness_rms: float = 0.5e-6     # surface roughness [m]
+    temperature: float = T_AMBIENT
+
+    def __post_init__(self):
+        if self.epsilon_r < 1.0:
+            raise ValueError("epsilon_r must be >= 1")
+        if min(self.height, self.conductor_thickness, self.conductivity) <= 0:
+            raise ValueError("substrate dimensions must be positive")
+        if self.tan_delta < 0 or self.roughness_rms < 0:
+            raise ValueError("loss parameters must be non-negative")
+
+
+def _hammerstad_jensen_static(u: float, epsilon_r: float):
+    """Static (quasi-TEM) εeff and Z0 for normalized width u = w/h."""
+    fu = 6.0 + (2.0 * np.pi - 6.0) * np.exp(-((30.666 / u) ** 0.7528))
+    z0_air = ETA_0 / (2.0 * np.pi) * np.log(
+        fu / u + np.sqrt(1.0 + (2.0 / u) ** 2)
+    )
+    a = (
+        1.0
+        + np.log((u**4 + (u / 52.0) ** 2) / (u**4 + 0.432)) / 49.0
+        + np.log(1.0 + (u / 18.1) ** 3) / 18.7
+    )
+    b = 0.564 * ((epsilon_r - 0.9) / (epsilon_r + 3.0)) ** 0.053
+    eps_eff = (epsilon_r + 1.0) / 2.0 + (epsilon_r - 1.0) / 2.0 * (
+        1.0 + 10.0 / u
+    ) ** (-a * b)
+    return eps_eff, z0_air / np.sqrt(eps_eff)
+
+
+def _thickness_corrected_u(width: float, substrate: MicrostripSubstrate):
+    """Hammerstad-Jensen strip-thickness correction to u = w/h."""
+    u = width / substrate.height
+    t_norm = substrate.conductor_thickness / substrate.height
+    if t_norm <= 0:
+        return u
+    coth = 1.0 / np.tanh(np.sqrt(6.517 * u))
+    delta_u = t_norm / np.pi * np.log(
+        1.0 + 4.0 * np.e / (t_norm * coth**2)
+    )
+    return u + delta_u
+
+
+class MicrostripLine:
+    """A microstrip segment of given strip width and physical length."""
+
+    def __init__(self, substrate: MicrostripSubstrate, width: float,
+                 length: float, name: str = "msline"):
+        if width <= 0 or length <= 0:
+            raise ValueError(f"{name}: width and length must be positive")
+        self.substrate = substrate
+        self.width = float(width)
+        self.length = float(length)
+        self.name = name
+        u = _thickness_corrected_u(self.width, substrate)
+        self._eps_eff_static, self._z0_static = _hammerstad_jensen_static(
+            u, substrate.epsilon_r
+        )
+        self._u = u
+
+    # -- dispersive parameters ---------------------------------------------
+    def eps_eff(self, f_hz) -> np.ndarray:
+        """Effective permittivity vs frequency (Kobayashi dispersion)."""
+        f = np.asarray(f_hz, dtype=float)
+        er = self.substrate.epsilon_r
+        ee0 = self._eps_eff_static
+        h = self.substrate.height
+        u = self._u
+        if er - ee0 < 1e-12:
+            return np.full_like(f, ee0)
+        # Kobayashi's 50%-dispersion-point frequency.
+        f_tm0 = (
+            SPEED_OF_LIGHT
+            * np.arctan(er * np.sqrt((ee0 - 1.0) / (er - ee0)))
+            / (2.0 * np.pi * h * np.sqrt(er - ee0))
+        )
+        f50 = f_tm0 / (0.75 + (0.75 - 0.332 / er**1.73) * u)
+        m0 = (
+            1.0
+            + 1.0 / (1.0 + np.sqrt(u))
+            + 0.32 * (1.0 / (1.0 + np.sqrt(u))) ** 3
+        )
+        if u < 0.7:
+            mc = 1.0 + 1.4 / (1.0 + u) * (
+                0.15 - 0.235 * np.exp(-0.45 * f / f50)
+            )
+        else:
+            mc = np.ones_like(f)
+        m = np.minimum(m0 * mc, 2.32)
+        return er - (er - ee0) / (1.0 + (f / f50) ** m)
+
+    def z0(self, f_hz) -> np.ndarray:
+        """Characteristic impedance vs frequency (HJ dispersion relation)."""
+        ee_f = self.eps_eff(f_hz)
+        ee0 = self._eps_eff_static
+        return (
+            self._z0_static
+            * (ee_f - 1.0)
+            / (ee0 - 1.0)
+            * np.sqrt(ee0 / ee_f)
+        )
+
+    def alpha_conductor(self, f_hz) -> np.ndarray:
+        """Conductor attenuation [Np/m] with skin effect and roughness."""
+        f = np.asarray(f_hz, dtype=float)
+        sub = self.substrate
+        r_surface = np.sqrt(np.pi * f * MU_0 / sub.conductivity)
+        skin_depth = 1.0 / (r_surface * sub.conductivity)
+        roughness = 1.0 + (2.0 / np.pi) * np.arctan(
+            1.4 * (sub.roughness_rms / skin_depth) ** 2
+        )
+        return r_surface * roughness / (self.z0(f) * self.width)
+
+    def alpha_dielectric(self, f_hz) -> np.ndarray:
+        """Dielectric attenuation [Np/m] from the substrate loss tangent."""
+        f = np.asarray(f_hz, dtype=float)
+        sub = self.substrate
+        ee = self.eps_eff(f)
+        k0 = 2.0 * np.pi * f / SPEED_OF_LIGHT
+        return (
+            k0
+            * sub.epsilon_r
+            * (ee - 1.0)
+            * sub.tan_delta
+            / (2.0 * np.sqrt(ee) * (sub.epsilon_r - 1.0))
+        )
+
+    def gamma(self, f_hz) -> np.ndarray:
+        """Complex propagation constant α + jβ [1/m]."""
+        f = np.asarray(f_hz, dtype=float)
+        beta = 2.0 * np.pi * f * np.sqrt(self.eps_eff(f)) / SPEED_OF_LIGHT
+        alpha = self.alpha_conductor(f) + self.alpha_dielectric(f)
+        return alpha + 1j * beta
+
+    def electrical_length_deg(self, f_hz) -> np.ndarray:
+        """Electrical length in degrees at the given frequencies."""
+        return np.rad2deg(np.imag(self.gamma(f_hz)) * self.length)
+
+    def q_factor(self, f_hz) -> np.ndarray:
+        """Line quality factor β / (2α)."""
+        g = self.gamma(f_hz)
+        return g.imag / (2.0 * np.maximum(g.real, 1e-30))
+
+    # -- network views -------------------------------------------------------
+    def as_twoport(self, frequency: FrequencyGrid, z0_ref=50.0) -> TwoPort:
+        """The line as a dispersive, lossy TwoPort."""
+        f = frequency.f_hz
+        return transmission_line(
+            frequency,
+            self.z0(f),
+            self.gamma(f) * self.length,
+            z0=z0_ref,
+            name=self.name,
+        )
+
+    def y_matrix(self, f_hz) -> np.ndarray:
+        """2x2 admittance matrix of the segment.
+
+        Vectorized: a scalar gives ``(2, 2)``, an ``(F,)`` array gives
+        ``(F, 2, 2)``.
+        """
+        scalar_input = np.isscalar(f_hz)
+        f = np.atleast_1d(np.asarray(f_hz, dtype=float))
+        gl = self.gamma(f) * self.length
+        zc = self.z0(f)
+        sinh_gl = np.sinh(gl)
+        cosh_gl = np.cosh(gl)
+        y0 = 1.0 / (zc * sinh_gl)
+        out = np.empty(f.shape + (2, 2), dtype=complex)
+        out[..., 0, 0] = cosh_gl * y0
+        out[..., 0, 1] = -y0
+        out[..., 1, 0] = -y0
+        out[..., 1, 1] = cosh_gl * y0
+        return out[0] if scalar_input else out
+
+    def add_to(self, circuit: Circuit, node_a: str, node_b: str) -> Circuit:
+        """Insert into a netlist as a noisy passive block.
+
+        A lossy line in thermal equilibrium contributes ``2kT Re(Y)``
+        noise, which the ``YBlock`` machinery handles exactly.
+        """
+        temperature = self.substrate.temperature
+
+        def cy_function(f_hz) -> np.ndarray:
+            y = self.y_matrix(f_hz)
+            return 2.0 * BOLTZMANN * temperature * y.real.astype(complex)
+
+        circuit.y_block(self.name, (node_a, node_b), self.y_matrix,
+                        cy_function)
+        return circuit
+
+    def __repr__(self):
+        return (
+            f"<MicrostripLine {self.name!r} w={self.width * 1e3:.3f} mm "
+            f"l={self.length * 1e3:.2f} mm Z0~{self._z0_static:.1f} ohm>"
+        )
+
+
+def synthesize_width(substrate: MicrostripSubstrate, z0_target: float,
+                     tolerance: float = 1e-4) -> float:
+    """Find the strip width realizing *z0_target* on *substrate* (static).
+
+    Bisection over u = w/h in [0.05, 40]; raises if the target is
+    outside the realizable range.
+    """
+    if z0_target <= 0:
+        raise ValueError("z0_target must be positive")
+
+    def z_of(u_physical):
+        # Include the strip-thickness correction so the synthesized strip
+        # realizes the target when analyzed by MicrostripLine.
+        width = u_physical * substrate.height
+        u_corrected = _thickness_corrected_u(width, substrate)
+        return _hammerstad_jensen_static(u_corrected, substrate.epsilon_r)[1]
+
+    u_low, u_high = 0.05, 40.0
+    z_low, z_high = z_of(u_low), z_of(u_high)  # z decreases with u
+    if not z_high <= z0_target <= z_low:
+        raise ValueError(
+            f"Z0 = {z0_target:.1f} ohm unrealizable on this substrate "
+            f"(range {z_high:.1f}-{z_low:.1f} ohm)"
+        )
+    while u_high - u_low > tolerance * u_low:
+        u_mid = np.sqrt(u_low * u_high)
+        if z_of(u_mid) > z0_target:
+            u_low = u_mid
+        else:
+            u_high = u_mid
+    return 0.5 * (u_low + u_high) * substrate.height

@@ -1,0 +1,195 @@
+"""Composite passive building blocks: matching sections, bias tee, DC block.
+
+Each builder produces *real* components (dispersive, lossy) from the
+catalogue factories in :mod:`repro.passives.rlc`, and can emit either a
+fast cascade-algebra :class:`~repro.rf.noise.NoisyTwoPort` or netlist
+insertions for the full MNA verification path.  The optimizer
+manipulates the element values through these builders, so the loss and
+dispersion of every part is inside the optimization loop — exactly the
+paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.netlist import Circuit
+from repro.passives.microstrip import MicrostripLine
+from repro.passives.rlc import (
+    coilcraft_style_inductor,
+    murata_style_capacitor,
+    thin_film_resistor,
+)
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.noise import NoisyTwoPort
+from repro.rf.twoport import thru
+
+__all__ = [
+    "MatchingSection",
+    "BiasFeed",
+    "dc_block",
+]
+
+
+@dataclass
+class MatchingSection:
+    """An L-section of real parts, optionally preceded by a microstrip stub.
+
+    Topology (signal left to right)::
+
+        in --[line]--+--[series element]-- out
+                     |
+                  [shunt element]
+                     |
+                    gnd
+
+    ``shunt_first`` swaps the order (shunt at the input side).  Any of
+    the three branches may be omitted (``None`` value).
+
+    Element kinds are ``("L", henries)`` or ``("C", farads)``.
+    """
+
+    name: str
+    series: Optional[tuple] = None
+    shunt: Optional[tuple] = None
+    line: Optional[MicrostripLine] = None
+    shunt_first: bool = False
+
+    def _series_component(self):
+        return _make_component(self.series, f"{self.name}_ser")
+
+    def _shunt_component(self):
+        return _make_component(self.shunt, f"{self.name}_sh")
+
+    # -- fast path ---------------------------------------------------------
+    def as_noisy_twoport(self, frequency: FrequencyGrid,
+                         z0: float = 50.0) -> NoisyTwoPort:
+        """Cascade-algebra network with correct passive noise."""
+        chain = NoisyTwoPort.from_passive(thru(frequency, z0=z0))
+        if self.line is not None:
+            line_tp = self.line.as_twoport(frequency, z0_ref=z0)
+            chain = chain ** NoisyTwoPort.from_passive(
+                line_tp, self.line.substrate.temperature
+            )
+        stages = []
+        series_part = self._series_component()
+        shunt_part = self._shunt_component()
+        if shunt_part is not None:
+            shunt_net = NoisyTwoPort.from_passive(
+                shunt_part.as_shunt(frequency, z0), shunt_part.temperature
+            )
+        if series_part is not None:
+            series_net = NoisyTwoPort.from_passive(
+                series_part.as_series(frequency, z0), series_part.temperature
+            )
+        if self.shunt_first:
+            if shunt_part is not None:
+                stages.append(shunt_net)
+            if series_part is not None:
+                stages.append(series_net)
+        else:
+            if series_part is not None:
+                stages.append(series_net)
+            if shunt_part is not None:
+                stages.append(shunt_net)
+        for stage in stages:
+            chain = chain ** stage
+        return chain
+
+    # -- netlist path --------------------------------------------------------
+    def add_to(self, circuit: Circuit, node_in: str, node_out: str) -> Circuit:
+        """Insert the section between two nodes of an MNA netlist."""
+        current = node_in
+        if self.line is not None:
+            line_out = f"{self.name}_nline"
+            self.line.add_to(circuit, current, line_out)
+            current = line_out
+        series_part = self._series_component()
+        shunt_part = self._shunt_component()
+        if self.shunt_first and shunt_part is not None:
+            shunt_part.add_to(circuit, current, "gnd")
+        if series_part is not None:
+            series_part.add_to(circuit, current, node_out)
+        else:
+            # No series element: the section is a shunt tap on a through
+            # node, so just merge the nodes with a negligible resistance.
+            circuit.resistor(f"{self.name}_thru", current, node_out, 1e-6,
+                             temperature=0.0)
+        if not self.shunt_first and shunt_part is not None:
+            shunt_part.add_to(circuit, node_out, "gnd")
+        return circuit
+
+
+def _make_component(spec, name):
+    if spec is None:
+        return None
+    kind, value = spec
+    if kind == "L":
+        return coilcraft_style_inductor(value, name=name)
+    if kind == "C":
+        return murata_style_capacitor(value, name=name)
+    raise ValueError(f"unknown element kind {kind!r} (expected 'L' or 'C')")
+
+
+@dataclass
+class BiasFeed:
+    """An RF choke + decoupling network feeding DC into the signal path.
+
+    Topology: choke inductor from the signal node up to the supply
+    node, decoupling capacitor from supply to ground, and a small
+    series resistor for de-Qing.  At RF this looks like a shunt branch
+    on the signal node, which is how :meth:`as_noisy_twoport` models it.
+    """
+
+    name: str
+    choke_inductance: float = 33e-9
+    decoupling_capacitance: float = 100e-12
+    damping_resistance: float = 10.0
+
+    def shunt_impedance(self, f_hz):
+        """RF impedance of the whole feed seen from the signal node."""
+        choke = coilcraft_style_inductor(self.choke_inductance,
+                                         name=f"{self.name}_Lch")
+        decap = murata_style_capacitor(self.decoupling_capacitance,
+                                       name=f"{self.name}_Cd")
+        damp = thin_film_resistor(self.damping_resistance,
+                                  name=f"{self.name}_Rd")
+        return (
+            choke.impedance(f_hz)
+            + 1.0 / (1.0 / damp.impedance(f_hz)
+                     + 1.0 / decap.impedance(f_hz))
+        )
+
+    def as_noisy_twoport(self, frequency: FrequencyGrid,
+                         z0: float = 50.0) -> NoisyTwoPort:
+        """The feed as a shunt two-port on the RF path."""
+        from repro.rf.twoport import shunt_impedance as shunt_tp
+
+        z = self.shunt_impedance(frequency.f_hz)
+        network = shunt_tp(frequency, z, z0=z0, name=self.name)
+        return NoisyTwoPort.from_passive(network)
+
+    def add_to(self, circuit: Circuit, signal_node: str,
+               supply_node: str) -> Circuit:
+        """Insert the feed into a netlist (supply node is RF ground)."""
+        choke = coilcraft_style_inductor(self.choke_inductance,
+                                         name=f"{self.name}_Lch")
+        decap = murata_style_capacitor(self.decoupling_capacitance,
+                                       name=f"{self.name}_Cd")
+        choke.add_to(circuit, signal_node, supply_node)
+        mid = f"{self.name}_damp"
+        circuit.resistor(f"{self.name}_Rd", supply_node, mid,
+                         self.damping_resistance)
+        decap.add_to(circuit, mid, "gnd")
+        return circuit
+
+
+def dc_block(frequency: FrequencyGrid, capacitance: float = 47e-12,
+             z0: float = 50.0, name: str = "dcblock") -> NoisyTwoPort:
+    """A series DC-blocking capacitor as a noisy two-port."""
+    cap = murata_style_capacitor(capacitance, name=name)
+    return NoisyTwoPort.from_passive(cap.as_series(frequency, z0),
+                                     cap.temperature)
+
+

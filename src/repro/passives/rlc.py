@@ -1,0 +1,275 @@
+"""Real (lossy, dispersive) lumped components: capacitors, inductors, resistors.
+
+The paper's third step insists that the passive elements entering the
+optimization carry the **frequency dispersion of their parameters — Q,
+ESR, etc.** — rather than ideal textbook values.  Each model here is a
+small parasitic network whose loss terms scale with frequency:
+
+* conductor (electrode/winding) loss grows as ``sqrt(f)`` (skin effect);
+* dielectric loss enters through ``tan δ`` (capacitors) or a parallel
+  resistance (inductor packages);
+* every part has a series inductance / parallel capacitance giving it a
+  self-resonant frequency (SRF), above which a capacitor looks
+  inductive and vice versa.
+
+Each component exposes its complex impedance versus frequency, the
+derived ``Q(f)`` and ``ESR(f)`` curves the paper plots, conversion to
+:class:`~repro.rf.twoport.TwoPort` series/shunt elements, and insertion
+into an MNA :class:`~repro.analysis.netlist.Circuit` as a passive
+``YBlock`` with physically consistent thermal noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.netlist import Circuit
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.twoport import TwoPort, series_impedance, shunt_impedance
+from repro.util.constants import BOLTZMANN, T_AMBIENT
+
+__all__ = [
+    "RealCapacitor",
+    "RealInductor",
+    "RealResistor",
+    "murata_style_capacitor",
+    "coilcraft_style_inductor",
+    "thin_film_resistor",
+]
+
+_F_SKIN_REF = 1e9  # skin-effect losses are specified at 1 GHz
+
+
+def _two_terminal_stack(y: np.ndarray) -> np.ndarray:
+    """Stack per-frequency scalars y into [[y, -y], [-y, y]] matrices."""
+    out = np.empty(y.shape + (2, 2), dtype=complex)
+    out[..., 0, 0] = y
+    out[..., 0, 1] = -y
+    out[..., 1, 0] = -y
+    out[..., 1, 1] = y
+    return out
+
+
+class _PassiveTwoTerminal:
+    """Shared behaviour of two-terminal dispersive components."""
+
+    name: str
+    temperature: float
+
+    def impedance(self, f_hz) -> np.ndarray:
+        raise NotImplementedError
+
+    def admittance(self, f_hz) -> np.ndarray:
+        """Complex admittance [S] at the given frequencies."""
+        return 1.0 / self.impedance(f_hz)
+
+    def esr(self, f_hz) -> np.ndarray:
+        """Equivalent series resistance: Re(Z)."""
+        return np.real(self.impedance(f_hz))
+
+    def reactance(self, f_hz) -> np.ndarray:
+        """Series reactance: Im(Z)."""
+        return np.imag(self.impedance(f_hz))
+
+    def q_factor(self, f_hz) -> np.ndarray:
+        """Quality factor |Im Z| / Re Z."""
+        z = self.impedance(f_hz)
+        return np.abs(z.imag) / np.maximum(z.real, 1e-300)
+
+    # -- conversion to network elements -----------------------------------
+    def as_series(self, frequency: FrequencyGrid, z0=50.0) -> TwoPort:
+        """A series two-port on the given grid."""
+        return series_impedance(frequency, self.impedance(frequency.f_hz),
+                                z0=z0, name=f"{self.name}(series)")
+
+    def as_shunt(self, frequency: FrequencyGrid, z0=50.0) -> TwoPort:
+        """A shunt-to-ground two-port on the given grid."""
+        return shunt_impedance(frequency, self.impedance(frequency.f_hz),
+                               z0=z0, name=f"{self.name}(shunt)")
+
+    def add_to(self, circuit: Circuit, node_a: str, node_b: str) -> Circuit:
+        """Insert into a netlist as a noisy passive admittance block.
+
+        The block callables are vectorized: given an ``(F,)`` frequency
+        array they return ``(F, 2, 2)`` stacks, which lets the MNA
+        solver assemble the whole sweep in one pass.
+        """
+        temperature = self.temperature
+
+        def y_function(f_hz) -> np.ndarray:
+            y = np.atleast_1d(self.admittance(f_hz)).astype(complex)
+            return _two_terminal_stack(y)
+
+        def cy_function(f_hz) -> np.ndarray:
+            # Passive element in equilibrium: CY = 2kT Re(Y).
+            g = np.atleast_1d(np.real(self.admittance(f_hz)))
+            scale = (2.0 * BOLTZMANN * temperature * g).astype(complex)
+            return _two_terminal_stack(scale)
+
+        circuit.y_block(self.name, (node_a, node_b), y_function, cy_function)
+        return circuit
+
+
+@dataclass
+class RealCapacitor(_PassiveTwoTerminal):
+    """A chip capacitor with ESL, electrode loss, and dielectric loss.
+
+    Parameters
+    ----------
+    capacitance:
+        Nominal capacitance [F].
+    esr_conductor_1ghz:
+        Electrode/termination resistance at 1 GHz [ohm]; scales as
+        ``sqrt(f)``.
+    tan_delta:
+        Dielectric loss tangent (adds ``tanδ / (ω C)`` to the ESR, so
+        this loss *falls* with frequency — the classic crossover that
+        makes measured ESR curves U-shaped).
+    esl:
+        Equivalent series inductance [H].
+    name, temperature:
+        Label and physical temperature for noise.
+    """
+
+    capacitance: float
+    esr_conductor_1ghz: float = 0.05
+    tan_delta: float = 1e-3
+    esl: float = 0.5e-9
+    name: str = "C"
+    temperature: float = T_AMBIENT
+
+    def __post_init__(self):
+        if self.capacitance <= 0:
+            raise ValueError(f"{self.name}: capacitance must be positive")
+        if self.esl < 0 or self.esr_conductor_1ghz < 0 or self.tan_delta < 0:
+            raise ValueError(f"{self.name}: parasitics must be non-negative")
+
+    def impedance(self, f_hz) -> np.ndarray:
+        f = np.asarray(f_hz, dtype=float)
+        omega = 2.0 * np.pi * f
+        r_conductor = self.esr_conductor_1ghz * np.sqrt(f / _F_SKIN_REF)
+        r_dielectric = self.tan_delta / (omega * self.capacitance)
+        reactance = omega * self.esl - 1.0 / (omega * self.capacitance)
+        return r_conductor + r_dielectric + 1j * reactance
+
+    @property
+    def srf_hz(self) -> float:
+        """Series self-resonant frequency [Hz]."""
+        if self.esl == 0:
+            return np.inf
+        return 1.0 / (2.0 * np.pi * np.sqrt(self.esl * self.capacitance))
+
+
+@dataclass
+class RealInductor(_PassiveTwoTerminal):
+    """A chip/air-core inductor with winding loss and parallel capacitance.
+
+    The winding resistance is ``r_dc + r_ac_1ghz * sqrt(f / 1 GHz)``;
+    the parallel capacitance sets the SRF and ``r_parallel`` models
+    package/dielectric losses that dominate near resonance.  This
+    reproduces the measured behaviour of catalogue parts: Q rises
+    roughly as ``sqrt(f)`` at low frequency, peaks, then collapses at
+    the SRF.
+    """
+
+    inductance: float
+    r_dc: float = 0.1
+    r_ac_1ghz: float = 0.5
+    c_parallel: float = 0.1e-12
+    r_parallel: float = 50e3
+    name: str = "L"
+    temperature: float = T_AMBIENT
+
+    def __post_init__(self):
+        if self.inductance <= 0:
+            raise ValueError(f"{self.name}: inductance must be positive")
+        if min(self.r_dc, self.r_ac_1ghz, self.c_parallel) < 0:
+            raise ValueError(f"{self.name}: parasitics must be non-negative")
+        if self.r_parallel <= 0:
+            raise ValueError(f"{self.name}: r_parallel must be positive")
+
+    def impedance(self, f_hz) -> np.ndarray:
+        f = np.asarray(f_hz, dtype=float)
+        omega = 2.0 * np.pi * f
+        r_series = self.r_dc + self.r_ac_1ghz * np.sqrt(f / _F_SKIN_REF)
+        z_winding = r_series + 1j * omega * self.inductance
+        y_total = (
+            1.0 / z_winding
+            + 1j * omega * self.c_parallel
+            + 1.0 / self.r_parallel
+        )
+        return 1.0 / y_total
+
+    @property
+    def srf_hz(self) -> float:
+        """Parallel self-resonant frequency [Hz]."""
+        if self.c_parallel == 0:
+            return np.inf
+        return 1.0 / (
+            2.0 * np.pi * np.sqrt(self.inductance * self.c_parallel)
+        )
+
+
+@dataclass
+class RealResistor(_PassiveTwoTerminal):
+    """A thin-film chip resistor with series inductance and shunt capacitance."""
+
+    resistance: float
+    l_series: float = 0.4e-9
+    c_parallel: float = 0.05e-12
+    name: str = "R"
+    temperature: float = T_AMBIENT
+
+    def __post_init__(self):
+        if self.resistance <= 0:
+            raise ValueError(f"{self.name}: resistance must be positive")
+        if self.l_series < 0 or self.c_parallel < 0:
+            raise ValueError(f"{self.name}: parasitics must be non-negative")
+
+    def impedance(self, f_hz) -> np.ndarray:
+        f = np.asarray(f_hz, dtype=float)
+        omega = 2.0 * np.pi * f
+        z_series = self.resistance + 1j * omega * self.l_series
+        y_total = 1.0 / z_series + 1j * omega * self.c_parallel
+        return 1.0 / y_total
+
+
+# ----------------------------------------------------------------------
+# catalogue-style factories (values representative of 0402/0603 parts)
+# ----------------------------------------------------------------------
+
+def murata_style_capacitor(capacitance: float, name: str = "C",
+                           temperature: float = T_AMBIENT) -> RealCapacitor:
+    """A C0G/NP0 multilayer chip capacitor with size-typical parasitics."""
+    # Smaller capacitors have slightly lower ESL and electrode loss.
+    esl = 0.35e-9 if capacitance < 10e-12 else 0.5e-9
+    esr = 0.04 if capacitance < 10e-12 else 0.08
+    return RealCapacitor(capacitance=capacitance, esr_conductor_1ghz=esr,
+                         tan_delta=5e-4, esl=esl, name=name,
+                         temperature=temperature)
+
+
+def coilcraft_style_inductor(inductance: float, name: str = "L",
+                             temperature: float = T_AMBIENT) -> RealInductor:
+    """A wirewound 0402-class RF inductor with size-typical parasitics."""
+    # Winding resistance roughly scales with the number of turns ~ sqrt(L).
+    scale = np.sqrt(inductance / 10e-9)
+    return RealInductor(
+        inductance=inductance,
+        r_dc=0.08 * scale,
+        r_ac_1ghz=0.55 * scale,
+        c_parallel=0.08e-12 * (1.0 + 0.4 * scale),
+        r_parallel=60e3,
+        name=name,
+        temperature=temperature,
+    )
+
+
+def thin_film_resistor(resistance: float, name: str = "R",
+                       temperature: float = T_AMBIENT) -> RealResistor:
+    """A thin-film 0402 resistor with size-typical parasitics."""
+    return RealResistor(resistance=resistance, l_series=0.4e-9,
+                        c_parallel=0.04e-12, name=name,
+                        temperature=temperature)

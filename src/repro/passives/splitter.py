@@ -1,0 +1,140 @@
+"""T splitters and power dividers as three-port networks.
+
+A multi-constellation antenna unit often feeds several receivers, so
+the paper's passive inventory includes **T splitters**.  Three models
+of increasing realism are provided:
+
+* :func:`ideal_tee_sparams` — the textbook lossless parallel junction;
+* :class:`ResistiveSplitter` — the matched 3-resistor star (6 dB loss,
+  all ports matched, noisy);
+* :class:`WilkinsonDivider` — quarter-wave microstrip divider with an
+  isolation resistor, built on the MNA simulator with full line
+  dispersion and loss.
+
+The latter two return :class:`~repro.analysis.acsolver.ACResult`
+objects (3-port S + noise correlation) from the in-house simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.acsolver import ACResult, solve_ac
+from repro.analysis.netlist import Circuit
+from repro.passives.microstrip import (
+    MicrostripLine,
+    MicrostripSubstrate,
+    synthesize_width,
+)
+from repro.rf.frequency import FrequencyGrid
+from repro.util.constants import SPEED_OF_LIGHT, T_AMBIENT
+
+__all__ = [
+    "ideal_tee_sparams",
+    "tee_junction_parasitic_sparams",
+    "ResistiveSplitter",
+    "WilkinsonDivider",
+]
+
+
+def ideal_tee_sparams(n_frequencies: int = 1) -> np.ndarray:
+    """S-matrix of the ideal (lossless, unmatched) T junction.
+
+    Three identical lines joined in parallel: ``Sii = -1/3``,
+    ``Sij = 2/3``.  Returned with a leading frequency axis for symmetry
+    with the simulator outputs.
+    """
+    s = np.full((3, 3), 2.0 / 3.0, dtype=complex)
+    np.fill_diagonal(s, -1.0 / 3.0)
+    return np.broadcast_to(s, (int(n_frequencies), 3, 3)).copy()
+
+
+def tee_junction_parasitic_sparams(frequency: FrequencyGrid,
+                                   shunt_capacitance: float = 30e-15,
+                                   z0: float = 50.0) -> np.ndarray:
+    """T junction with the discontinuity shunt capacitance at the node.
+
+    Microstrip T junctions present an excess capacitance at the branch
+    point (tens of fF for 50-ohm lines on thin laminates); this is the
+    dominant deviation from the ideal junction below a few GHz.
+    """
+    circuit = Circuit("tee")
+    for k in range(3):
+        # Each port needs its own node (coincident port nodes make the
+        # loaded impedance matrix singular); a negligible access
+        # resistance stands in for the zero-length connection.
+        circuit.port(f"p{k + 1}", f"arm{k + 1}", z0=z0)
+        circuit.resistor(f"Racc{k + 1}", f"arm{k + 1}", "junction", 1e-6,
+                         temperature=0.0)
+    circuit.capacitor("Cj", "junction", "gnd", shunt_capacitance)
+    return solve_ac(circuit, frequency, compute_noise=False).s
+
+
+class ResistiveSplitter:
+    """Matched three-resistor star splitter (Z0/3 in each arm)."""
+
+    def __init__(self, z0: float = 50.0, temperature: float = T_AMBIENT,
+                 name: str = "rsplit"):
+        self.z0 = float(z0)
+        self.temperature = float(temperature)
+        self.name = name
+
+    def build_circuit(self) -> Circuit:
+        circuit = Circuit(self.name)
+        arm = self.z0 / 3.0
+        for k in range(3):
+            circuit.port(f"p{k + 1}", f"n{k + 1}", z0=self.z0)
+            circuit.resistor(f"R{k + 1}", f"n{k + 1}", "star", arm,
+                             temperature=self.temperature)
+        return circuit
+
+    def solve(self, frequency: FrequencyGrid) -> ACResult:
+        """3-port S-parameters and noise over the grid."""
+        return solve_ac(self.build_circuit(), frequency)
+
+
+class WilkinsonDivider:
+    """Single-section Wilkinson divider realized in microstrip.
+
+    Two quarter-wave arms of impedance ``sqrt(2) z0`` and a ``2 z0``
+    isolation resistor.  Arm lengths are set for *f_design*; dispersion
+    and loss then shape the response across the band exactly as on a
+    real board.
+    """
+
+    def __init__(self, f_design: float, substrate: MicrostripSubstrate = None,
+                 z0: float = 50.0, name: str = "wilkinson"):
+        if f_design <= 0:
+            raise ValueError("f_design must be positive")
+        self.f_design = float(f_design)
+        self.substrate = substrate or MicrostripSubstrate()
+        self.z0 = float(z0)
+        self.name = name
+        z_arm = np.sqrt(2.0) * self.z0
+        width = synthesize_width(self.substrate, z_arm)
+        # Quarter wavelength at the design frequency, using the static
+        # effective permittivity for the initial cut (as a designer would).
+        probe = MicrostripLine(self.substrate, width, 1e-3, name="probe")
+        eps_eff = float(probe.eps_eff(self.f_design))
+        quarter_wave = SPEED_OF_LIGHT / (
+            4.0 * self.f_design * np.sqrt(eps_eff)
+        )
+        self.arm_a = MicrostripLine(self.substrate, width, quarter_wave,
+                                    name=f"{name}_armA")
+        self.arm_b = MicrostripLine(self.substrate, width, quarter_wave,
+                                    name=f"{name}_armB")
+
+    def build_circuit(self) -> Circuit:
+        circuit = Circuit(self.name)
+        circuit.port("p1", "common", z0=self.z0)
+        circuit.port("p2", "out_a", z0=self.z0)
+        circuit.port("p3", "out_b", z0=self.z0)
+        self.arm_a.add_to(circuit, "common", "out_a")
+        self.arm_b.add_to(circuit, "common", "out_b")
+        circuit.resistor("Riso", "out_a", "out_b", 2.0 * self.z0,
+                         temperature=self.substrate.temperature)
+        return circuit
+
+    def solve(self, frequency: FrequencyGrid) -> ACResult:
+        """3-port S-parameters and noise over the grid."""
+        return solve_ac(self.build_circuit(), frequency)

@@ -1,0 +1,94 @@
+"""Constant-noise-figure and constant-available-gain circles.
+
+These are the classic Smith-chart design aids: for a chosen NF (or GA)
+target they give the locus of source reflection coefficients achieving
+it.  The multi-objective optimizer does not use them directly — it
+works on the full circuit — but they are invaluable for sanity-checking
+optimized operating points and are exercised by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.stability import determinant, rollett_k
+
+__all__ = [
+    "SmithCircle",
+    "noise_circle",
+    "available_gain_circle",
+]
+
+
+@dataclass(frozen=True)
+class SmithCircle:
+    """A circle of constant performance in the Γ plane."""
+
+    center: complex
+    radius: float
+    level: float
+
+    def points(self, n: int = 181) -> np.ndarray:
+        """Sample *n* complex points along the circle."""
+        theta = np.linspace(0.0, 2.0 * np.pi, int(n))
+        return self.center + self.radius * np.exp(1j * theta)
+
+    def contains(self, gamma) -> np.ndarray:
+        """Whether points lie inside the circle."""
+        return np.abs(np.asarray(gamma, dtype=complex) - self.center) < self.radius
+
+
+def noise_circle(fmin: float, rn: float, gamma_opt: complex,
+                 nf_target_db: float, z0: float = 50.0) -> SmithCircle:
+    """Constant-NF circle in the source plane at one frequency.
+
+    Parameters
+    ----------
+    fmin:
+        Minimum noise factor (linear).
+    rn:
+        Noise resistance [ohm].
+    gamma_opt:
+        Optimum source reflection coefficient.
+    nf_target_db:
+        Requested noise figure [dB]; must be >= NFmin.
+    """
+    f_target = 10.0 ** (nf_target_db / 10.0)
+    if f_target < fmin - 1e-12:
+        raise ValueError(
+            f"target NF {nf_target_db:.3f} dB is below NFmin "
+            f"{10 * np.log10(fmin):.3f} dB"
+        )
+    rn_normalized = rn / z0
+    n_param = (
+        (f_target - fmin) * np.abs(1.0 + gamma_opt) ** 2 / (4.0 * rn_normalized)
+    )
+    center = gamma_opt / (1.0 + n_param)
+    radius = np.sqrt(
+        max(n_param * (n_param + 1.0 - np.abs(gamma_opt) ** 2), 0.0)
+    ) / (1.0 + n_param)
+    return SmithCircle(complex(center), float(radius), float(nf_target_db))
+
+
+def available_gain_circle(s2x2, ga_target_db: float) -> SmithCircle:
+    """Constant available-gain circle in the source plane at one frequency."""
+    s = np.asarray(s2x2, dtype=complex)
+    if s.shape != (2, 2):
+        raise ValueError(f"expected a single 2x2 S matrix, got {s.shape}")
+    s11, s12, s21, s22 = s[0, 0], s[0, 1], s[1, 0], s[1, 1]
+    delta = determinant(s)
+    k = float(rollett_k(s))
+    ga = 10.0 ** (ga_target_db / 10.0)
+    ga_normalized = ga / np.abs(s21) ** 2
+    c1 = s11 - delta * np.conjugate(s22)
+    denom = 1.0 + ga_normalized * (np.abs(s11) ** 2 - np.abs(delta) ** 2)
+    center = ga_normalized * np.conjugate(c1) / denom
+    radicand = (
+        1.0
+        - 2.0 * k * np.abs(s12 * s21) * ga_normalized
+        + np.abs(s12 * s21) ** 2 * ga_normalized**2
+    )
+    radius = np.sqrt(max(float(radicand), 0.0)) / abs(denom)
+    return SmithCircle(complex(center), float(radius), float(ga_target_db))

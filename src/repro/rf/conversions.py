@@ -1,0 +1,214 @@
+"""Conversions between two-port (and N-port) matrix representations.
+
+All functions are vectorized over leading axes: inputs of shape
+``(..., n, n)`` produce outputs of the same shape.  Two-port specific
+conversions (ABCD, T) require ``n == 2``.
+
+Conventions
+-----------
+* S-parameters use a real, positive reference impedance ``z0`` (equal at
+  all ports).
+* The transfer-scattering matrix ``T`` follows the convention
+  ``[a1, b1]^T = T [b2, a2]^T`` so that a cascade of networks multiplies
+  as ``T_total = T_first @ T_second``.
+* ABCD (chain) parameters follow ``[V1, I1]^T = ABCD [V2, -I2]^T`` with
+  port currents flowing *into* the network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "s_to_z",
+    "z_to_s",
+    "s_to_y",
+    "y_to_s",
+    "z_to_y",
+    "y_to_z",
+    "s_to_abcd",
+    "abcd_to_s",
+    "y_to_abcd",
+    "abcd_to_y",
+    "z_to_abcd",
+    "abcd_to_z",
+    "s_to_t",
+    "t_to_s",
+    "renormalize_s",
+]
+
+_EYE_CACHE: dict = {}
+
+
+def _eye_like(matrix: np.ndarray) -> np.ndarray:
+    """Identity matrix broadcastable against *matrix* (shape (..., n, n))."""
+    n = matrix.shape[-1]
+    if n not in _EYE_CACHE:
+        _EYE_CACHE[n] = np.eye(n, dtype=complex)
+    return _EYE_CACHE[n]
+
+
+def _as_square(matrix) -> np.ndarray:
+    arr = np.asarray(matrix, dtype=complex)
+    if arr.ndim < 2 or arr.shape[-1] != arr.shape[-2]:
+        raise ValueError(f"expected (..., n, n) matrix, got shape {arr.shape}")
+    return arr
+
+
+def _as_two_port(matrix) -> np.ndarray:
+    arr = _as_square(matrix)
+    if arr.shape[-1] != 2:
+        raise ValueError(f"two-port conversion requires 2x2, got {arr.shape}")
+    return arr
+
+
+def s_to_z(s, z0=50.0):
+    """Scattering to impedance matrix, real equal reference impedance."""
+    s = _as_square(s)
+    eye = _eye_like(s)
+    return float(z0) * np.linalg.solve(eye - s, eye + s)
+
+
+def z_to_s(z, z0=50.0):
+    """Impedance to scattering matrix, real equal reference impedance."""
+    z = _as_square(z)
+    eye = _eye_like(z)
+    zn = z / float(z0)
+    return np.linalg.solve(zn + eye, zn - eye)
+
+
+def s_to_y(s, z0=50.0):
+    """Scattering to admittance matrix, real equal reference impedance."""
+    s = _as_square(s)
+    eye = _eye_like(s)
+    return np.linalg.solve(eye + s, eye - s) / float(z0)
+
+
+def y_to_s(y, z0=50.0):
+    """Admittance to scattering matrix, real equal reference impedance."""
+    y = _as_square(y)
+    eye = _eye_like(y)
+    yn = y * float(z0)
+    return np.linalg.solve(eye + yn, eye - yn)
+
+
+def z_to_y(z):
+    """Impedance to admittance matrix (inverse)."""
+    return np.linalg.inv(_as_square(z))
+
+
+def y_to_z(y):
+    """Admittance to impedance matrix (inverse)."""
+    return np.linalg.inv(_as_square(y))
+
+
+def s_to_abcd(s, z0=50.0):
+    """Two-port S to ABCD (chain) parameters."""
+    s = _as_two_port(s)
+    z0 = float(z0)
+    s11, s12 = s[..., 0, 0], s[..., 0, 1]
+    s21, s22 = s[..., 1, 0], s[..., 1, 1]
+    denom = 2.0 * s21
+    a = ((1 + s11) * (1 - s22) + s12 * s21) / denom
+    b = z0 * ((1 + s11) * (1 + s22) - s12 * s21) / denom
+    c = ((1 - s11) * (1 - s22) - s12 * s21) / (z0 * denom)
+    d = ((1 - s11) * (1 + s22) + s12 * s21) / denom
+    return _stack2(a, b, c, d)
+
+
+def abcd_to_s(abcd, z0=50.0):
+    """Two-port ABCD (chain) parameters to S."""
+    abcd = _as_two_port(abcd)
+    z0 = float(z0)
+    a, b = abcd[..., 0, 0], abcd[..., 0, 1]
+    c, d = abcd[..., 1, 0], abcd[..., 1, 1]
+    denom = a + b / z0 + c * z0 + d
+    s11 = (a + b / z0 - c * z0 - d) / denom
+    s12 = 2.0 * (a * d - b * c) / denom
+    s21 = 2.0 / denom
+    s22 = (-a + b / z0 - c * z0 + d) / denom
+    return _stack2(s11, s12, s21, s22)
+
+
+def y_to_abcd(y):
+    """Two-port Y to ABCD parameters."""
+    y = _as_two_port(y)
+    y11, y12 = y[..., 0, 0], y[..., 0, 1]
+    y21, y22 = y[..., 1, 0], y[..., 1, 1]
+    det = y11 * y22 - y12 * y21
+    return _stack2(-y22 / y21, -1.0 / y21, -det / y21, -y11 / y21)
+
+
+def abcd_to_y(abcd):
+    """Two-port ABCD to Y parameters."""
+    abcd = _as_two_port(abcd)
+    a, b = abcd[..., 0, 0], abcd[..., 0, 1]
+    c, d = abcd[..., 1, 0], abcd[..., 1, 1]
+    det = a * d - b * c
+    return _stack2(d / b, -det / b, -1.0 / b, a / b)
+
+
+def z_to_abcd(z):
+    """Two-port Z to ABCD parameters."""
+    z = _as_two_port(z)
+    z11, z12 = z[..., 0, 0], z[..., 0, 1]
+    z21, z22 = z[..., 1, 0], z[..., 1, 1]
+    det = z11 * z22 - z12 * z21
+    return _stack2(z11 / z21, det / z21, 1.0 / z21, z22 / z21)
+
+
+def abcd_to_z(abcd):
+    """Two-port ABCD to Z parameters."""
+    abcd = _as_two_port(abcd)
+    a, b = abcd[..., 0, 0], abcd[..., 0, 1]
+    c, d = abcd[..., 1, 0], abcd[..., 1, 1]
+    det = a * d - b * c
+    return _stack2(a / c, det / c, 1.0 / c, d / c)
+
+
+def s_to_t(s):
+    """Two-port S to transfer-scattering T (cascade multiplies left-to-right)."""
+    s = _as_two_port(s)
+    s11, s12 = s[..., 0, 0], s[..., 0, 1]
+    s21, s22 = s[..., 1, 0], s[..., 1, 1]
+    det = s11 * s22 - s12 * s21
+    return _stack2(1.0 / s21, -s22 / s21, s11 / s21, -det / s21)
+
+
+def t_to_s(t):
+    """Two-port transfer-scattering T back to S."""
+    t = _as_two_port(t)
+    t11, t12 = t[..., 0, 0], t[..., 0, 1]
+    t21, t22 = t[..., 1, 0], t[..., 1, 1]
+    det = t11 * t22 - t12 * t21
+    return _stack2(t21 / t11, det / t11, 1.0 / t11, -t12 / t11)
+
+
+def renormalize_s(s, z0_old, z0_new):
+    """Renormalize S-parameters from one real reference impedance to another.
+
+    Uses the direct bilinear form ``S' = (S - rho I)(I - rho S)^{-1}``
+    with ``rho = (z0_new - z0_old)/(z0_new + z0_old)``, which stays
+    valid for networks whose Z or Y representation is singular (pure
+    series or shunt elements).
+    """
+    s = _as_square(s)
+    rho = (float(z0_new) - float(z0_old)) / (float(z0_new) + float(z0_old))
+    eye = _eye_like(s)
+    # Right-division form: solve (I - rho S)^T X^T = (S - rho I)^T.
+    numerator = s - rho * eye
+    denominator = eye - rho * s
+    return np.linalg.solve(
+        np.swapaxes(denominator, -1, -2), np.swapaxes(numerator, -1, -2)
+    ).swapaxes(-1, -2)
+
+
+def _stack2(m11, m12, m21, m22) -> np.ndarray:
+    """Assemble four (...,) arrays into a (..., 2, 2) matrix."""
+    m11, m12, m21, m22 = np.broadcast_arrays(m11, m12, m21, m22)
+    out = np.empty(m11.shape + (2, 2), dtype=complex)
+    out[..., 0, 0] = m11
+    out[..., 0, 1] = m12
+    out[..., 1, 0] = m21
+    out[..., 1, 1] = m22
+    return out

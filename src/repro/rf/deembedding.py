@@ -1,0 +1,105 @@
+"""Fixture de-embedding: open/short and thru-based corrections.
+
+The extraction pipeline assumes the device's S-parameters are referred
+to its own terminals, but a VNA measures the device *in a fixture*
+(pads + access lines).  These are the two standard corrections:
+
+* :func:`open_short_deembed` — remove the fixture's parallel (pad) and
+  series (lead) parasitics using measurements of an OPEN and a SHORT
+  dummy structure (the classic on-wafer recipe):
+  ``Y1 = Y_meas - Y_open``; ``Z_dut = Z1 - (Y_short - Y_open)^-1``.
+* :func:`thru_deembed` — split a symmetric THRU standard into two
+  half-fixtures and strip them from both sides of the measurement
+  (square-root-of-ABCD method).
+
+Both are exercised in the test suite by embedding a known device in a
+synthetic fixture and recovering it exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rf import conversions as cv
+from repro.rf.twoport import TwoPort
+
+__all__ = ["open_short_deembed", "thru_deembed", "split_thru"]
+
+
+def open_short_deembed(measured: TwoPort, open_standard: TwoPort,
+                       short_standard: TwoPort) -> TwoPort:
+    """Open-short de-embedding of a fixtured two-port measurement.
+
+    The fixture model is parallel pad admittances (captured by the
+    OPEN) followed by series lead impedances (captured by the SHORT
+    after pad removal).  Returns the device referred to its own
+    terminals.
+    """
+    _check_grids(measured, open_standard, short_standard)
+    y_meas = measured.y
+    y_open = open_standard.y
+    y_short = short_standard.y
+    # Strip the pads from both the measurement and the short.
+    y1 = y_meas - y_open
+    y_series = y_short - y_open
+    z_dut = np.linalg.inv(y1) - np.linalg.inv(y_series)
+    return TwoPort.from_z(measured.frequency, z_dut, z0=measured.z0,
+                          name=f"deembed({measured.name})")
+
+
+def split_thru(thru_standard: TwoPort) -> TwoPort:
+    """The half-fixture of a symmetric THRU (matrix square root of ABCD).
+
+    Uses the eigendecomposition square root; for the reciprocal,
+    symmetric fixtures this targets, the principal root is the physical
+    half.
+    """
+    abcd = thru_standard.abcd
+    halves = np.empty_like(abcd)
+    for idx in range(abcd.shape[0]):
+        eigenvalues, eigenvectors = np.linalg.eig(abcd[idx])
+        sqrt_eigenvalues = np.sqrt(eigenvalues.astype(complex))
+        # Choose principal branch (non-negative real part) so the half
+        # fixture keeps positive electrical length.
+        sqrt_eigenvalues = np.where(
+            sqrt_eigenvalues.real < 0, -sqrt_eigenvalues, sqrt_eigenvalues
+        )
+        halves[idx] = (
+            eigenvectors
+            @ np.diag(sqrt_eigenvalues)
+            @ np.linalg.inv(eigenvectors)
+        )
+    return TwoPort.from_abcd(thru_standard.frequency, halves,
+                             z0=thru_standard.z0,
+                             name=f"half({thru_standard.name})")
+
+
+def thru_deembed(measured: TwoPort, thru_standard: TwoPort) -> TwoPort:
+    """Strip symmetric half-fixtures from both sides of a measurement.
+
+    The THRU standard is the two half-fixtures back to back; the left
+    half is removed as-is, the right half flipped.
+    """
+    _check_grids(measured, thru_standard)
+    half = split_thru(thru_standard)
+    half_abcd = half.abcd
+    # Right half of the fixture is the mirrored (flipped) half.
+    flipped_abcd = half.flipped().abcd
+    dut_abcd = (
+        np.linalg.inv(half_abcd)
+        @ measured.abcd
+        @ np.linalg.inv(flipped_abcd)
+    )
+    return TwoPort.from_abcd(measured.frequency, dut_abcd, z0=measured.z0,
+                             name=f"deembed({measured.name})")
+
+
+def _check_grids(*networks: TwoPort):
+    first = networks[0]
+    for other in networks[1:]:
+        if other.frequency != first.frequency:
+            raise ValueError(
+                "all standards must share the measurement's grid"
+            )
+        if abs(other.z0 - first.z0) > 1e-9:
+            raise ValueError("all standards must share one z0")

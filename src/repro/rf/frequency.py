@@ -1,0 +1,128 @@
+"""Frequency grids and band descriptions.
+
+Every network object in :mod:`repro.rf` carries a :class:`FrequencyGrid`
+so that matrix data and the frequencies it was evaluated at cannot drift
+apart.  Grids are immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import ensure_1d
+
+__all__ = ["FrequencyGrid", "Band"]
+
+
+@dataclass(frozen=True)
+class Band:
+    """A contiguous frequency band [f_low, f_high] in Hz with a label."""
+
+    label: str
+    f_low: float
+    f_high: float
+
+    def __post_init__(self):
+        if self.f_low <= 0 or self.f_high <= self.f_low:
+            raise ValueError(
+                f"band {self.label!r} needs 0 < f_low < f_high, "
+                f"got [{self.f_low}, {self.f_high}]"
+            )
+
+    @property
+    def center(self) -> float:
+        """Arithmetic band centre in Hz."""
+        return 0.5 * (self.f_low + self.f_high)
+
+    @property
+    def width(self) -> float:
+        """Bandwidth in Hz."""
+        return self.f_high - self.f_low
+
+    def contains(self, f_hz) -> np.ndarray:
+        """Elementwise test whether frequencies fall inside the band."""
+        f = np.asarray(f_hz, dtype=float)
+        return (f >= self.f_low) & (f <= self.f_high)
+
+    def grid(self, n_points: int = 101) -> "FrequencyGrid":
+        """Return a linear :class:`FrequencyGrid` spanning the band."""
+        return FrequencyGrid.linear(self.f_low, self.f_high, n_points)
+
+
+@dataclass(frozen=True)
+class FrequencyGrid:
+    """An immutable, strictly increasing grid of frequencies in Hz."""
+
+    f_hz: np.ndarray = field()
+
+    def __post_init__(self):
+        f = ensure_1d(self.f_hz, "f_hz")
+        if np.any(f <= 0):
+            raise ValueError("frequencies must be positive")
+        if np.any(np.diff(f) <= 0):
+            raise ValueError("frequencies must be strictly increasing")
+        f = np.ascontiguousarray(f)
+        f.setflags(write=False)
+        object.__setattr__(self, "f_hz", f)
+
+    @classmethod
+    def linear(cls, f_start, f_stop, n_points) -> "FrequencyGrid":
+        """Linearly spaced grid of *n_points* from f_start to f_stop [Hz]."""
+        return cls(np.linspace(float(f_start), float(f_stop), int(n_points)))
+
+    @classmethod
+    def logarithmic(cls, f_start, f_stop, n_points) -> "FrequencyGrid":
+        """Logarithmically spaced grid from f_start to f_stop [Hz]."""
+        return cls(
+            np.logspace(
+                np.log10(float(f_start)), np.log10(float(f_stop)), int(n_points)
+            )
+        )
+
+    @classmethod
+    def single(cls, f_hz) -> "FrequencyGrid":
+        """A one-point grid, convenient for spot analyses."""
+        return cls(np.array([float(f_hz)]))
+
+    @property
+    def omega(self) -> np.ndarray:
+        """Angular frequencies [rad/s]."""
+        return 2.0 * np.pi * self.f_hz
+
+    @property
+    def f_ghz(self) -> np.ndarray:
+        """Frequencies in GHz (for display)."""
+        return self.f_hz / 1e9
+
+    def __len__(self) -> int:
+        return self.f_hz.size
+
+    def __iter__(self):
+        return iter(self.f_hz)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FrequencyGrid):
+            return NotImplemented
+        return self.f_hz.shape == other.f_hz.shape and bool(
+            np.allclose(self.f_hz, other.f_hz, rtol=1e-12, atol=0.0)
+        )
+
+    def __hash__(self):
+        return hash((self.f_hz.size, float(self.f_hz[0]), float(self.f_hz[-1])))
+
+    def index_of(self, f_hz) -> int:
+        """Index of the grid point closest to *f_hz*."""
+        return int(np.argmin(np.abs(self.f_hz - float(f_hz))))
+
+    def mask(self, band: Band) -> np.ndarray:
+        """Boolean mask of grid points inside *band*."""
+        return band.contains(self.f_hz)
+
+    def restricted(self, band: Band) -> "FrequencyGrid":
+        """A new grid containing only the points inside *band*."""
+        selected = self.f_hz[self.mask(band)]
+        if selected.size == 0:
+            raise ValueError(f"no grid points inside band {band.label!r}")
+        return FrequencyGrid(selected)

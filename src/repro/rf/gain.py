@@ -1,0 +1,106 @@
+"""Power gains of a two-port with arbitrary source/load terminations.
+
+All gains are linear power ratios; convert to dB with
+:func:`repro.util.units.db10`.  Reflection coefficients are referenced
+to the network's own ``z0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "input_reflection",
+    "output_reflection",
+    "transducer_gain",
+    "available_gain",
+    "operating_gain",
+    "maximum_stable_gain",
+    "maximum_available_gain",
+    "unilateral_transducer_gain",
+]
+
+
+def _split(s):
+    s = np.asarray(s, dtype=complex)
+    return s[..., 0, 0], s[..., 0, 1], s[..., 1, 0], s[..., 1, 1]
+
+
+def input_reflection(s, gamma_load):
+    """Γin looking into port 1 with the given load on port 2."""
+    s11, s12, s21, s22 = _split(s)
+    gl = np.asarray(gamma_load, dtype=complex)
+    return s11 + s12 * s21 * gl / (1.0 - s22 * gl)
+
+
+def output_reflection(s, gamma_source):
+    """Γout looking into port 2 with the given source on port 1."""
+    s11, s12, s21, s22 = _split(s)
+    gs = np.asarray(gamma_source, dtype=complex)
+    return s22 + s12 * s21 * gs / (1.0 - s11 * gs)
+
+
+def transducer_gain(s, gamma_source=0.0, gamma_load=0.0):
+    """Transducer power gain GT = P_delivered_to_load / P_available_from_source."""
+    s11, s12, s21, s22 = _split(s)
+    gs = np.asarray(gamma_source, dtype=complex)
+    gl = np.asarray(gamma_load, dtype=complex)
+    gamma_in = input_reflection(s, gl)
+    numerator = (1.0 - np.abs(gs) ** 2) * np.abs(s21) ** 2 * (
+        1.0 - np.abs(gl) ** 2
+    )
+    denominator = (
+        np.abs(1.0 - gs * gamma_in) ** 2 * np.abs(1.0 - s22 * gl) ** 2
+    )
+    return numerator / denominator
+
+
+def available_gain(s, gamma_source=0.0):
+    """Available power gain GA = P_available_at_output / P_available_from_source."""
+    s11, s12, s21, s22 = _split(s)
+    gs = np.asarray(gamma_source, dtype=complex)
+    gamma_out = output_reflection(s, gs)
+    numerator = (1.0 - np.abs(gs) ** 2) * np.abs(s21) ** 2
+    denominator = (
+        np.abs(1.0 - s11 * gs) ** 2 * (1.0 - np.abs(gamma_out) ** 2)
+    )
+    return numerator / denominator
+
+
+def operating_gain(s, gamma_load=0.0):
+    """Operating power gain GP = P_delivered_to_load / P_input_to_network."""
+    s11, s12, s21, s22 = _split(s)
+    gl = np.asarray(gamma_load, dtype=complex)
+    gamma_in = input_reflection(s, gl)
+    numerator = np.abs(s21) ** 2 * (1.0 - np.abs(gl) ** 2)
+    denominator = (
+        (1.0 - np.abs(gamma_in) ** 2) * np.abs(1.0 - s22 * gl) ** 2
+    )
+    return numerator / denominator
+
+
+def maximum_stable_gain(s):
+    """MSG = |S21| / |S12| — the gain limit of a potentially unstable device."""
+    __, s12, s21, __ = _split(s)
+    return np.abs(s21) / np.abs(s12)
+
+
+def maximum_available_gain(s):
+    """MAG for an unconditionally stable device (NaN where K < 1)."""
+    from repro.rf.stability import rollett_k
+
+    k = rollett_k(s)
+    msg = maximum_stable_gain(s)
+    with np.errstate(invalid="ignore"):
+        mag = msg * (k - np.sqrt(np.square(k) - 1.0))
+    return np.where(k >= 1.0, mag, np.nan)
+
+
+def unilateral_transducer_gain(s, gamma_source=0.0, gamma_load=0.0):
+    """GT under the unilateral (S12 = 0) approximation."""
+    s11, __, s21, s22 = _split(s)
+    gs = np.asarray(gamma_source, dtype=complex)
+    gl = np.asarray(gamma_load, dtype=complex)
+    g_source = (1.0 - np.abs(gs) ** 2) / np.abs(1.0 - s11 * gs) ** 2
+    g_load = (1.0 - np.abs(gl) ** 2) / np.abs(1.0 - s22 * gl) ** 2
+    return g_source * np.abs(s21) ** 2 * g_load

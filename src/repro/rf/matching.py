@@ -1,0 +1,155 @@
+"""Impedance-matching helpers: reflection algebra, L-sections, conjugate match.
+
+These utilities seed the optimizer with sensible starting points (the
+analytic L-section and simultaneous-conjugate-match solutions) before
+the goal-attainment stage refines real, lossy, dispersive elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.stability import determinant, rollett_k
+
+__all__ = [
+    "gamma_from_impedance",
+    "impedance_from_gamma",
+    "vswr_from_gamma",
+    "mismatch_loss_db",
+    "LSection",
+    "design_l_section",
+    "simultaneous_conjugate_match",
+]
+
+
+def gamma_from_impedance(z, z0=50.0):
+    """Reflection coefficient of impedance *z* against reference *z0*."""
+    z = np.asarray(z, dtype=complex)
+    return (z - z0) / (z + z0)
+
+
+def impedance_from_gamma(gamma, z0=50.0):
+    """Impedance corresponding to reflection coefficient *gamma*."""
+    gamma = np.asarray(gamma, dtype=complex)
+    return z0 * (1.0 + gamma) / (1.0 - gamma)
+
+
+def vswr_from_gamma(gamma):
+    """Voltage standing-wave ratio from a reflection coefficient."""
+    mag = np.abs(np.asarray(gamma, dtype=complex))
+    mag = np.minimum(mag, 1.0 - 1e-15)
+    return (1.0 + mag) / (1.0 - mag)
+
+
+def mismatch_loss_db(gamma):
+    """Power lost to reflection, in dB (always >= 0)."""
+    mag2 = np.abs(np.asarray(gamma, dtype=complex)) ** 2
+    return -10.0 * np.log10(np.maximum(1.0 - mag2, 1e-300))
+
+
+@dataclass(frozen=True)
+class LSection:
+    """An ideal lossless L-section matching network at one frequency.
+
+    ``series_x`` is the reactance of the series arm and ``shunt_b`` the
+    susceptance of the shunt arm.  ``shunt_first`` tells whether the
+    shunt element faces the load (True) or the source (False).
+    """
+
+    series_x: float
+    shunt_b: float
+    shunt_first: bool
+    f_hz: float
+
+    def element_values(self):
+        """Realize the section with an inductor/capacitor pair.
+
+        Returns a dict mapping ``'series'`` and ``'shunt'`` to
+        ``('L', henries)`` or ``('C', farads)``.
+        """
+        omega = 2.0 * np.pi * self.f_hz
+        if self.series_x >= 0:
+            series = ("L", self.series_x / omega)
+        else:
+            series = ("C", -1.0 / (omega * self.series_x))
+        if self.shunt_b >= 0:
+            shunt = ("C", self.shunt_b / omega)
+        else:
+            shunt = ("L", -1.0 / (omega * self.shunt_b))
+        return {"series": series, "shunt": shunt}
+
+
+def design_l_section(z_load: complex, z_target: complex, f_hz: float) -> LSection:
+    """Design the lossless L-section transforming *z_load* into *z_target*.
+
+    The classic two-branch solution: when ``Re(z_load) > Re(z_target)``
+    the shunt element faces the load, otherwise the series element does.
+    Both impedances must have positive real parts.
+    """
+    zl = complex(z_load)
+    zt = complex(z_target)
+    if zl.real <= 0 or zt.real <= 0:
+        raise ValueError("both impedances must have positive real part")
+    rl, xl = zl.real, zl.imag
+    rt, xt = zt.real, zt.imag
+    if abs(rl - rt) < 1e-12:
+        # Degenerate case: a pure series reactance completes the match.
+        return LSection(series_x=xt - xl, shunt_b=0.0, shunt_first=False,
+                        f_hz=float(f_hz))
+    if rl > rt:
+        # Shunt element across the load first, then series toward target.
+        q = np.sqrt(rl / rt - 1.0 + xl**2 / (rl * rt))
+        # Choose the root giving a positive-square-root branch; either
+        # sign is a valid network, we take +q for determinism.
+        b = (xl + q * rl) / (rl**2 + xl**2)
+        g_after = rl / (rl**2 + xl**2)
+        b_after = b - xl / (rl**2 + xl**2)
+        z_after = 1.0 / complex(g_after, b_after)
+        x = xt - z_after.imag
+        return LSection(series_x=float(x), shunt_b=float(b),
+                        shunt_first=True, f_hz=float(f_hz))
+    # rl < rt: series element at the load first, then shunt toward target.
+    q = np.sqrt(rt / rl - 1.0 + xt**2 / (rl * rt))
+    x = q * rl - xl
+    z_mid = complex(rl, xl + x)
+    y_mid = 1.0 / z_mid
+    y_target = 1.0 / zt
+    b = y_target.imag - y_mid.imag
+    return LSection(series_x=float(x), shunt_b=float(b),
+                    shunt_first=False, f_hz=float(f_hz))
+
+
+def simultaneous_conjugate_match(s2x2):
+    """Source/load reflection coefficients for simultaneous conjugate match.
+
+    Only valid for an unconditionally stable two-port (K > 1); raises
+    ``ValueError`` otherwise.  Returns ``(gamma_source, gamma_load)``.
+    """
+    s = np.asarray(s2x2, dtype=complex)
+    if s.shape != (2, 2):
+        raise ValueError(f"expected a single 2x2 S matrix, got {s.shape}")
+    k = float(rollett_k(s))
+    if k <= 1.0:
+        raise ValueError(
+            f"device is not unconditionally stable (K = {k:.4f}); "
+            "simultaneous conjugate match does not exist"
+        )
+    s11, s12, s21, s22 = s[0, 0], s[0, 1], s[1, 0], s[1, 1]
+    delta = determinant(s)
+    b1 = 1.0 + np.abs(s11) ** 2 - np.abs(s22) ** 2 - np.abs(delta) ** 2
+    b2 = 1.0 + np.abs(s22) ** 2 - np.abs(s11) ** 2 - np.abs(delta) ** 2
+    c1 = s11 - delta * np.conjugate(s22)
+    c2 = s22 - delta * np.conjugate(s11)
+    gamma_s = _match_root(b1, c1)
+    gamma_l = _match_root(b2, c2)
+    return complex(gamma_s), complex(gamma_l)
+
+
+def _match_root(b, c):
+    """Select the |Γ| < 1 root of the conjugate-match quadratic."""
+    discriminant = b**2 - 4.0 * np.abs(c) ** 2
+    root = np.sqrt(max(float(discriminant), 0.0))
+    sign = 1.0 if b > 0 else -1.0
+    return (b - sign * root) / (2.0 * c)

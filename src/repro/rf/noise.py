@@ -1,0 +1,398 @@
+"""Noise two-port theory: noise parameters and correlation matrices.
+
+The toolkit represents the noise of a linear two-port in two equivalent
+ways:
+
+* the four **noise parameters** ``(Fmin, Rn, Yopt)`` (``Yopt`` complex),
+  which directly give the noise factor for any source admittance; and
+* the 2x2 **chain noise-correlation matrix** ``CA`` of the equivalent
+  input voltage/current noise pair, which composes under cascading.
+
+Conversions between the two and between correlation-matrix
+representations (chain ``CA``, admittance ``CY``, impedance ``CZ``)
+follow Hillbrand & Russer (1976).  Correlation matrices are one-sided
+spectral densities, e.g. a resistor ``R`` at temperature ``T`` has the
+series voltage-noise density ``4 k T R`` and the formulas below use the
+consistent ``2 k T`` normalization of Hillbrand-Russer (the factor of
+two cancels in every ratio that produces a noise figure).
+
+Validation anchors (exercised in the test suite):
+
+* a series resistor ``R`` at ``T0`` has ``F = 1 + R / Rs``;
+* a matched resistive attenuator at ``T0`` has ``NF = loss``;
+* cascade noise figure agrees with the Friis formula.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rf import conversions as cv
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.twoport import TwoPort
+from repro.util.constants import BOLTZMANN, T0_KELVIN
+
+__all__ = [
+    "NoiseParameters",
+    "NoisyTwoPort",
+    "ca_from_noise_parameters",
+    "noise_parameters_from_ca",
+    "cy_from_ca",
+    "ca_from_cy",
+    "cz_from_ca",
+    "ca_from_cz",
+    "passive_cy",
+    "cascade_ca",
+    "friis_cascade",
+]
+
+_2KT0 = 2.0 * BOLTZMANN * T0_KELVIN
+
+
+class NoiseParameters:
+    """The four noise parameters of a two-port, per frequency.
+
+    Parameters
+    ----------
+    fmin:
+        Minimum noise factor (linear, >= 1), shape ``(F,)``.
+    rn:
+        Equivalent noise resistance [ohm], shape ``(F,)``.
+    y_opt:
+        Optimum source admittance [S], complex, shape ``(F,)``.
+    """
+
+    def __init__(self, fmin, rn, y_opt):
+        fmin = np.atleast_1d(np.asarray(fmin, dtype=float))
+        rn = np.atleast_1d(np.asarray(rn, dtype=float))
+        y_opt = np.atleast_1d(np.asarray(y_opt, dtype=complex))
+        if not fmin.shape == rn.shape == y_opt.shape:
+            raise ValueError(
+                f"shape mismatch: fmin {fmin.shape}, rn {rn.shape}, "
+                f"y_opt {y_opt.shape}"
+            )
+        if np.any(fmin < 1.0 - 1e-9):
+            raise ValueError("fmin must be >= 1 (linear noise factor)")
+        if np.any(rn < 0):
+            raise ValueError("rn must be non-negative")
+        self.fmin = fmin
+        self.rn = rn
+        self.y_opt = y_opt
+
+    @classmethod
+    def from_nfmin_db(cls, nfmin_db, rn, gamma_opt, z0=50.0):
+        """Build from the datasheet convention: NFmin [dB], Rn, Γopt."""
+        fmin = 10.0 ** (np.asarray(nfmin_db, dtype=float) / 10.0)
+        gamma_opt = np.asarray(gamma_opt, dtype=complex)
+        y_opt = (1.0 - gamma_opt) / (1.0 + gamma_opt) / z0
+        return cls(fmin, rn, y_opt)
+
+    @property
+    def nfmin_db(self) -> np.ndarray:
+        """Minimum noise figure in dB."""
+        return 10.0 * np.log10(self.fmin)
+
+    def gamma_opt(self, z0=50.0) -> np.ndarray:
+        """Optimum source reflection coefficient for reference *z0*."""
+        z_opt = 1.0 / self.y_opt
+        return (z_opt - z0) / (z_opt + z0)
+
+    def noise_factor(self, y_source) -> np.ndarray:
+        """Noise factor for a source admittance (scalar or per-frequency)."""
+        ys = np.asarray(y_source, dtype=complex)
+        gs = ys.real
+        if np.any(gs <= 0):
+            raise ValueError("source admittance must have positive real part")
+        return self.fmin + (self.rn / gs) * np.abs(ys - self.y_opt) ** 2
+
+    def noise_figure_db(self, y_source) -> np.ndarray:
+        """Noise figure in dB for a source admittance."""
+        return 10.0 * np.log10(self.noise_factor(y_source))
+
+    def noise_factor_gamma(self, gamma_source, z0=50.0) -> np.ndarray:
+        """Noise factor for a source reflection coefficient at *z0*."""
+        gamma_s = np.asarray(gamma_source, dtype=complex)
+        ys = (1.0 - gamma_s) / (1.0 + gamma_s) / z0
+        return self.noise_factor(ys)
+
+    def __len__(self):
+        return self.fmin.size
+
+    def __repr__(self):
+        return (
+            f"<NoiseParameters {self.fmin.size} pts "
+            f"NFmin {self.nfmin_db.min():.3f}-{self.nfmin_db.max():.3f} dB>"
+        )
+
+
+# ----------------------------------------------------------------------
+# correlation-matrix algebra
+# ----------------------------------------------------------------------
+
+def ca_from_noise_parameters(params: NoiseParameters) -> np.ndarray:
+    """Chain correlation matrix CA (F, 2, 2) from noise parameters."""
+    rn = params.rn
+    fmin = params.fmin
+    y_opt = params.y_opt
+    n = rn.size
+    ca = np.empty((n, 2, 2), dtype=complex)
+    off = 0.5 * (fmin - 1.0) - rn * np.conjugate(y_opt)
+    ca[:, 0, 0] = rn
+    ca[:, 0, 1] = off
+    ca[:, 1, 0] = np.conjugate(off)
+    ca[:, 1, 1] = rn * np.abs(y_opt) ** 2
+    return _2KT0 * ca
+
+
+def noise_parameters_from_ca(ca) -> NoiseParameters:
+    """Noise parameters from a chain correlation matrix (F, 2, 2)."""
+    ca = np.asarray(ca, dtype=complex)
+    c11 = ca[..., 0, 0].real
+    c22 = ca[..., 1, 1].real
+    c12 = ca[..., 0, 1]
+    if np.any(c11 <= 0):
+        raise ValueError(
+            "CA[0,0] must be positive; the network has no voltage noise, "
+            "so noise parameters are degenerate"
+        )
+    rn = c11 / _2KT0
+    im_ratio = c12.imag / c11
+    radicand = np.maximum(c22 / c11 - im_ratio**2, 0.0)
+    y_opt = np.sqrt(radicand) + 1j * im_ratio
+    fmin = 1.0 + (c12 + c11 * np.conjugate(y_opt)).real / (0.5 * _2KT0)
+    fmin = np.maximum(fmin, 1.0)
+    return NoiseParameters(fmin, rn, y_opt)
+
+
+def cy_from_ca(ca, y) -> np.ndarray:
+    """Convert chain CA to admittance CY given the network's Y-parameters."""
+    ca = np.asarray(ca, dtype=complex)
+    y = np.asarray(y, dtype=complex)
+    t = np.zeros_like(y)
+    t[..., 0, 0] = -y[..., 0, 0]
+    t[..., 0, 1] = 1.0
+    t[..., 1, 0] = -y[..., 1, 0]
+    return t @ ca @ _hermitian(t)
+
+
+def ca_from_cy(cy, abcd) -> np.ndarray:
+    """Convert admittance CY to chain CA given the network's ABCD params."""
+    cy = np.asarray(cy, dtype=complex)
+    abcd = np.asarray(abcd, dtype=complex)
+    t = np.zeros_like(abcd)
+    t[..., 0, 1] = abcd[..., 0, 1]
+    t[..., 1, 0] = 1.0
+    t[..., 1, 1] = abcd[..., 1, 1]
+    return t @ cy @ _hermitian(t)
+
+
+def cz_from_ca(ca, z) -> np.ndarray:
+    """Convert chain CA to impedance CZ given the network's Z-parameters."""
+    ca = np.asarray(ca, dtype=complex)
+    z = np.asarray(z, dtype=complex)
+    t = np.zeros_like(z)
+    t[..., 0, 0] = 1.0
+    t[..., 0, 1] = -z[..., 0, 0]
+    t[..., 1, 1] = -z[..., 1, 0]
+    return t @ ca @ _hermitian(t)
+
+
+def ca_from_cz(cz, abcd) -> np.ndarray:
+    """Convert impedance CZ to chain CA given the network's ABCD params."""
+    cz = np.asarray(cz, dtype=complex)
+    abcd = np.asarray(abcd, dtype=complex)
+    t = np.zeros_like(abcd)
+    t[..., 0, 0] = 1.0
+    t[..., 0, 1] = -abcd[..., 0, 0]
+    t[..., 1, 1] = -abcd[..., 1, 0]
+    return t @ cz @ _hermitian(t)
+
+
+def passive_cy(y, temperature: float = T0_KELVIN) -> np.ndarray:
+    """Admittance correlation matrix of a passive network in equilibrium.
+
+    Implements the Twiss/Bosma relation ``CY = 2 k T Re(Y)``.
+    """
+    y = np.asarray(y, dtype=complex)
+    return 2.0 * BOLTZMANN * float(temperature) * y.real.astype(complex)
+
+
+def cascade_ca(ca1, abcd1, ca2) -> np.ndarray:
+    """Chain correlation matrix of stage1 followed by stage2.
+
+    ``CA = CA1 + ABCD1 @ CA2 @ ABCD1^H``.
+    """
+    abcd1 = np.asarray(abcd1, dtype=complex)
+    return np.asarray(ca1, dtype=complex) + abcd1 @ np.asarray(
+        ca2, dtype=complex
+    ) @ _hermitian(abcd1)
+
+
+def friis_cascade(noise_factors, available_gains) -> np.ndarray:
+    """Total noise factor of a cascade via the Friis formula.
+
+    Parameters
+    ----------
+    noise_factors:
+        Sequence of per-stage noise factors (scalars or arrays).
+    available_gains:
+        Sequence of per-stage available power gains (linear).
+    """
+    factors = [np.asarray(f, dtype=float) for f in noise_factors]
+    gains = [np.asarray(g, dtype=float) for g in available_gains]
+    if len(factors) != len(gains):
+        raise ValueError("need one available gain per stage")
+    if not factors:
+        raise ValueError("cascade must contain at least one stage")
+    total = factors[0].copy()
+    gain_product = np.ones_like(total)
+    for f_stage, g_prev in zip(factors[1:], gains[:-1]):
+        gain_product = gain_product * g_prev
+        total = total + (f_stage - 1.0) / gain_product
+    return total
+
+
+def _hermitian(matrix: np.ndarray) -> np.ndarray:
+    return np.conjugate(np.swapaxes(matrix, -1, -2))
+
+
+# ----------------------------------------------------------------------
+# noisy two-port container
+# ----------------------------------------------------------------------
+
+class NoisyTwoPort:
+    """A two-port together with its chain noise-correlation matrix.
+
+    This is the object the amplifier designer manipulates: it cascades
+    both the signal matrices and the noise correlation, so the noise
+    figure of an arbitrary chain of matching networks and transistors
+    falls out directly.
+    """
+
+    def __init__(self, network: TwoPort, ca):
+        ca = np.asarray(ca, dtype=complex)
+        if ca.shape != (len(network.frequency), 2, 2):
+            raise ValueError(
+                f"ca must have shape ({len(network.frequency)}, 2, 2), "
+                f"got {ca.shape}"
+            )
+        self.network = network
+        self.ca = ca
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_noise_parameters(cls, network: TwoPort,
+                              params: NoiseParameters) -> "NoisyTwoPort":
+        """Attach datasheet-style noise parameters to a network."""
+        if len(params) != len(network.frequency):
+            raise ValueError(
+                "noise parameters and network sampled on different grids"
+            )
+        return cls(network, ca_from_noise_parameters(params))
+
+    @classmethod
+    def from_passive(cls, network: TwoPort,
+                     temperature: float = T0_KELVIN) -> "NoisyTwoPort":
+        """Thermal noise of a passive network at a physical temperature.
+
+        Per frequency, uses whichever of ``CY = 2kT Re(Y)`` or
+        ``CZ = 2kT Re(Z)`` is better conditioned — a nearly ideal
+        series element has an ill-conditioned Z representation and a
+        nearly ideal shunt element an ill-conditioned Y representation,
+        and a solve against the wrong one silently amplifies rounding
+        noise into the correlation matrix.  Frequencies where both are
+        unusable must be lossless (ideal thru/transformer/line) and get
+        exactly zero noise.
+        """
+        s = network.s
+        n_freq = len(network.frequency)
+        eye = np.eye(2)
+        cond_y = np.linalg.cond(eye + s)
+        cond_z = np.linalg.cond(eye - s)
+        usable_y = cond_y < 1e9
+        usable_z = cond_z < 1e9
+        use_y = usable_y & ((cond_y <= cond_z) | ~usable_z)
+        use_z = usable_z & ~use_y
+        degenerate = ~(use_y | use_z)
+
+        ca = np.zeros((n_freq, 2, 2), dtype=complex)
+        kt2 = 2.0 * BOLTZMANN * float(temperature)
+        if np.any(use_y):
+            abcd = cv.s_to_abcd(s[use_y], network.z0)
+            y = cv.s_to_y(s[use_y], network.z0)
+            ca[use_y] = ca_from_cy(kt2 * y.real.astype(complex), abcd)
+        if np.any(use_z):
+            abcd = cv.s_to_abcd(s[use_z], network.z0)
+            z = cv.s_to_z(s[use_z], network.z0)
+            ca[use_z] = ca_from_cz(kt2 * z.real.astype(complex), abcd)
+        if np.any(degenerate):
+            gram = (
+                np.conjugate(np.swapaxes(s[degenerate], -1, -2))
+                @ s[degenerate]
+            )
+            if not np.allclose(gram, eye, atol=1e-8):
+                raise ValueError(
+                    "passive network has neither a usable Y nor Z "
+                    "representation and is not lossless; cannot form "
+                    "its noise correlation"
+                )
+        return cls(network, ca)
+
+    # -- views ------------------------------------------------------------
+    @property
+    def frequency(self) -> FrequencyGrid:
+        return self.network.frequency
+
+    @property
+    def noise_parameters(self) -> NoiseParameters:
+        """The (Fmin, Rn, Yopt) representation of this network's noise."""
+        return noise_parameters_from_ca(self.ca)
+
+    # -- composition ------------------------------------------------------
+    def cascade(self, other: "NoisyTwoPort") -> "NoisyTwoPort":
+        """Cascade self followed by *other*, composing signal and noise."""
+        if not isinstance(other, NoisyTwoPort):
+            raise TypeError(
+                f"expected NoisyTwoPort, got {type(other).__name__}"
+            )
+        combined = self.network.cascade(other.network)
+        ca_total = cascade_ca(self.ca, self.network.abcd, other.ca)
+        return NoisyTwoPort(combined, ca_total)
+
+    def __pow__(self, other: "NoisyTwoPort") -> "NoisyTwoPort":
+        return self.cascade(other)
+
+    # -- figures of merit --------------------------------------------------
+    def noise_factor(self, y_source) -> np.ndarray:
+        """Noise factor versus frequency for a given source admittance.
+
+        Computed directly from the chain correlation matrix — valid
+        even for networks whose (Fmin, Rn, Yopt) representation is
+        degenerate (zero equivalent voltage noise):
+        ``F = 1 + <|e_n + Zs i_n|^2> / (2 k T0 Re Zs)``.
+        """
+        ys = np.asarray(y_source, dtype=complex)
+        if np.any(ys.real <= 0):
+            raise ValueError("source admittance must have positive real part")
+        zs = 1.0 / ys
+        ca = self.ca
+        e_total = (
+            ca[:, 0, 0]
+            + np.conjugate(zs) * ca[:, 0, 1]
+            + zs * ca[:, 1, 0]
+            + np.abs(zs) ** 2 * ca[:, 1, 1]
+        ).real
+        return 1.0 + e_total / (_2KT0 * zs.real)
+
+    def noise_figure_db(self, y_source=None) -> np.ndarray:
+        """Noise figure [dB]; defaults to the network reference impedance."""
+        if y_source is None:
+            y_source = 1.0 / self.network.z0
+        return 10.0 * np.log10(self.noise_factor(y_source))
+
+    def __repr__(self):
+        nf = self.noise_parameters.nfmin_db
+        return (
+            f"<NoisyTwoPort {self.network!r} "
+            f"NFmin {nf.min():.3f}-{nf.max():.3f} dB>"
+        )

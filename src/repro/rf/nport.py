@@ -1,0 +1,229 @@
+"""General N-port network container with connection algebra.
+
+The two-port class covers the amplifier chain, but antenna units also
+contain splitters and multi-way feeds.  :class:`NPort` carries an
+``(F, n, n)`` S-matrix and supports the two standard composition
+operations (Filipsson's formulas):
+
+* :meth:`terminate` — close one port with a reflection coefficient,
+  producing an (n-1)-port;
+* :meth:`connect` — join a port of one network to a port of another;
+* :meth:`innerconnect` — join two ports of the same network.
+
+The test suite validates every operation against independent MNA
+solutions of the same physical circuits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.twoport import TwoPort
+from repro.util.constants import Z0_REFERENCE
+
+__all__ = ["NPort"]
+
+
+class NPort:
+    """An S-parameter N-port over a frequency grid (single real z0)."""
+
+    def __init__(self, frequency: FrequencyGrid, s, z0: float = Z0_REFERENCE,
+                 port_names: Optional[Sequence[str]] = None, name: str = ""):
+        s = np.asarray(s, dtype=complex)
+        if s.ndim != 3 or s.shape[0] != len(frequency) or (
+            s.shape[1] != s.shape[2]
+        ):
+            raise ValueError(
+                f"s must have shape ({len(frequency)}, n, n), got {s.shape}"
+            )
+        if z0 <= 0:
+            raise ValueError(f"z0 must be positive, got {z0}")
+        self.frequency = frequency
+        self._s = s
+        self.z0 = float(z0)
+        self.name = name
+        n = s.shape[1]
+        if port_names is None:
+            port_names = [f"p{k + 1}" for k in range(n)]
+        if len(port_names) != n:
+            raise ValueError(
+                f"{len(port_names)} port names for {n} ports"
+            )
+        self.port_names = list(port_names)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_twoport(cls, network: TwoPort, name: str = "") -> "NPort":
+        return cls(network.frequency, network.s, z0=network.z0,
+                   name=name or network.name)
+
+    @classmethod
+    def from_acresult(cls, result, name: str = "") -> "NPort":
+        """Wrap an :class:`repro.analysis.acsolver.ACResult`."""
+        return cls(result.frequency, result.s, z0=result.z0,
+                   port_names=result.port_names, name=name)
+
+    # -- views --------------------------------------------------------------
+    @property
+    def s(self) -> np.ndarray:
+        return self._s
+
+    @property
+    def n_ports(self) -> int:
+        return self._s.shape[1]
+
+    def port_index(self, port) -> int:
+        """Resolve a port given by index or name."""
+        if isinstance(port, str):
+            try:
+                return self.port_names.index(port)
+            except ValueError:
+                raise KeyError(
+                    f"unknown port {port!r} (have {self.port_names})"
+                ) from None
+        index = int(port)
+        if not 0 <= index < self.n_ports:
+            raise IndexError(
+                f"port index {index} out of range for {self.n_ports} ports"
+            )
+        return index
+
+    def s_element(self, i: int, j: int) -> np.ndarray:
+        """S(i, j) trace with 1-indexed ports."""
+        return self._s[:, i - 1, j - 1]
+
+    def as_twoport(self, name: str = "") -> TwoPort:
+        if self.n_ports != 2:
+            raise ValueError(f"network has {self.n_ports} ports, need 2")
+        return TwoPort(self.frequency, self._s, z0=self.z0,
+                       name=name or self.name)
+
+    def is_reciprocal(self, tol: float = 1e-9) -> bool:
+        return bool(np.all(np.abs(
+            self._s - np.swapaxes(self._s, 1, 2)
+        ) <= tol))
+
+    def is_passive(self, tol: float = 1e-9) -> bool:
+        gram = np.conjugate(np.swapaxes(self._s, 1, 2)) @ self._s
+        return bool(np.all(np.linalg.eigvalsh(gram) <= 1.0 + tol))
+
+    # -- composition -----------------------------------------------------
+    def terminate(self, port, gamma) -> "NPort":
+        """Close *port* with reflection coefficient *gamma*.
+
+        *gamma* may be scalar or per-frequency.  Returns the reduced
+        network; terminating a two-port yields a one-port whose single
+        S11 is the driving-point reflection.
+        """
+        k = self.port_index(port)
+        gamma = np.broadcast_to(
+            np.asarray(gamma, dtype=complex), (len(self.frequency),)
+        )
+        s = self._s
+        denominator = 1.0 - gamma * s[:, k, k]
+        if np.any(np.abs(denominator) < 1e-15):
+            raise ValueError(
+                f"termination resonates with port {port!r} "
+                "(1 - Gamma*Skk == 0)"
+            )
+        keep = [i for i in range(self.n_ports) if i != k]
+        factor = gamma / denominator
+        s_reduced = (
+            s[np.ix_(range(len(self.frequency)), keep, keep)]
+            + factor[:, None, None]
+            * s[:, keep, k][:, :, None] * s[:, k, keep][:, None, :]
+        )
+        return NPort(
+            self.frequency, s_reduced, z0=self.z0,
+            port_names=[self.port_names[i] for i in keep],
+            name=self.name,
+        )
+
+    def connect(self, own_port, other: "NPort", other_port) -> "NPort":
+        """Join *own_port* to *other_port* of another network.
+
+        The result's ports are this network's remaining ports followed
+        by the other network's remaining ports (original names kept,
+        prefixed on collision).
+        """
+        if not isinstance(other, NPort):
+            raise TypeError(f"expected NPort, got {type(other).__name__}")
+        if self.frequency != other.frequency:
+            raise ValueError("networks sampled on different grids")
+        if abs(self.z0 - other.z0) > 1e-9:
+            raise ValueError(
+                f"reference impedances differ: {self.z0} vs {other.z0}"
+            )
+        k = self.port_index(own_port)
+        j = other.port_index(other_port)
+        n_a = self.n_ports
+        n_total = n_a + other.n_ports
+        s_block = np.zeros((len(self.frequency), n_total, n_total),
+                           dtype=complex)
+        s_block[:, :n_a, :n_a] = self._s
+        s_block[:, n_a:, n_a:] = other.s
+        names_a = list(self.port_names)
+        names_b = list(other.port_names)
+        for idx, candidate in enumerate(names_b):
+            if candidate in names_a:
+                names_b[idx] = f"{other.name or 'b'}.{candidate}"
+        combined = NPort(self.frequency, s_block, z0=self.z0,
+                         port_names=names_a + names_b,
+                         name=_join(self.name, other.name))
+        return combined.innerconnect(k, n_a + j)
+
+    def innerconnect(self, port_a, port_b) -> "NPort":
+        """Join two ports of this network (Filipsson's reduction)."""
+        k = self.port_index(port_a)
+        l = self.port_index(port_b)
+        if k == l:
+            raise ValueError("cannot connect a port to itself")
+        s = self._s
+        skk = s[:, k, k]
+        sll = s[:, l, l]
+        skl = s[:, k, l]
+        slk = s[:, l, k]
+        denominator = (1.0 - skl) * (1.0 - slk) - skk * sll
+        if np.any(np.abs(denominator) < 1e-13):
+            raise ValueError(
+                "inner connection is resonant (singular reduction); "
+                "insert a small line or resistance between the ports"
+            )
+        keep = [i for i in range(self.n_ports) if i not in (k, l)]
+        f_idx = np.arange(len(self.frequency))
+        s_ik = s[:, keep, k]
+        s_il = s[:, keep, l]
+        s_kj = s[:, k, keep]
+        s_lj = s[:, l, keep]
+        numerator = (
+            s_kj[:, None, :] * ((1.0 - slk)[:, None, None] * s_il[:, :, None])
+            + s_lj[:, None, :] * ((1.0 - skl)[:, None, None] * s_ik[:, :, None])
+            + s_kj[:, None, :] * (sll[:, None, None] * s_ik[:, :, None])
+            + s_lj[:, None, :] * (skk[:, None, None] * s_il[:, :, None])
+        )
+        s_reduced = (
+            s[np.ix_(f_idx, keep, keep)]
+            + numerator / denominator[:, None, None]
+        )
+        return NPort(
+            self.frequency, s_reduced, z0=self.z0,
+            port_names=[self.port_names[i] for i in keep],
+            name=self.name,
+        )
+
+    def __repr__(self):
+        f = self.frequency.f_hz
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<NPort{label} {self.n_ports} ports, {len(f)} pts "
+            f"{f[0] / 1e9:.4g}-{f[-1] / 1e9:.4g} GHz>"
+        )
+
+
+def _join(a: str, b: str) -> str:
+    if a and b:
+        return f"{a}+{b}"
+    return a or b

@@ -1,0 +1,119 @@
+"""Two-port stability measures and stability circles.
+
+Unconditional stability requires ``K > 1`` and ``|Δ| < 1``
+(equivalently ``μ > 1``, the single-parameter Edwards–Sinsky test).
+The amplifier design flow treats ``μ > 1`` across a wide guard band as
+a hard constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "determinant",
+    "rollett_k",
+    "mu_source",
+    "mu_load",
+    "is_unconditionally_stable",
+    "StabilityCircle",
+    "source_stability_circle",
+    "load_stability_circle",
+]
+
+
+def _split(s):
+    s = np.asarray(s, dtype=complex)
+    return s[..., 0, 0], s[..., 0, 1], s[..., 1, 0], s[..., 1, 1]
+
+
+def determinant(s):
+    """Δ = S11 S22 − S12 S21."""
+    s11, s12, s21, s22 = _split(s)
+    return s11 * s22 - s12 * s21
+
+
+def rollett_k(s):
+    """Rollett stability factor K."""
+    s11, s12, s21, s22 = _split(s)
+    delta = determinant(s)
+    numerator = 1.0 - np.abs(s11) ** 2 - np.abs(s22) ** 2 + np.abs(delta) ** 2
+    return numerator / (2.0 * np.abs(s12 * s21))
+
+
+def mu_source(s):
+    """Edwards–Sinsky μ (geometric distance of the unstable region, port 1)."""
+    s11, s12, s21, s22 = _split(s)
+    delta = determinant(s)
+    denominator = np.abs(s22 - delta * np.conjugate(s11)) + np.abs(s12 * s21)
+    return (1.0 - np.abs(s11) ** 2) / denominator
+
+
+def mu_load(s):
+    """Edwards–Sinsky μ′ (port 2 counterpart of :func:`mu_source`)."""
+    s11, s12, s21, s22 = _split(s)
+    delta = determinant(s)
+    denominator = np.abs(s11 - delta * np.conjugate(s22)) + np.abs(s12 * s21)
+    return (1.0 - np.abs(s22) ** 2) / denominator
+
+
+def is_unconditionally_stable(s) -> np.ndarray:
+    """Boolean per-frequency test: μ > 1 (Edwards–Sinsky)."""
+    return mu_source(s) > 1.0
+
+
+@dataclass(frozen=True)
+class StabilityCircle:
+    """A circle in the reflection-coefficient plane.
+
+    ``stable_outside`` records whether the stable region is the circle
+    exterior (True) or interior (False), judged from the matched
+    (Γ = 0) condition.
+    """
+
+    center: complex
+    radius: float
+    stable_outside: bool
+
+    def contains(self, gamma) -> np.ndarray:
+        """Whether points lie inside the circle."""
+        return np.abs(np.asarray(gamma, dtype=complex) - self.center) < self.radius
+
+    def is_stable(self, gamma) -> np.ndarray:
+        """Whether terminations at *gamma* keep the port stable."""
+        inside = self.contains(gamma)
+        return ~inside if self.stable_outside else inside
+
+
+def source_stability_circle(s2x2) -> StabilityCircle:
+    """Source-plane (Γs) stability circle of a single 2x2 S matrix."""
+    return _stability_circle(np.asarray(s2x2, dtype=complex), source=True)
+
+
+def load_stability_circle(s2x2) -> StabilityCircle:
+    """Load-plane (ΓL) stability circle of a single 2x2 S matrix."""
+    return _stability_circle(np.asarray(s2x2, dtype=complex), source=False)
+
+
+def _stability_circle(s, source: bool) -> StabilityCircle:
+    if s.shape != (2, 2):
+        raise ValueError(f"expected a single 2x2 S matrix, got {s.shape}")
+    s11, s12, s21, s22 = s[0, 0], s[0, 1], s[1, 0], s[1, 1]
+    delta = s11 * s22 - s12 * s21
+    if source:
+        own, other = s11, s22
+    else:
+        own, other = s22, s11
+    denom = np.abs(own) ** 2 - np.abs(delta) ** 2
+    if abs(denom) < 1e-30:
+        raise ValueError("degenerate stability circle (|Sii| == |Δ|)")
+    center = np.conjugate(own - delta * np.conjugate(other)) / denom
+    radius = abs(s12 * s21 / denom)
+    # The origin (matched termination) is stable iff |S_other_port| < 1;
+    # decide which side of the circle is the stable one accordingly.
+    origin_inside = abs(center) < radius
+    origin_is_stable = abs(other) < 1.0
+    stable_outside = origin_is_stable != origin_inside
+    return StabilityCircle(complex(center), float(radius), bool(stable_outside))

@@ -1,0 +1,311 @@
+"""The :class:`TwoPort` network container and elementary network factories.
+
+A :class:`TwoPort` couples a :class:`~repro.rf.frequency.FrequencyGrid`
+with per-frequency S-parameters (shape ``(F, 2, 2)``) referenced to a
+single real impedance.  All other representations (Z, Y, ABCD, T) are
+derived on demand.
+
+Cascading uses the ``**`` operator, mirroring the left-to-right signal
+flow: ``input_match ** transistor ** output_match``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rf import conversions as cv
+from repro.rf.frequency import FrequencyGrid
+from repro.util.constants import Z0_REFERENCE
+
+__all__ = [
+    "TwoPort",
+    "series_impedance",
+    "shunt_admittance",
+    "shunt_impedance",
+    "transmission_line",
+    "ideal_transformer",
+    "attenuator",
+    "thru",
+]
+
+
+class TwoPort:
+    """An S-parameter two-port over a frequency grid.
+
+    Parameters
+    ----------
+    frequency:
+        The grid the matrices are sampled on.
+    s:
+        Complex array of shape ``(len(frequency), 2, 2)``.
+    z0:
+        Real reference impedance in ohms (default 50).
+    name:
+        Optional label used in ``repr`` and reports.
+    """
+
+    def __init__(self, frequency: FrequencyGrid, s, z0: float = Z0_REFERENCE,
+                 name: str = ""):
+        s = np.asarray(s, dtype=complex)
+        if s.shape != (len(frequency), 2, 2):
+            raise ValueError(
+                f"s must have shape ({len(frequency)}, 2, 2), got {s.shape}"
+            )
+        if z0 <= 0:
+            raise ValueError(f"z0 must be positive, got {z0}")
+        self.frequency = frequency
+        self._s = s
+        self.z0 = float(z0)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_s(cls, frequency, s, z0=Z0_REFERENCE, name=""):
+        """Build from S-parameters (identity constructor, for symmetry)."""
+        return cls(frequency, s, z0=z0, name=name)
+
+    @classmethod
+    def from_z(cls, frequency, z, z0=Z0_REFERENCE, name=""):
+        """Build from impedance parameters."""
+        return cls(frequency, cv.z_to_s(z, z0), z0=z0, name=name)
+
+    @classmethod
+    def from_y(cls, frequency, y, z0=Z0_REFERENCE, name=""):
+        """Build from admittance parameters."""
+        return cls(frequency, cv.y_to_s(y, z0), z0=z0, name=name)
+
+    @classmethod
+    def from_abcd(cls, frequency, abcd, z0=Z0_REFERENCE, name=""):
+        """Build from chain (ABCD) parameters."""
+        return cls(frequency, cv.abcd_to_s(abcd, z0), z0=z0, name=name)
+
+    # ------------------------------------------------------------------
+    # representations
+    # ------------------------------------------------------------------
+    @property
+    def s(self) -> np.ndarray:
+        """S-parameters, shape (F, 2, 2)."""
+        return self._s
+
+    @property
+    def z(self) -> np.ndarray:
+        """Impedance parameters, shape (F, 2, 2)."""
+        return cv.s_to_z(self._s, self.z0)
+
+    @property
+    def y(self) -> np.ndarray:
+        """Admittance parameters, shape (F, 2, 2)."""
+        return cv.s_to_y(self._s, self.z0)
+
+    @property
+    def abcd(self) -> np.ndarray:
+        """Chain parameters, shape (F, 2, 2)."""
+        return cv.s_to_abcd(self._s, self.z0)
+
+    @property
+    def t(self) -> np.ndarray:
+        """Transfer-scattering parameters, shape (F, 2, 2)."""
+        return cv.s_to_t(self._s)
+
+    def s_element(self, i: int, j: int) -> np.ndarray:
+        """One S-parameter trace, e.g. ``s_element(2, 1)`` for S21."""
+        return self._s[:, i - 1, j - 1]
+
+    @property
+    def s11(self):
+        return self._s[:, 0, 0]
+
+    @property
+    def s12(self):
+        return self._s[:, 0, 1]
+
+    @property
+    def s21(self):
+        return self._s[:, 1, 0]
+
+    @property
+    def s22(self):
+        return self._s[:, 1, 1]
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def cascade(self, other: "TwoPort") -> "TwoPort":
+        """Cascade self followed by *other* (signal flows self -> other)."""
+        self._check_compatible(other)
+        t_total = self.t @ other.t
+        return TwoPort(self.frequency, cv.t_to_s(t_total), z0=self.z0,
+                       name=_join_names(self.name, other.name, "**"))
+
+    def __pow__(self, other: "TwoPort") -> "TwoPort":
+        return self.cascade(other)
+
+    def parallel(self, other: "TwoPort") -> "TwoPort":
+        """Parallel-parallel connection (admittances add)."""
+        self._check_compatible(other)
+        return TwoPort.from_y(self.frequency, self.y + other.y, z0=self.z0,
+                              name=_join_names(self.name, other.name, "||"))
+
+    def series(self, other: "TwoPort") -> "TwoPort":
+        """Series-series connection (impedances add)."""
+        self._check_compatible(other)
+        return TwoPort.from_z(self.frequency, self.z + other.z, z0=self.z0,
+                              name=_join_names(self.name, other.name, "++"))
+
+    def flipped(self) -> "TwoPort":
+        """The network seen with ports 1 and 2 exchanged."""
+        s = self._s
+        flipped = np.empty_like(s)
+        flipped[:, 0, 0] = s[:, 1, 1]
+        flipped[:, 0, 1] = s[:, 1, 0]
+        flipped[:, 1, 0] = s[:, 0, 1]
+        flipped[:, 1, 1] = s[:, 0, 0]
+        return TwoPort(self.frequency, flipped, z0=self.z0,
+                       name=f"flip({self.name})" if self.name else "")
+
+    def renormalized(self, z0_new: float) -> "TwoPort":
+        """The same physical network referenced to a new real impedance."""
+        s_new = cv.renormalize_s(self._s, self.z0, z0_new)
+        return TwoPort(self.frequency, s_new, z0=z0_new, name=self.name)
+
+    def at(self, f_hz) -> np.ndarray:
+        """The 2x2 S matrix at the grid point closest to *f_hz*."""
+        return self._s[self.frequency.index_of(f_hz)]
+
+    # ------------------------------------------------------------------
+    # physical checks
+    # ------------------------------------------------------------------
+    def is_reciprocal(self, tol: float = 1e-9) -> bool:
+        """True when S12 == S21 within *tol* at every frequency."""
+        return bool(np.all(np.abs(self.s12 - self.s21) <= tol))
+
+    def is_passive(self, tol: float = 1e-9) -> bool:
+        """True when no eigenvalue of S^H S exceeds 1 (no power gain)."""
+        gram = np.conjugate(np.swapaxes(self._s, -1, -2)) @ self._s
+        eigvals = np.linalg.eigvalsh(gram)
+        return bool(np.all(eigvals <= 1.0 + tol))
+
+    def _check_compatible(self, other: "TwoPort"):
+        if not isinstance(other, TwoPort):
+            raise TypeError(f"expected TwoPort, got {type(other).__name__}")
+        if self.frequency != other.frequency:
+            raise ValueError("two-ports are sampled on different grids")
+        if abs(self.z0 - other.z0) > 1e-9:
+            raise ValueError(
+                f"reference impedances differ: {self.z0} vs {other.z0}"
+            )
+
+    def __repr__(self):
+        label = f" {self.name!r}" if self.name else ""
+        f = self.frequency.f_hz
+        return (
+            f"<TwoPort{label} {len(f)} pts "
+            f"{f[0] / 1e9:.4g}-{f[-1] / 1e9:.4g} GHz z0={self.z0:g}>"
+        )
+
+
+def _join_names(a: str, b: str, op: str) -> str:
+    if a and b:
+        return f"({a} {op} {b})"
+    return a or b
+
+
+# ----------------------------------------------------------------------
+# elementary networks
+# ----------------------------------------------------------------------
+
+def series_impedance(frequency: FrequencyGrid, z, z0=Z0_REFERENCE,
+                     name="series") -> TwoPort:
+    """A two-port consisting of impedance *z* in the series arm.
+
+    *z* may be a scalar or an array over the grid.
+    """
+    z = np.broadcast_to(np.asarray(z, dtype=complex), (len(frequency),))
+    abcd = np.zeros((len(frequency), 2, 2), dtype=complex)
+    abcd[:, 0, 0] = 1.0
+    abcd[:, 0, 1] = z
+    abcd[:, 1, 1] = 1.0
+    return TwoPort.from_abcd(frequency, abcd, z0=z0, name=name)
+
+
+def shunt_admittance(frequency: FrequencyGrid, y, z0=Z0_REFERENCE,
+                     name="shunt") -> TwoPort:
+    """A two-port consisting of admittance *y* from the line to ground."""
+    y = np.broadcast_to(np.asarray(y, dtype=complex), (len(frequency),))
+    abcd = np.zeros((len(frequency), 2, 2), dtype=complex)
+    abcd[:, 0, 0] = 1.0
+    abcd[:, 1, 0] = y
+    abcd[:, 1, 1] = 1.0
+    return TwoPort.from_abcd(frequency, abcd, z0=z0, name=name)
+
+
+def shunt_impedance(frequency: FrequencyGrid, z, z0=Z0_REFERENCE,
+                    name="shunt") -> TwoPort:
+    """A shunt element specified by its impedance (must be nonzero)."""
+    z = np.asarray(z, dtype=complex)
+    return shunt_admittance(frequency, 1.0 / z, z0=z0, name=name)
+
+
+def transmission_line(frequency: FrequencyGrid, z_char, gamma_l,
+                      z0=Z0_REFERENCE, name="line") -> TwoPort:
+    """A transmission-line two-port from characteristic impedance and γl.
+
+    Parameters
+    ----------
+    z_char:
+        Characteristic impedance [ohm], scalar or per-frequency array.
+    gamma_l:
+        Complex propagation constant times physical length, ``(α + jβ) l``,
+        scalar or per-frequency array (dimensionless).
+    """
+    n = len(frequency)
+    zc = np.broadcast_to(np.asarray(z_char, dtype=complex), (n,))
+    gl = np.broadcast_to(np.asarray(gamma_l, dtype=complex), (n,))
+    cosh_gl = np.cosh(gl)
+    sinh_gl = np.sinh(gl)
+    abcd = np.empty((n, 2, 2), dtype=complex)
+    abcd[:, 0, 0] = cosh_gl
+    abcd[:, 0, 1] = zc * sinh_gl
+    abcd[:, 1, 0] = sinh_gl / zc
+    abcd[:, 1, 1] = cosh_gl
+    return TwoPort.from_abcd(frequency, abcd, z0=z0, name=name)
+
+
+def ideal_transformer(frequency: FrequencyGrid, turns_ratio: float,
+                      z0=Z0_REFERENCE, name="xfmr") -> TwoPort:
+    """An ideal transformer with voltage ratio n:1 (port1:port2)."""
+    n_pts = len(frequency)
+    ratio = float(turns_ratio)
+    if ratio == 0:
+        raise ValueError("turns ratio must be nonzero")
+    abcd = np.zeros((n_pts, 2, 2), dtype=complex)
+    abcd[:, 0, 0] = ratio
+    abcd[:, 1, 1] = 1.0 / ratio
+    return TwoPort.from_abcd(frequency, abcd, z0=z0, name=name)
+
+
+def attenuator(frequency: FrequencyGrid, loss_db: float, z0=Z0_REFERENCE,
+               name="") -> TwoPort:
+    """A matched resistive T-pad attenuator with the given loss in dB."""
+    if loss_db < 0:
+        raise ValueError(f"loss must be non-negative dB, got {loss_db}")
+    if loss_db == 0:
+        return thru(frequency, z0=z0, name=name or "thru")
+    k = 10.0 ** (loss_db / 20.0)
+    r_series = z0 * (k - 1.0) / (k + 1.0)
+    r_shunt = 2.0 * z0 * k / (k * k - 1.0)
+    half = series_impedance(frequency, r_series, z0=z0)
+    middle = shunt_admittance(frequency, 1.0 / r_shunt, z0=z0)
+    pad = half ** middle ** half
+    pad.name = name or f"att{loss_db:g}dB"
+    return pad
+
+
+def thru(frequency: FrequencyGrid, z0=Z0_REFERENCE, name="thru") -> TwoPort:
+    """A zero-length perfect through connection."""
+    s = np.zeros((len(frequency), 2, 2), dtype=complex)
+    s[:, 0, 1] = 1.0
+    s[:, 1, 0] = 1.0
+    return TwoPort(frequency, s, z0=z0, name=name)

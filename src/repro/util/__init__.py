@@ -1,0 +1,5 @@
+"""Shared utilities: physical constants, unit conversions, validation."""
+
+from repro.util import constants, units, validation
+
+__all__ = ["constants", "units", "validation"]

@@ -1,0 +1,32 @@
+"""Physical constants and conventional reference values used across the toolkit.
+
+All values are in SI units.  The IEEE reference noise temperature ``T0``
+(290 K) is used for noise-figure definitions, per IRE/IEEE convention.
+"""
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299792458.0
+
+#: Vacuum permittivity [F/m].
+EPSILON_0 = 8.8541878128e-12
+
+#: Vacuum permeability [H/m].
+MU_0 = 1.25663706212e-6
+
+#: IEEE standard reference noise temperature [K].
+T0_KELVIN = 290.0
+
+#: Standard laboratory ambient temperature [K].
+T_AMBIENT = 296.15
+
+#: Conventional RF system reference impedance [ohm].
+Z0_REFERENCE = 50.0
+
+#: Free-space impedance [ohm].
+ETA_0 = 376.730313668

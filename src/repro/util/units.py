@@ -1,0 +1,91 @@
+"""Unit conversions for RF quantities.
+
+The toolkit stores every quantity internally in linear SI units (watts,
+volts, hertz, ratios).  Decibel conversions live here so that the rest of
+the code never open-codes ``10 * log10`` with the wrong factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "db10",
+    "db20",
+    "from_db10",
+    "from_db20",
+    "dbm_to_watt",
+    "watt_to_dbm",
+    "nf_db_to_factor",
+    "nf_factor_to_db",
+    "noise_temperature_to_nf_db",
+    "nf_db_to_noise_temperature",
+    "magphase_deg",
+    "from_magphase_deg",
+]
+
+_MIN_LINEAR = 1e-300
+
+
+def db10(x):
+    """Convert a power ratio to decibels (``10 log10``)."""
+    return 10.0 * np.log10(np.maximum(np.asarray(x, dtype=float), _MIN_LINEAR))
+
+
+def db20(x):
+    """Convert an amplitude (voltage/current/S-parameter magnitude) to decibels."""
+    mag = np.abs(np.asarray(x))
+    return 20.0 * np.log10(np.maximum(mag, _MIN_LINEAR))
+
+
+def from_db10(x_db):
+    """Convert decibels to a linear power ratio."""
+    return 10.0 ** (np.asarray(x_db, dtype=float) / 10.0)
+
+
+def from_db20(x_db):
+    """Convert decibels to a linear amplitude ratio."""
+    return 10.0 ** (np.asarray(x_db, dtype=float) / 20.0)
+
+
+def dbm_to_watt(p_dbm):
+    """Convert power in dBm to watts."""
+    return 1e-3 * from_db10(p_dbm)
+
+
+def watt_to_dbm(p_watt):
+    """Convert power in watts to dBm."""
+    return db10(np.asarray(p_watt, dtype=float) / 1e-3)
+
+
+def nf_db_to_factor(nf_db):
+    """Convert a noise figure in dB to a linear noise factor F >= 1."""
+    return from_db10(nf_db)
+
+
+def nf_factor_to_db(factor):
+    """Convert a linear noise factor to a noise figure in dB."""
+    return db10(factor)
+
+
+def noise_temperature_to_nf_db(temperature_kelvin, t0=290.0):
+    """Convert an equivalent noise temperature to a noise figure in dB."""
+    return db10(1.0 + np.asarray(temperature_kelvin, dtype=float) / t0)
+
+
+def nf_db_to_noise_temperature(nf_db, t0=290.0):
+    """Convert a noise figure in dB to an equivalent noise temperature [K]."""
+    return (from_db10(nf_db) - 1.0) * t0
+
+
+def magphase_deg(z):
+    """Split a complex array into (magnitude, phase-in-degrees)."""
+    z = np.asarray(z)
+    return np.abs(z), np.angle(z, deg=True)
+
+
+def from_magphase_deg(mag, phase_deg):
+    """Build a complex array from magnitude and phase in degrees."""
+    mag = np.asarray(mag, dtype=float)
+    phase = np.deg2rad(np.asarray(phase_deg, dtype=float))
+    return mag * np.exp(1j * phase)

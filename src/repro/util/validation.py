@@ -1,0 +1,56 @@
+"""Small argument-validation helpers shared across the toolkit."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ensure_positive",
+    "ensure_nonnegative",
+    "ensure_in_range",
+    "ensure_matrix_shape",
+    "ensure_1d",
+]
+
+
+def ensure_positive(value, name):
+    """Raise ``ValueError`` unless every element of *value* is > 0."""
+    arr = np.asarray(value, dtype=float)
+    if not np.all(arr > 0):
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def ensure_nonnegative(value, name):
+    """Raise ``ValueError`` unless every element of *value* is >= 0."""
+    arr = np.asarray(value, dtype=float)
+    if not np.all(arr >= 0):
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def ensure_in_range(value, low, high, name):
+    """Raise ``ValueError`` unless low <= value <= high (elementwise)."""
+    arr = np.asarray(value, dtype=float)
+    if not np.all((arr >= low) & (arr <= high)):
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value!r}")
+    return value
+
+
+def ensure_matrix_shape(array, shape_suffix, name):
+    """Raise ``ValueError`` unless ``array.shape`` ends with *shape_suffix*."""
+    arr = np.asarray(array)
+    if arr.shape[-len(shape_suffix):] != tuple(shape_suffix):
+        raise ValueError(
+            f"{name} must have trailing shape {tuple(shape_suffix)}, "
+            f"got {arr.shape}"
+        )
+    return arr
+
+
+def ensure_1d(array, name):
+    """Return *array* as a 1-D float ndarray or raise ``ValueError``."""
+    arr = np.atleast_1d(np.asarray(array, dtype=float))
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.devices.reference import make_reference_device
+from repro.rf.frequency import FrequencyGrid
+
+
+@pytest.fixture(scope="session")
+def grid():
+    """A small GNSS-band frequency grid used across tests."""
+    return FrequencyGrid.linear(1.0e9, 2.0e9, 9)
+
+
+@pytest.fixture(scope="session")
+def wide_grid():
+    """A wider grid covering 0.5-6 GHz."""
+    return FrequencyGrid.logarithmic(0.5e9, 6.0e9, 13)
+
+
+@pytest.fixture(scope="session")
+def golden_device():
+    """The canonical golden pHEMT (session-cached: it is deterministic)."""
+    return make_reference_device()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,47 @@
+"""Catalogue-snapping tests (repro.passives.catalog)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.passives.catalog import E12, E24, series_values, snap_to_series
+
+
+class TestSeriesValues:
+    def test_counts(self):
+        values = series_values(E24, decade_min=-12, decade_max=-11)
+        assert values.size == 2 * len(E24)
+
+    def test_sorted(self):
+        values = series_values(E12, decade_min=-12, decade_max=-9)
+        assert np.all(np.diff(values) > 0)
+
+
+class TestSnapping:
+    def test_exact_value_unchanged(self):
+        assert snap_to_series(4.7e-9) == pytest.approx(4.7e-9)
+
+    def test_midpoint_snaps_to_nearest(self):
+        snapped = snap_to_series(1.05e-9)
+        assert min(abs(snapped - 1.0e-9), abs(snapped - 1.1e-9)) < 1e-15
+
+    @given(st.floats(min_value=1e-12, max_value=1e-6))
+    @settings(max_examples=100, deadline=None)
+    def test_snap_within_one_e24_step(self, value):
+        snapped = snap_to_series(value)
+        # The widest E24 gap is 1.3 -> 1.5 (ratio 1.154), so the
+        # geometric distance to the snapped value is below half of it.
+        assert abs(np.log(snapped / value)) < 0.5 * np.log(1.5 / 1.3) + 1e-9
+
+    @given(st.floats(min_value=1e-12, max_value=1e-6))
+    @settings(max_examples=50, deadline=None)
+    def test_snap_idempotent(self, value):
+        snapped = snap_to_series(value)
+        assert snap_to_series(snapped) == pytest.approx(snapped, rel=1e-12)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            snap_to_series(0.0)
+        with pytest.raises(ValueError):
+            snap_to_series(-1e-9)

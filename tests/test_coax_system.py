@@ -1,0 +1,122 @@
+"""Coax-line and system-budget tests (repro.passives.coax, core.system_budget)."""
+
+import numpy as np
+import pytest
+
+from repro.core.amplifier import AmplifierTemplate, DesignVariables
+from repro.core.system_budget import SystemBudget
+from repro.passives.coax import CoaxLine, lmr240_like, rg58_like, rg174_like
+from repro.passives.splitter import WilkinsonDivider
+from repro.rf.frequency import FrequencyGrid
+from repro.util.constants import T0_KELVIN
+
+
+@pytest.fixture
+def fg():
+    return FrequencyGrid.linear(1.1e9, 1.7e9, 7)
+
+
+class TestCoaxLine:
+    def test_rg58_impedance_near_50(self):
+        cable = rg58_like(1.0)
+        assert cable.z0 == pytest.approx(50.0, abs=2.5)
+
+    def test_loss_magnitudes_ordered(self):
+        # Thinner cable, more loss; low-loss LMR best.
+        f = 1.5e9
+        assert rg174_like(1.0).loss_db(f) > rg58_like(1.0).loss_db(f)
+        assert rg58_like(1.0).loss_db(f) > lmr240_like(1.0).loss_db(f)
+
+    def test_rg58_loss_class(self):
+        # ~0.3-0.7 dB/m at 1.5 GHz for RG-58-class cable.
+        loss = float(rg58_like(1.0).loss_db(1.5e9))
+        assert 0.2 < loss < 0.8
+
+    def test_loss_scales_with_length(self):
+        short = rg58_like(1.0)
+        long = rg58_like(10.0)
+        assert float(long.loss_db(1.5e9)) == pytest.approx(
+            10 * float(short.loss_db(1.5e9)), rel=1e-9
+        )
+
+    def test_loss_grows_with_frequency(self):
+        cable = rg58_like(5.0)
+        f = np.array([0.5e9, 1.0e9, 2.0e9])
+        assert np.all(np.diff(cable.loss_db(f)) > 0)
+
+    def test_twoport_passive(self, fg):
+        network = rg58_like(10.0).as_twoport(fg)
+        assert network.is_passive()
+        assert network.is_reciprocal(tol=1e-9)
+
+    def test_matched_cable_nf_equals_loss_at_t0(self, fg):
+        from dataclasses import replace
+
+        cable = replace(rg58_like(10.0), temperature=T0_KELVIN)
+        noisy = cable.as_noisy_twoport(fg)
+        # A (nearly) matched passive at T0: NF ~= insertion loss.
+        np.testing.assert_allclose(
+            noisy.noise_figure_db(), cable.loss_db(fg.f_hz), atol=0.05
+        )
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CoaxLine(2e-3, 1e-3, 2.2, 1e-4, 5.8e7, 1.0)
+        with pytest.raises(ValueError):
+            CoaxLine(1e-3, 3e-3, 0.5, 1e-4, 5.8e7, 1.0)
+        with pytest.raises(ValueError):
+            CoaxLine(1e-3, 3e-3, 2.2, 1e-4, 5.8e7, -1.0)
+
+
+class TestSystemBudget:
+    @pytest.fixture(scope="class")
+    def template(self):
+        from repro.devices.reference import make_reference_device
+
+        return AmplifierTemplate(make_reference_device().small_signal)
+
+    def test_preamp_rescues_noise_figure(self, template, fg):
+        budget = SystemBudget(
+            template, DesignVariables(), downlead=rg58_like(15.0),
+            splitter=WilkinsonDivider(1.4e9),
+        )
+        result = budget.evaluate(fg)
+        # Without the preamp the chain NF equals the passive loss
+        # (~10-11 dB of cable + splitter); with the ~17 dB preamp in
+        # front, the receiver sees ~0.6 dB + the suppressed residual.
+        assert np.all(result.nf_without_preamp_db > 8.0)
+        assert np.all(result.nf_with_preamp_db < 3.2)
+        assert np.all(result.improvement_db() > 6.0)
+
+    def test_gain_budget(self, template, fg):
+        budget = SystemBudget(
+            template, DesignVariables(), downlead=rg58_like(15.0),
+            splitter=WilkinsonDivider(1.4e9),
+        )
+        result = budget.evaluate(fg)
+        # Preamp gain minus cable and splitter losses stays positive.
+        assert np.all(result.gain_with_preamp_db > 0.0)
+        assert np.all(result.gain_without_preamp_db < 0.0)
+
+    def test_without_splitter(self, template, fg):
+        budget = SystemBudget(template, DesignVariables(),
+                              downlead=lmr240_like(10.0))
+        result = budget.evaluate(fg)
+        summary = result.summary()
+        assert summary["NF_with_preamp_max_dB"] < 1.0
+        assert summary["improvement_min_dB"] > 1.0
+
+    def test_longer_cable_worse_without_preamp(self, template, fg):
+        short = SystemBudget(template, DesignVariables(),
+                             downlead=rg58_like(5.0)).evaluate(fg)
+        long = SystemBudget(template, DesignVariables(),
+                            downlead=rg58_like(30.0)).evaluate(fg)
+        assert np.all(long.nf_without_preamp_db
+                      > short.nf_without_preamp_db)
+        # The preamp strongly de-sensitizes the budget to cable length:
+        # the NF penalty of +25 m shrinks by well over half.
+        delta_with = np.max(long.nf_with_preamp_db
+                            - short.nf_with_preamp_db)
+        delta_without = np.min(long.nf_without_preamp_db
+                               - short.nf_without_preamp_db)
+        assert delta_with < 0.5 * delta_without

@@ -1,0 +1,65 @@
+"""Cold-FET extrinsic-extraction tests (repro.optimize.extraction).
+
+At Vds = 0 the individual access resistances are famously degenerate
+with the channel conductance (one reason Dambrine's method sweeps gate
+bias), so the assertions target the *identifiable* quantities: all
+inductances, the pad capacitances, and the conserved total resistance
+of the drain path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.datasets import BiasPoint
+from repro.devices.reference import ReferencePHEMT
+from repro.optimize.extraction import extract_extrinsics_cold_fet
+from repro.rf.frequency import FrequencyGrid
+
+
+@pytest.fixture(scope="module")
+def cold_result():
+    device = ReferencePHEMT(seed=9)
+    fg = FrequencyGrid.linear(0.5e9, 6e9, 23)
+    record = device.sparam_record(fg, BiasPoint(0.55, 0.0),
+                                  error_magnitude=0.002)
+    result = extract_extrinsics_cold_fet(record, seed=1)
+    return device, result
+
+
+class TestColdFet:
+    def test_fit_quality(self, cold_result):
+        __, result = cold_result
+        assert result.rms_error < 0.01
+        assert result.converged
+
+    def test_inductances_recovered(self, cold_result):
+        device, result = cold_result
+        true = device.small_signal.extrinsics
+        assert result.extrinsics.lg == pytest.approx(true.lg, rel=0.10)
+        assert result.extrinsics.ld == pytest.approx(true.ld, rel=0.10)
+        assert result.extrinsics.ls == pytest.approx(true.ls, rel=0.15)
+
+    def test_pad_capacitances_recovered(self, cold_result):
+        device, result = cold_result
+        true = device.small_signal.extrinsics
+        assert result.extrinsics.cpg == pytest.approx(true.cpg, rel=0.10)
+        assert result.extrinsics.cpd == pytest.approx(true.cpd, rel=0.10)
+
+    def test_drain_path_resistance_conserved(self, cold_result):
+        # rd + rs + 1/g_channel is identifiable even though the split
+        # between the three is not.
+        device, result = cold_result
+        true = device.small_signal.extrinsics
+        fitted_total = (
+            result.extrinsics.rd
+            + result.extrinsics.rs
+            + 1.0 / result.channel_conductance
+        )
+        true_total = (
+            true.rd + true.rs + 1.0 / float(device.dc.gds(0.55, 0.0))
+        )
+        assert fitted_total == pytest.approx(true_total, rel=0.05)
+
+    def test_channel_conductance_positive(self, cold_result):
+        __, result = cold_result
+        assert result.channel_conductance > 0

@@ -1,0 +1,143 @@
+"""Matrix-representation conversion tests (repro.rf.conversions).
+
+The backbone: every conversion must round-trip, and the pairwise
+compositions must commute (S->Y->ABCD == S->ABCD).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.rf.conversions as cv
+
+
+def _random_s(seed, n_freq=3):
+    """A well-conditioned random passive-ish S matrix batch."""
+    rng = np.random.default_rng(seed)
+    s = 0.4 * (
+        rng.standard_normal((n_freq, 2, 2))
+        + 1j * rng.standard_normal((n_freq, 2, 2))
+    ) / np.sqrt(2)
+    return s
+
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestRoundTrips:
+    @given(seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_s_z_roundtrip(self, seed):
+        s = _random_s(seed)
+        np.testing.assert_allclose(cv.z_to_s(cv.s_to_z(s)), s, atol=1e-10)
+
+    @given(seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_s_y_roundtrip(self, seed):
+        s = _random_s(seed)
+        np.testing.assert_allclose(cv.y_to_s(cv.s_to_y(s)), s, atol=1e-10)
+
+    @given(seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_s_abcd_roundtrip(self, seed):
+        s = _random_s(seed)
+        np.testing.assert_allclose(
+            cv.abcd_to_s(cv.s_to_abcd(s)), s, atol=1e-10
+        )
+
+    @given(seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_s_t_roundtrip(self, seed):
+        s = _random_s(seed)
+        np.testing.assert_allclose(cv.t_to_s(cv.s_to_t(s)), s, atol=1e-10)
+
+    @given(seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_z_y_inverse(self, seed):
+        z = cv.s_to_z(_random_s(seed))
+        np.testing.assert_allclose(cv.y_to_z(cv.z_to_y(z)), z, rtol=1e-9)
+
+    @given(seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_abcd_via_y_equals_direct(self, seed):
+        s = _random_s(seed)
+        direct = cv.s_to_abcd(s)
+        via_y = cv.y_to_abcd(cv.s_to_y(s))
+        np.testing.assert_allclose(via_y, direct, rtol=1e-8, atol=1e-10)
+
+    @given(seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_abcd_via_z_equals_direct(self, seed):
+        s = _random_s(seed)
+        direct = cv.s_to_abcd(s)
+        via_z = cv.z_to_abcd(cv.s_to_z(s))
+        np.testing.assert_allclose(via_z, direct, rtol=1e-8, atol=1e-10)
+
+
+class TestKnownNetworks:
+    def test_series_impedance_abcd(self):
+        # Series Z: ABCD = [[1, Z], [0, 1]].
+        z = 25.0 + 10.0j
+        abcd = np.array([[[1.0, z], [0.0, 1.0]]], dtype=complex)
+        s = cv.abcd_to_s(abcd, z0=50.0)
+        expected_s11 = z / (z + 100.0)
+        assert s[0, 0, 0] == pytest.approx(expected_s11)
+        assert s[0, 0, 1] == pytest.approx(s[0, 1, 0])
+
+    def test_matched_thru(self):
+        abcd = np.array([[[1.0, 0.0], [0.0, 1.0]]], dtype=complex)
+        s = cv.abcd_to_s(abcd)
+        assert s[0, 0, 0] == pytest.approx(0.0)
+        assert s[0, 1, 0] == pytest.approx(1.0)
+
+    def test_matched_load_z(self):
+        # S = 0 corresponds to Z = z0 * identity... for a 2x2 S=0:
+        z = cv.s_to_z(np.zeros((1, 2, 2), dtype=complex), z0=50.0)
+        np.testing.assert_allclose(z[0], 50.0 * np.eye(2))
+
+    def test_t_cascade_is_matrix_product(self):
+        s_a = _random_s(1)
+        s_b = _random_s(2)
+        t_total = cv.s_to_t(s_a) @ cv.s_to_t(s_b)
+        s_total = cv.t_to_s(t_total)
+        # Validate against ABCD cascading, an independent composition law.
+        abcd_total = cv.s_to_abcd(s_a) @ cv.s_to_abcd(s_b)
+        np.testing.assert_allclose(
+            s_total, cv.abcd_to_s(abcd_total), rtol=1e-8, atol=1e-10
+        )
+
+    def test_renormalize_identity(self):
+        s = _random_s(5)
+        np.testing.assert_allclose(
+            cv.renormalize_s(s, 50.0, 50.0), s, atol=1e-12
+        )
+
+    def test_renormalize_roundtrip(self):
+        s = _random_s(6)
+        back = cv.renormalize_s(cv.renormalize_s(s, 50.0, 75.0), 75.0, 50.0)
+        np.testing.assert_allclose(back, s, atol=1e-10)
+
+    def test_reciprocal_abcd_determinant_one(self):
+        # A reciprocal S (S12 == S21) must give det(ABCD) == 1.
+        s = _random_s(7)
+        s[:, 0, 1] = s[:, 1, 0]
+        abcd = cv.s_to_abcd(s)
+        det = abcd[:, 0, 0] * abcd[:, 1, 1] - abcd[:, 0, 1] * abcd[:, 1, 0]
+        np.testing.assert_allclose(det, 1.0, rtol=1e-9)
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            cv.s_to_z(np.zeros((3, 2, 3)))
+
+    def test_two_port_only_for_abcd(self):
+        with pytest.raises(ValueError):
+            cv.s_to_abcd(np.zeros((1, 3, 3)))
+
+    def test_nport_z_roundtrip(self):
+        rng = np.random.default_rng(0)
+        s = 0.3 * (rng.standard_normal((2, 4, 4))
+                   + 1j * rng.standard_normal((2, 4, 4)))
+        np.testing.assert_allclose(cv.z_to_s(cv.s_to_z(s)), s, atol=1e-10)

@@ -1,0 +1,114 @@
+"""DC operating-point solver tests (repro.analysis.dc)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dc import DcCircuit, DcConvergenceError
+from repro.devices.dcmodels import AngelovModel, CurticeQuadratic
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        circuit = DcCircuit("divider")
+        circuit.vsource("V1", "top", "gnd", 10.0)
+        circuit.resistor("R1", "top", "mid", 3e3)
+        circuit.resistor("R2", "mid", "gnd", 7e3)
+        solution = circuit.solve()
+        # GMIN loading perturbs node voltages at the 1e-8 level.
+        assert solution.v("mid") == pytest.approx(7.0, rel=1e-6)
+        assert solution.v("top") == pytest.approx(10.0, rel=1e-6)
+        assert solution.v("gnd") == 0.0
+
+    def test_current_source_into_resistor(self):
+        circuit = DcCircuit()
+        circuit.isource("I1", "n1", "gnd", 2e-3)
+        circuit.resistor("R1", "n1", "gnd", 1e3)
+        solution = circuit.solve()
+        assert solution.v("n1") == pytest.approx(2.0, rel=1e-6)
+
+    def test_two_sources_superposition(self):
+        circuit = DcCircuit()
+        circuit.vsource("V1", "a", "gnd", 5.0)
+        circuit.vsource("V2", "b", "gnd", 3.0)
+        circuit.resistor("R1", "a", "mid", 1e3)
+        circuit.resistor("R2", "b", "mid", 1e3)
+        circuit.resistor("R3", "mid", "gnd", 1e3)
+        solution = circuit.solve()
+        # Node equation: (v-5)/1k + (v-3)/1k + v/1k = 0 -> v = 8/3.
+        assert solution.v("mid") == pytest.approx(8.0 / 3.0, rel=1e-9)
+
+    def test_floating_node_raises(self):
+        circuit = DcCircuit("floating")
+        circuit.vsource("V1", "a", "gnd", 1.0)
+        circuit.resistor("R1", "a", "gnd", 1e3)
+        circuit.isource("I1", "b", "c", 1e-3)
+        # Nodes b and c only connect to each other through a current
+        # source: held up only by GMIN, so voltages blow up -> the step
+        # limiter prevents convergence.
+        with pytest.raises(DcConvergenceError):
+            circuit.solve(max_iterations=30)
+
+
+class TestFetBias:
+    def test_resistor_biased_fet_matches_scalar_solve(self):
+        model = CurticeQuadratic(beta=0.2, vto=0.3, lambda_=0.05, alpha=3.0)
+        circuit = DcCircuit("bias")
+        circuit.vsource("VDD", "vdd", "gnd", 3.0)
+        circuit.resistor("R1", "vdd", "gate", 47e3)
+        circuit.resistor("R2", "gate", "gnd", 10e3)
+        circuit.resistor("RD", "vdd", "drain", 150.0)
+        circuit.fet("Q1", "drain", "gate", "gnd", model)
+        solution = circuit.solve()
+        vg = 3.0 * 10.0 / 57.0
+
+        from scipy.optimize import brentq
+
+        def residual(vd):
+            return vd - (3.0 - 150.0 * float(model.ids(vg, vd)))
+
+        vd_expected = brentq(residual, 0.0, 3.0)
+        assert solution.v("gate") == pytest.approx(vg, rel=1e-6)
+        assert solution.v("drain") == pytest.approx(vd_expected, rel=1e-6)
+        bias = solution.fet_bias["Q1"]
+        assert bias["ids"] == pytest.approx(
+            float(model.ids(vg, vd_expected)), rel=1e-6
+        )
+        assert bias["gm"] > 0
+
+    def test_source_degeneration_self_bias(self):
+        # A source resistor introduces feedback; the solver must still
+        # converge and the reported Vgs must satisfy KCL.
+        model = AngelovModel()
+        circuit = DcCircuit("selfbias")
+        circuit.vsource("VDD", "vdd", "gnd", 3.0)
+        circuit.vsource("VG", "gate", "gnd", 0.60)
+        circuit.resistor("RD", "vdd", "drain", 100.0)
+        circuit.resistor("RS", "src", "gnd", 10.0)
+        circuit.fet("Q1", "drain", "gate", "src", model)
+        solution = circuit.solve()
+        bias = solution.fet_bias["Q1"]
+        # KCL at the source node: Ids flows through RS.
+        assert solution.v("src") == pytest.approx(
+            bias["ids"] * 10.0, rel=1e-6
+        )
+        assert bias["vgs"] == pytest.approx(
+            0.60 - solution.v("src"), rel=1e-9
+        )
+
+    def test_model_interface_enforced(self):
+        class NotAModel:
+            pass
+
+        with pytest.raises(TypeError):
+            DcCircuit().fet("Q1", "d", "g", "s", NotAModel())
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            DcCircuit().resistor("R1", "a", "b", -1.0)
+
+    def test_iterations_reported(self):
+        circuit = DcCircuit()
+        circuit.vsource("V1", "a", "gnd", 1.0)
+        circuit.resistor("R1", "a", "gnd", 1e3)
+        solution = circuit.solve()
+        assert solution.iterations >= 1

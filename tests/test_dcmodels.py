@@ -1,0 +1,134 @@
+"""DC model tests (repro.devices.dcmodels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.dcmodels import (
+    MODEL_REGISTRY,
+    AngelovModel,
+    CurticeCubic,
+    CurticeQuadratic,
+    StatzModel,
+    TomModel,
+)
+
+ALL_MODELS = [CurticeQuadratic, CurticeCubic, StatzModel, TomModel,
+              AngelovModel]
+
+
+@pytest.mark.parametrize("model_class", ALL_MODELS)
+class TestCommonBehaviour:
+    def test_zero_current_at_zero_vds(self, model_class):
+        model = model_class()
+        assert model.ids(0.5, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_current_monotonic_in_vds(self, model_class):
+        # The Curtice cubic's Vds-dependent drive lets Ids sag by a few
+        # ppm at high Vds; allow that known model property.
+        model = model_class()
+        vds = np.linspace(0.0, 4.0, 40)
+        ids = model.ids(0.55, vds)
+        assert np.all(np.diff(ids) >= -1e-4 * np.max(ids))
+
+    def test_gm_positive_in_saturation(self, model_class):
+        model = model_class()
+        assert float(model.gm(0.55, 3.0)) > 0
+
+    def test_gds_nonnegative_in_saturation(self, model_class):
+        model = model_class()
+        assert float(model.gds(0.55, 3.0)) >= -1e-9
+
+    def test_vectorized_over_grid(self, model_class):
+        model = model_class()
+        vgs = np.linspace(0.3, 0.7, 4)[:, None]
+        vds = np.linspace(0.1, 4.0, 5)[None, :]
+        ids = model.ids(vgs, vds)
+        assert ids.shape == (4, 5)
+        assert np.all(np.isfinite(ids))
+
+    def test_parameter_vector_roundtrip(self, model_class):
+        model = model_class()
+        rebuilt = model_class.from_vector(model.parameter_vector())
+        assert rebuilt == model
+
+    def test_from_vector_shape_checked(self, model_class):
+        with pytest.raises(ValueError):
+            model_class.from_vector(np.zeros(99))
+
+    def test_bounds_cover_defaults(self, model_class):
+        lower, upper = model_class.bounds_arrays()
+        defaults = model_class().parameter_vector()
+        assert np.all(defaults >= lower)
+        assert np.all(defaults <= upper)
+
+    def test_replaced(self, model_class):
+        model = model_class()
+        name = model_class.parameter_names()[0]
+        changed = model.replaced(**{name: getattr(model, name) * 1.01})
+        assert getattr(changed, name) != getattr(model, name)
+
+
+class TestThresholdModels:
+    @pytest.mark.parametrize("model_class",
+                             [CurticeQuadratic, StatzModel, TomModel])
+    def test_no_current_below_threshold(self, model_class):
+        model = model_class()
+        assert model.ids(model.vto - 0.2, 3.0) == pytest.approx(0.0,
+                                                                abs=1e-15)
+
+    def test_curtice_square_law(self):
+        model = CurticeQuadratic(beta=0.2, vto=0.3, lambda_=0.0, alpha=50.0)
+        # Deep saturation: Ids ~ beta (Vgs-Vto)^2.
+        assert float(model.ids(0.8, 3.0)) == pytest.approx(
+            0.2 * 0.25, rel=1e-4
+        )
+
+    def test_statz_compression(self):
+        # The b parameter compresses the drive at high overdrive.
+        soft = StatzModel(b=5.0)
+        hard = StatzModel(b=0.0)
+        assert float(soft.ids(0.8, 3.0)) < float(hard.ids(0.8, 3.0))
+
+    def test_tom_drain_feedback_reduces_current(self):
+        base = TomModel(delta=0.0)
+        compressed = TomModel(delta=1.0)
+        assert float(compressed.ids(0.6, 3.0)) < float(base.ids(0.6, 3.0))
+
+
+class TestAngelov:
+    def test_peak_gm_near_vpk(self):
+        model = AngelovModel(p2=0.0, p3=0.0)
+        vgs = np.linspace(0.0, 1.0, 201)
+        gm = model.gm(vgs, 3.0)
+        v_at_peak = vgs[np.argmax(gm)]
+        assert v_at_peak == pytest.approx(model.vpk, abs=0.02)
+
+    def test_current_at_vpk_is_ipk_scaled(self):
+        model = AngelovModel(lambda_=0.0, alpha=50.0)
+        # tanh(psi)=0 at vpk: Ids = Ipk in deep saturation.
+        assert float(model.ids(model.vpk, 3.0)) == pytest.approx(
+            model.ipk, rel=1e-3
+        )
+
+    def test_saturates_at_2ipk(self):
+        model = AngelovModel(lambda_=0.0, alpha=50.0)
+        assert float(model.ids(2.0, 3.0)) <= 2.0 * model.ipk * 1.001
+
+    @given(st.floats(min_value=-1.0, max_value=1.5))
+    @settings(max_examples=30, deadline=None)
+    def test_current_never_negative(self, vgs):
+        model = AngelovModel()
+        assert float(model.ids(vgs, 2.0)) >= 0.0
+
+
+class TestRegistry:
+    def test_registry_complete(self):
+        assert set(MODEL_REGISTRY) == {
+            "curtice2", "curtice3", "statz", "tom", "angelov"
+        }
+
+    def test_registry_values_are_classes(self):
+        for model_class in MODEL_REGISTRY.values():
+            assert issubclass(model_class, tuple(ALL_MODELS)[0].__mro__[1])

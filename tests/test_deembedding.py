@@ -1,0 +1,102 @@
+"""De-embedding tests (repro.rf.deembedding).
+
+Strategy: embed a known DUT into a synthetic fixture, generate the
+calibration standards from the same fixture, and demand the de-embedded
+result matches the bare DUT to numerical precision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rf.deembedding import open_short_deembed, split_thru, thru_deembed
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.twoport import (
+    attenuator,
+    series_impedance,
+    shunt_admittance,
+    thru,
+    transmission_line,
+)
+
+
+@pytest.fixture
+def fg():
+    return FrequencyGrid.linear(0.5e9, 3e9, 9)
+
+
+def _pad_fixture(fg, pad_c=0.12e-12, lead_r=0.8, lead_l=0.3e-9):
+    """Pads: shunt C at each port; leads: series R+L at each port.
+
+    Returns (pad, lead, open_std, short_std): the cascade elements for
+    embedding plus the calibration standards built the way the dummy
+    structures are physically laid out — pads alone (OPEN), and pads
+    with the leads shorted at the DUT plane (SHORT); neither standard
+    has a through path.
+    """
+    from repro.rf.twoport import TwoPort
+
+    omega = fg.omega
+    y_pad = 1j * omega * pad_c
+    z_lead = lead_r + 1j * omega * lead_l
+    pad = shunt_admittance(fg, y_pad)
+    lead = series_impedance(fg, z_lead)
+
+    y_open = np.zeros((len(fg), 2, 2), dtype=complex)
+    y_open[:, 0, 0] = y_pad
+    y_open[:, 1, 1] = y_pad
+    open_std = TwoPort.from_y(fg, y_open)
+
+    y_short = np.zeros((len(fg), 2, 2), dtype=complex)
+    y_short[:, 0, 0] = y_pad + 1.0 / z_lead
+    y_short[:, 1, 1] = y_pad + 1.0 / z_lead
+    short_std = TwoPort.from_y(fg, y_short)
+    return pad, lead, open_std, short_std
+
+
+class TestOpenShort:
+    def test_recovers_embedded_dut(self, fg):
+        pad, lead, open_std, short_std = _pad_fixture(fg)
+        dut = attenuator(fg, 4.0) ** series_impedance(fg, 10 + 5j)
+        # Fixture: pad-lead [DUT] lead-pad on both sides.
+        measured = pad ** lead ** dut ** lead.flipped() ** pad.flipped()
+        recovered = open_short_deembed(measured, open_std, short_std)
+        np.testing.assert_allclose(recovered.s, dut.s, atol=1e-7)
+
+    def test_identity_fixture_is_noop(self, fg):
+        # A negligible fixture: de-embedding changes nothing measurable.
+        pad, lead, open_std, short_std = _pad_fixture(
+            fg, pad_c=1e-18, lead_r=1e-9, lead_l=1e-15
+        )
+        dut = attenuator(fg, 7.0)
+        measured = pad ** lead ** dut ** lead.flipped() ** pad.flipped()
+        recovered = open_short_deembed(measured, open_std, short_std)
+        np.testing.assert_allclose(recovered.s, dut.s, atol=1e-6)
+
+    def test_grid_mismatch_rejected(self, fg):
+        other = FrequencyGrid.linear(0.5e9, 3e9, 7)
+        with pytest.raises(ValueError):
+            open_short_deembed(attenuator(fg, 3.0),
+                               attenuator(other, 3.0),
+                               attenuator(fg, 3.0))
+
+
+class TestThru:
+    def test_split_thru_halves_compose(self, fg):
+        fixture_half = transmission_line(fg, 55.0, 0.05 + 0.6j)
+        full_thru = fixture_half ** fixture_half.flipped()
+        half = split_thru(full_thru)
+        recomposed = half ** half.flipped()
+        np.testing.assert_allclose(recomposed.s, full_thru.s, atol=1e-8)
+
+    def test_thru_deembed_recovers_dut(self, fg):
+        fixture_half = transmission_line(fg, 55.0, 0.05 + 0.6j)
+        dut = attenuator(fg, 6.0) ** shunt_admittance(fg, 0.002j)
+        measured = fixture_half ** dut ** fixture_half.flipped()
+        thru_std = fixture_half ** fixture_half.flipped()
+        recovered = thru_deembed(measured, thru_std)
+        np.testing.assert_allclose(recovered.s, dut.s, atol=1e-7)
+
+    def test_perfect_thru_is_noop(self, fg):
+        dut = attenuator(fg, 2.0)
+        recovered = thru_deembed(dut, thru(fg))
+        np.testing.assert_allclose(recovered.s, dut.s, atol=1e-9)

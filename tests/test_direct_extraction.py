@@ -1,0 +1,136 @@
+"""Direct-stage and extraction-pipeline tests (repro.optimize)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.dcmodels import AngelovModel, CurticeQuadratic
+from repro.devices.datasets import BiasPoint
+from repro.devices.reference import ReferencePHEMT
+from repro.optimize.direct import refine_least_squares, refine_nelder_mead
+from repro.optimize.extraction import (
+    extract_dc_model,
+    extract_de_only,
+    extract_local_only,
+    extract_small_signal,
+)
+from repro.rf.frequency import FrequencyGrid
+
+
+class TestDirectStages:
+    def test_least_squares_linear_fit(self):
+        x_data = np.linspace(0, 1, 20)
+        y_data = 3.0 * x_data + 0.5
+
+        def residuals(p):
+            return p[0] * x_data + p[1] - y_data
+
+        result = refine_least_squares(residuals, [1.0, 0.0],
+                                      [-10, -10], [10, 10])
+        np.testing.assert_allclose(result.x, [3.0, 0.5], atol=1e-8)
+        assert result.converged
+
+    def test_least_squares_respects_bounds(self):
+        def residuals(p):
+            return np.array([p[0] - 5.0])
+
+        result = refine_least_squares(residuals, [0.0], [-1.0], [1.0])
+        assert result.x[0] == pytest.approx(1.0, abs=1e-8)
+
+    def test_least_squares_weights(self):
+        # Weighting the second point to zero makes the fit hit the first.
+        def residuals(p):
+            return np.array([p[0] - 1.0, p[0] - 3.0])
+
+        unweighted = refine_least_squares(residuals, [0.0], [-10], [10])
+        assert unweighted.x[0] == pytest.approx(2.0, abs=1e-6)
+        weighted = refine_least_squares(residuals, [0.0], [-10], [10],
+                                        weights=np.array([1.0, 1e-6]))
+        assert weighted.x[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_nelder_mead_quadratic(self):
+        result = refine_nelder_mead(
+            lambda x: float((x[0] - 0.3) ** 2 + (x[1] + 0.4) ** 2),
+            [0.0, 0.0], [-1, -1], [1, 1],
+        )
+        np.testing.assert_allclose(result.x, [0.3, -0.4], atol=1e-5)
+
+
+class TestDcExtraction:
+    @pytest.fixture(scope="class")
+    def iv(self):
+        return ReferencePHEMT(seed=77).iv_dataset()
+
+    def test_three_step_reaches_noise_floor(self, iv):
+        result = extract_dc_model(AngelovModel, iv, seed=0,
+                                  de_population=25, de_iterations=80)
+        assert result.rms_error_percent < 0.6
+        assert result.converged
+
+    def test_stage_errors_non_increasing(self, iv):
+        result = extract_dc_model(AngelovModel, iv, seed=0,
+                                  de_population=25, de_iterations=80)
+        assert result.stage_errors["local"] <= result.stage_errors[
+            "global"
+        ] + 1e-9
+
+    def test_wrong_model_fits_worse(self, iv):
+        good = extract_dc_model(AngelovModel, iv, seed=0,
+                                de_population=25, de_iterations=80)
+        bad = extract_dc_model(CurticeQuadratic, iv, seed=0,
+                               de_population=25, de_iterations=80)
+        assert bad.rms_error_percent > 2.0 * good.rms_error_percent
+
+    def test_de_only_less_accurate_than_three_step(self, iv):
+        three_step = extract_dc_model(AngelovModel, iv, seed=0,
+                                      de_population=25, de_iterations=60)
+        de_only = extract_de_only(AngelovModel, iv, seed=0,
+                                  de_population=25, de_iterations=60)
+        assert three_step.rms_error_percent <= de_only.rms_error_percent
+        assert de_only.nfev_local == 0
+
+    def test_local_only_runs(self, iv):
+        result = extract_local_only(AngelovModel, iv, seed=0)
+        assert result.nfev_global == 0
+        assert result.rms_error_percent > 0
+
+    def test_robust_stage_rejects_outliers(self):
+        # Corrupt a handful of I-V points hard; the three-step result
+        # must stay near the clean-fit parameters.
+        device = ReferencePHEMT(seed=11)
+        iv = device.iv_dataset(relative_noise=0.002,
+                               absolute_noise=5e-6)
+        rng = np.random.default_rng(4)
+        corrupted = iv.ids.copy()
+        flat = corrupted.ravel()
+        hit = rng.choice(flat.size, size=5, replace=False)
+        flat[hit] *= 2.5  # gross glitches
+        iv.ids = corrupted
+        robust = extract_dc_model(AngelovModel, iv, seed=0,
+                                  de_population=25, de_iterations=80)
+        de_only = extract_de_only(AngelovModel, iv, seed=0,
+                                  de_population=25, de_iterations=80)
+        truth = device.dc
+        vgs, vds = 0.52, 3.0
+        err_robust = abs(
+            float(robust.model.ids(vgs, vds)) - float(truth.ids(vgs, vds))
+        )
+        err_plain = abs(
+            float(de_only.model.ids(vgs, vds)) - float(truth.ids(vgs, vds))
+        )
+        assert err_robust <= err_plain * 1.05
+
+
+class TestSmallSignalExtraction:
+    def test_recovers_intrinsic_elements(self):
+        device = ReferencePHEMT(seed=21)
+        fg = FrequencyGrid.linear(0.5e9, 3e9, 15)
+        bias = BiasPoint(0.52, 3.0)
+        record = device.sparam_record(fg, bias, error_magnitude=0.002)
+        result = extract_small_signal(
+            record, device.small_signal.extrinsics, seed=1,
+            de_population=30, de_iterations=120,
+        )
+        truth = device.small_signal.intrinsic_at(bias.vgs, bias.vds)
+        assert result.intrinsic.gm == pytest.approx(truth.gm, rel=0.05)
+        assert result.intrinsic.cgs == pytest.approx(truth.cgs, rel=0.10)
+        assert result.rms_error < 0.05

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script must run end-to-end.
+
+The heavyweight optimization examples run in their fast paths; each
+must finish without error and print its headline sections.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, argv=()):
+    saved_argv = sys.argv
+    sys.argv = [script, *argv]
+    try:
+        return runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+class TestExamples:
+    def test_passive_library_tour(self, capsys):
+        _run("passive_library_tour.py")
+        out = capsys.readouterr().out
+        assert "dispersion of Q and ESR" in out
+        assert "Wilkinson" in out
+
+    def test_antenna_system_budget(self, capsys):
+        _run("antenna_system_budget.py")
+        out = capsys.readouterr().out
+        assert "system noise figure" in out
+        assert "RG-58" in out
+
+    def test_quickstart(self, capsys):
+        _run("quickstart.py")
+        out = capsys.readouterr().out
+        assert "design-band performance" in out
+        assert "goal attainment factor" in out
+
+    def test_model_extraction(self, capsys):
+        _run("model_extraction.py")
+        out = capsys.readouterr().out
+        assert "best model: angelov" in out
+        assert "small-signal intrinsic extraction" in out
+
+    def test_gnss_lna_design_fast(self, capsys):
+        _run("gnss_lna_design.py", argv=["--fast"])
+        out = capsys.readouterr().out
+        assert "step 1: multi-objective optimization" in out
+        assert "step 5: two-tone IM3 check" in out
+
+    @pytest.mark.parametrize("experiment_id", ["E7"])
+    def test_reproduce_paper_subset(self, capsys, experiment_id):
+        _run("reproduce_paper.py", argv=["--fast", experiment_id])
+        out = capsys.readouterr().out
+        assert f"[{experiment_id} completed" in out
+
+    def test_reproduce_paper_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            _run("reproduce_paper.py", argv=["E99"])

@@ -1,0 +1,100 @@
+"""FrequencyGrid / Band tests (repro.rf.frequency)."""
+
+import numpy as np
+import pytest
+
+from repro.rf.frequency import Band, FrequencyGrid
+
+
+class TestFrequencyGrid:
+    def test_linear_endpoints(self):
+        grid = FrequencyGrid.linear(1e9, 2e9, 11)
+        assert grid.f_hz[0] == 1e9
+        assert grid.f_hz[-1] == 2e9
+        assert len(grid) == 11
+
+    def test_logarithmic_is_geometric(self):
+        grid = FrequencyGrid.logarithmic(1e8, 1e10, 5)
+        ratios = grid.f_hz[1:] / grid.f_hz[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+
+    def test_single(self):
+        grid = FrequencyGrid.single(1.4e9)
+        assert len(grid) == 1
+        assert grid.f_hz[0] == 1.4e9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FrequencyGrid(np.array([0.0, 1e9]))
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            FrequencyGrid(np.array([2e9, 1e9]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            FrequencyGrid(np.array([1e9, 1e9]))
+
+    def test_immutable(self):
+        grid = FrequencyGrid.linear(1e9, 2e9, 3)
+        with pytest.raises(ValueError):
+            grid.f_hz[0] = 5e9
+
+    def test_omega(self):
+        grid = FrequencyGrid.single(1e9)
+        assert grid.omega[0] == pytest.approx(2 * np.pi * 1e9)
+
+    def test_index_of_picks_closest(self):
+        grid = FrequencyGrid.linear(1e9, 2e9, 11)
+        assert grid.index_of(1.44e9) == 4
+        assert grid.index_of(1.46e9) == 5
+
+    def test_equality(self):
+        a = FrequencyGrid.linear(1e9, 2e9, 5)
+        b = FrequencyGrid.linear(1e9, 2e9, 5)
+        c = FrequencyGrid.linear(1e9, 2e9, 6)
+        assert a == b
+        assert a != c
+
+    def test_iteration(self):
+        grid = FrequencyGrid.linear(1e9, 2e9, 3)
+        assert list(grid) == [1e9, 1.5e9, 2e9]
+
+
+class TestBand:
+    def test_center_and_width(self):
+        band = Band("test", 1.0e9, 2.0e9)
+        assert band.center == pytest.approx(1.5e9)
+        assert band.width == pytest.approx(1.0e9)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Band("bad", 2e9, 1e9)
+
+    def test_rejects_nonpositive_low(self):
+        with pytest.raises(ValueError):
+            Band("bad", 0.0, 1e9)
+
+    def test_contains(self):
+        band = Band("test", 1.1e9, 1.7e9)
+        result = band.contains(np.array([1.0e9, 1.2e9, 1.8e9]))
+        np.testing.assert_array_equal(result, [False, True, False])
+
+    def test_grid_spans_band(self):
+        band = Band("test", 1.1e9, 1.7e9)
+        grid = band.grid(7)
+        assert grid.f_hz[0] == band.f_low
+        assert grid.f_hz[-1] == band.f_high
+
+    def test_restricted(self):
+        grid = FrequencyGrid.linear(1e9, 2e9, 11)
+        band = Band("mid", 1.25e9, 1.65e9)
+        restricted = grid.restricted(band)
+        assert np.all(band.contains(restricted.f_hz))
+        assert len(restricted) == 4  # 1.3, 1.4, 1.5, 1.6 GHz
+
+    def test_restricted_empty_raises(self):
+        grid = FrequencyGrid.linear(1e9, 2e9, 3)
+        band = Band("narrow", 1.1e9, 1.2e9)
+        with pytest.raises(ValueError):
+            grid.restricted(band)

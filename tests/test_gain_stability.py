@@ -1,0 +1,147 @@
+"""Gain and stability tests (repro.rf.gain, repro.rf.stability)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rf import gain as gn
+from repro.rf import stability as stab
+
+
+def _random_s(seed, scale=0.5, n=4):
+    rng = np.random.default_rng(seed)
+    return scale * (
+        rng.standard_normal((n, 2, 2)) + 1j * rng.standard_normal((n, 2, 2))
+    ) / np.sqrt(2)
+
+
+def _unilateral_amp(s21=4.0, s11=0.3, s22=0.4, n=3):
+    s = np.zeros((n, 2, 2), dtype=complex)
+    s[:, 0, 0] = s11
+    s[:, 1, 0] = s21
+    s[:, 1, 1] = s22
+    return s
+
+
+class TestGains:
+    def test_matched_transducer_gain_is_s21_squared(self):
+        s = _random_s(0)
+        np.testing.assert_allclose(
+            gn.transducer_gain(s), np.abs(s[..., 1, 0]) ** 2, rtol=1e-12
+        )
+
+    def test_gt_equals_ga_at_output_conjugate_match(self):
+        # With the source at Gamma_s and the load conjugate-matched to
+        # Gamma_out, GT == GA by definition.
+        s = _random_s(3, scale=0.3)
+        gamma_s = 0.2 - 0.1j
+        gamma_out = gn.output_reflection(s, gamma_s)
+        gt = gn.transducer_gain(s, gamma_s, np.conjugate(gamma_out))
+        ga = gn.available_gain(s, gamma_s)
+        np.testing.assert_allclose(gt, ga, rtol=1e-9)
+
+    def test_gt_equals_gp_at_input_conjugate_match(self):
+        s = _random_s(4, scale=0.3)
+        gamma_l = -0.15 + 0.25j
+        gamma_in = gn.input_reflection(s, gamma_l)
+        gt = gn.transducer_gain(s, np.conjugate(gamma_in), gamma_l)
+        gp = gn.operating_gain(s, gamma_l)
+        np.testing.assert_allclose(gt, gp, rtol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_gt_never_exceeds_ga_or_gp(self, seed):
+        s = _random_s(seed, scale=0.35)
+        rng = np.random.default_rng(seed + 1)
+        gamma_s = 0.4 * (rng.random() - 0.5) + 0.4j * (rng.random() - 0.5)
+        gamma_l = 0.4 * (rng.random() - 0.5) + 0.4j * (rng.random() - 0.5)
+        gt = gn.transducer_gain(s, gamma_s, gamma_l)
+        ga = gn.available_gain(s, gamma_s)
+        gp = gn.operating_gain(s, gamma_l)
+        assert np.all(gt <= ga * (1 + 1e-9))
+        assert np.all(gt <= gp * (1 + 1e-9))
+
+    def test_unilateral_gain_matches_full_for_unilateral_network(self):
+        s = _unilateral_amp()
+        gamma_s, gamma_l = 0.2 + 0.1j, -0.1 + 0.3j
+        np.testing.assert_allclose(
+            gn.unilateral_transducer_gain(s, gamma_s, gamma_l),
+            gn.transducer_gain(s, gamma_s, gamma_l),
+            rtol=1e-12,
+        )
+
+    def test_msg_is_s21_over_s12(self):
+        s = _random_s(7)
+        np.testing.assert_allclose(
+            gn.maximum_stable_gain(s),
+            np.abs(s[..., 1, 0] / s[..., 0, 1]),
+        )
+
+    def test_mag_nan_when_unstable(self):
+        # A strongly bilateral high-gain device has K < 1.
+        s = np.array([[[0.8 + 0j, 0.5], [5.0, 0.8]]], dtype=complex)
+        assert float(stab.rollett_k(s)[0]) < 1.0
+        assert np.isnan(gn.maximum_available_gain(s)[0])
+
+    def test_mag_finite_when_stable(self):
+        s = np.array([[[0.2 + 0j, 0.01], [3.0, 0.2]]], dtype=complex)
+        assert float(stab.rollett_k(s)[0]) > 1.0
+        mag = gn.maximum_available_gain(s)[0]
+        assert np.isfinite(mag)
+        assert mag <= gn.maximum_stable_gain(s)[0]
+
+
+class TestStability:
+    def test_passive_network_unconditionally_stable(self):
+        # Any strictly passive reciprocal network has mu > 1.
+        s = 0.5 * np.array(
+            [[[0.3 + 0.1j, 0.6 - 0.2j], [0.6 - 0.2j, -0.2 + 0.3j]]]
+        )
+        assert bool(stab.is_unconditionally_stable(s)[0])
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_mu_and_k_tests_agree(self, seed):
+        # Edwards-Sinsky: mu > 1  <=>  (K > 1 and |delta| < 1).
+        s = _random_s(seed, scale=0.8, n=1)
+        mu = float(stab.mu_source(s)[0])
+        k = float(stab.rollett_k(s)[0])
+        delta = abs(stab.determinant(s)[0])
+        k_test = k > 1.0 and delta < 1.0
+        assert (mu > 1.0) == k_test
+
+    def test_mu_source_and_load_same_sign_of_stability(self):
+        s = _random_s(11, scale=0.8, n=8)
+        source_stable = stab.mu_source(s) > 1.0
+        load_stable = stab.mu_load(s) > 1.0
+        np.testing.assert_array_equal(source_stable, load_stable)
+
+    def test_stability_circle_classifies_terminations(self):
+        # Potentially unstable device: terminations inside/outside the
+        # load stability circle must flip the sign of |Gamma_in| - 1.
+        s2 = np.array([[0.7 + 0.2j, 0.4], [4.0, 0.5 - 0.3j]], dtype=complex)
+        circle = stab.load_stability_circle(s2)
+        probe_angles = np.linspace(0, 2 * np.pi, 24, endpoint=False)
+        for radius_scale, expect_inside in ((0.8, True), (1.25, False)):
+            gammas = circle.center + radius_scale * circle.radius * np.exp(
+                1j * probe_angles
+            )
+            gammas = gammas[np.abs(gammas) < 1.0]
+            if gammas.size == 0:
+                continue
+            from repro.rf.gain import input_reflection
+
+            gamma_in = input_reflection(s2[None, :, :], gammas[:, None])
+            unstable_input = np.abs(gamma_in) > 1.0
+            inside = circle.contains(gammas)
+            np.testing.assert_array_equal(inside, expect_inside)
+            # |Gamma_in| > 1 exactly on the unstable side of the circle.
+            is_stable_predicted = circle.is_stable(gammas)
+            np.testing.assert_array_equal(
+                is_stable_predicted, ~unstable_input.ravel()
+            )
+
+    def test_circle_requires_single_matrix(self):
+        with pytest.raises(ValueError):
+            stab.source_stability_circle(np.zeros((3, 2, 2)))

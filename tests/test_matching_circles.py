@@ -1,0 +1,154 @@
+"""Matching and design-circle tests (repro.rf.matching, repro.rf.circles)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rf.circles import available_gain_circle, noise_circle
+from repro.rf.gain import available_gain, input_reflection, output_reflection
+from repro.rf.matching import (
+    design_l_section,
+    gamma_from_impedance,
+    impedance_from_gamma,
+    mismatch_loss_db,
+    simultaneous_conjugate_match,
+    vswr_from_gamma,
+)
+from repro.rf.noise import NoiseParameters
+
+
+class TestReflectionAlgebra:
+    @given(
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=-200.0, max_value=200.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gamma_impedance_roundtrip(self, r, x):
+        z = complex(r, x)
+        gamma = gamma_from_impedance(z)
+        assert np.abs(gamma) < 1.0
+        assert impedance_from_gamma(gamma) == pytest.approx(z, rel=1e-9)
+
+    def test_matched_gamma_zero(self):
+        assert gamma_from_impedance(50.0) == pytest.approx(0.0)
+
+    def test_vswr_of_match_is_one(self):
+        assert vswr_from_gamma(0.0) == pytest.approx(1.0)
+
+    def test_vswr_of_2to1(self):
+        gamma = gamma_from_impedance(100.0)  # |Gamma| = 1/3 -> VSWR 2
+        assert vswr_from_gamma(gamma) == pytest.approx(2.0)
+
+    def test_mismatch_loss_zero_at_match(self):
+        assert mismatch_loss_db(0.0) == pytest.approx(0.0)
+
+    def test_mismatch_loss_3db_at_half_power(self):
+        gamma = np.sqrt(0.5)
+        assert mismatch_loss_db(gamma) == pytest.approx(
+            10 * np.log10(2), rel=1e-9
+        )
+
+
+class TestLSection:
+    @given(
+        st.floats(min_value=5.0, max_value=400.0),
+        st.floats(min_value=-150.0, max_value=150.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_l_section_transforms_load_to_target(self, r_load, x_load):
+        f_hz = 1.5e9
+        z_load = complex(r_load, x_load)
+        z_target = complex(50.0, 0.0)
+        section = design_l_section(z_load, z_target, f_hz)
+        # Apply the section analytically: shunt (susceptance) and
+        # series (reactance) in the designed order, looking from target
+        # side toward the load.
+        if section.shunt_first:
+            y_mid = 1.0 / z_load + 1j * section.shunt_b
+            z_in = 1.0 / y_mid + 1j * section.series_x
+        else:
+            z_mid = z_load + 1j * section.series_x
+            y_in = 1.0 / z_mid + 1j * section.shunt_b
+            z_in = 1.0 / y_in
+        assert z_in.real == pytest.approx(z_target.real, rel=1e-6, abs=1e-6)
+        assert z_in.imag == pytest.approx(z_target.imag, rel=1e-6, abs=1e-6)
+
+    def test_element_realization_signs(self):
+        section = design_l_section(20.0 + 10.0j, 50.0, 1.5e9)
+        elements = section.element_values()
+        for role in ("series", "shunt"):
+            kind, value = elements[role]
+            assert kind in ("L", "C")
+            assert value > 0
+
+    def test_rejects_nonpositive_real(self):
+        with pytest.raises(ValueError):
+            design_l_section(-10.0 + 5j, 50.0, 1e9)
+
+
+class TestConjugateMatch:
+    def test_simultaneous_match_conjugates_both_ports(self):
+        # A stable device: verify Gamma_in = Gamma_s* and Gamma_out = Gamma_l*.
+        s = np.array([[0.3 - 0.2j, 0.05], [2.0 + 0.5j, 0.4 + 0.1j]],
+                     dtype=complex)
+        gamma_s, gamma_l = simultaneous_conjugate_match(s)
+        assert abs(gamma_s) < 1.0
+        assert abs(gamma_l) < 1.0
+        gamma_in = complex(input_reflection(s[None], gamma_l)[0])
+        gamma_out = complex(output_reflection(s[None], gamma_s)[0])
+        assert gamma_in == pytest.approx(np.conjugate(gamma_s), rel=1e-9)
+        assert gamma_out == pytest.approx(np.conjugate(gamma_l), rel=1e-9)
+
+    def test_unstable_device_rejected(self):
+        s = np.array([[0.8, 0.5], [5.0, 0.8]], dtype=complex)
+        with pytest.raises(ValueError):
+            simultaneous_conjugate_match(s)
+
+    def test_requires_2x2(self):
+        with pytest.raises(ValueError):
+            simultaneous_conjugate_match(np.zeros((3, 2, 2)))
+
+
+class TestNoiseCircles:
+    def test_circle_at_nfmin_degenerates_to_gamma_opt(self):
+        fmin, rn, gamma_opt = 1.3, 12.0, 0.4 + 0.2j
+        circle = noise_circle(fmin, rn, gamma_opt,
+                              nf_target_db=10 * np.log10(fmin))
+        assert circle.center == pytest.approx(gamma_opt, rel=1e-9)
+        assert circle.radius == pytest.approx(0.0, abs=1e-9)
+
+    def test_points_on_circle_achieve_target_nf(self):
+        fmin, rn, gamma_opt = 1.3, 12.0, 0.35 - 0.15j
+        target_db = 2.0
+        circle = noise_circle(fmin, rn, gamma_opt, target_db)
+        params = NoiseParameters(
+            [fmin], [rn],
+            [(1 - gamma_opt) / (1 + gamma_opt) / 50.0],
+        )
+        for gamma in circle.points(17):
+            nf = params.noise_figure_db(
+                (1 - gamma) / (1 + gamma) / 50.0
+            )[0]
+            assert nf == pytest.approx(target_db, abs=1e-6)
+
+    def test_target_below_nfmin_rejected(self):
+        with pytest.raises(ValueError):
+            noise_circle(1.5, 10.0, 0.3 + 0j, nf_target_db=1.0)
+
+
+class TestGainCircles:
+    def test_points_on_circle_achieve_target_gain(self):
+        s = np.array([[0.3 - 0.2j, 0.05], [2.0 + 0.5j, 0.4 + 0.1j]],
+                     dtype=complex)
+        target_db = 6.5
+        circle = available_gain_circle(s, target_db)
+        for gamma_s in circle.points(17):
+            if abs(gamma_s) >= 1.0:
+                continue
+            ga = float(available_gain(s[None], gamma_s)[0])
+            assert 10 * np.log10(ga) == pytest.approx(target_db, abs=1e-6)
+
+    def test_requires_2x2(self):
+        with pytest.raises(ValueError):
+            available_gain_circle(np.zeros((2, 2, 2)), 10.0)

@@ -1,0 +1,145 @@
+"""Metaheuristic optimizer tests (repro.optimize.metaheuristics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimize.metaheuristics import (
+    differential_evolution,
+    latin_hypercube,
+    particle_swarm,
+    simulated_annealing,
+)
+
+
+def sphere(x):
+    return float(np.sum(x**2))
+
+def rosenbrock(x):
+    return float((1 - x[0]) ** 2 + 100 * (x[1] - x[0] ** 2) ** 2)
+
+def rastrigin(x):
+    return float(10 * x.size + np.sum(x**2 - 10 * np.cos(2 * np.pi * x)))
+
+
+BOUNDS_2D = (np.array([-5.0, -5.0]), np.array([5.0, 5.0]))
+
+
+class TestLatinHypercube:
+    def test_stratification(self):
+        rng = np.random.default_rng(0)
+        samples = latin_hypercube(10, [0.0], [1.0], rng)
+        # One sample per decile.
+        bins = np.floor(samples[:, 0] * 10).astype(int)
+        assert sorted(bins) == list(range(10))
+
+    def test_within_bounds(self):
+        rng = np.random.default_rng(1)
+        samples = latin_hypercube(50, [-2.0, 10.0], [2.0, 20.0], rng)
+        assert np.all(samples[:, 0] >= -2) and np.all(samples[:, 0] <= 2)
+        assert np.all(samples[:, 1] >= 10) and np.all(samples[:, 1] <= 20)
+
+    def test_bad_bounds_rejected(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            latin_hypercube(5, [1.0], [0.0], rng)
+
+
+class TestDifferentialEvolution:
+    def test_solves_sphere(self):
+        result = differential_evolution(sphere, *BOUNDS_2D, seed=0,
+                                        max_iterations=150)
+        assert result.fun < 1e-8
+        np.testing.assert_allclose(result.x, 0.0, atol=1e-3)
+
+    def test_solves_rosenbrock(self):
+        result = differential_evolution(rosenbrock, *BOUNDS_2D, seed=0,
+                                        max_iterations=400)
+        np.testing.assert_allclose(result.x, 1.0, atol=1e-2)
+
+    def test_solves_multimodal_rastrigin(self):
+        result = differential_evolution(rastrigin, *BOUNDS_2D, seed=3,
+                                        population_size=40,
+                                        max_iterations=400)
+        assert result.fun < 1e-3  # global optimum, not a local one
+
+    def test_deterministic_given_seed(self):
+        a = differential_evolution(rosenbrock, *BOUNDS_2D, seed=7,
+                                   max_iterations=50)
+        b = differential_evolution(rosenbrock, *BOUNDS_2D, seed=7,
+                                   max_iterations=50)
+        np.testing.assert_array_equal(a.x, b.x)
+        assert a.nfev == b.nfev
+
+    def test_initial_point_seeded_into_population(self):
+        # Starting at the optimum must never be lost (greedy selection).
+        result = differential_evolution(sphere, *BOUNDS_2D, seed=0,
+                                        max_iterations=5,
+                                        initial=np.zeros(2))
+        assert result.fun <= 1e-12
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_solution_within_bounds(self, seed):
+        lower = np.array([0.5, -3.0])
+        upper = np.array([0.7, -2.0])
+        result = differential_evolution(sphere, lower, upper, seed=seed,
+                                        max_iterations=20)
+        assert np.all(result.x >= lower) and np.all(result.x <= upper)
+
+    def test_history_monotone_nonincreasing(self):
+        result = differential_evolution(rosenbrock, *BOUNDS_2D, seed=1,
+                                        max_iterations=60)
+        history = np.asarray(result.history)
+        assert np.all(np.diff(history) <= 1e-15)
+
+    def test_nfev_accounting(self):
+        result = differential_evolution(sphere, *BOUNDS_2D, seed=2,
+                                        population_size=10,
+                                        max_iterations=10,
+                                        tolerance=0.0)
+        assert result.nfev == 10 + 10 * 10
+
+
+class TestParticleSwarm:
+    def test_solves_sphere(self):
+        result = particle_swarm(sphere, *BOUNDS_2D, seed=0,
+                                max_iterations=200)
+        assert result.fun < 1e-6
+
+    def test_deterministic_given_seed(self):
+        a = particle_swarm(rosenbrock, *BOUNDS_2D, seed=5,
+                           max_iterations=40)
+        b = particle_swarm(rosenbrock, *BOUNDS_2D, seed=5,
+                           max_iterations=40)
+        np.testing.assert_array_equal(a.x, b.x)
+
+    def test_respects_bounds(self):
+        lower = np.array([1.0, 1.0])
+        upper = np.array([2.0, 2.0])
+        result = particle_swarm(sphere, lower, upper, seed=1,
+                                max_iterations=50)
+        assert np.all(result.x >= lower) and np.all(result.x <= upper)
+        # Constrained optimum is the corner (1, 1).
+        np.testing.assert_allclose(result.x, 1.0, atol=1e-6)
+
+
+class TestSimulatedAnnealing:
+    def test_solves_sphere(self):
+        result = simulated_annealing(sphere, *BOUNDS_2D, seed=0,
+                                     max_iterations=6000)
+        assert result.fun < 1e-3
+
+    def test_initial_point_accepted(self):
+        result = simulated_annealing(sphere, *BOUNDS_2D, seed=0,
+                                     max_iterations=100,
+                                     initial=np.array([0.0, 0.0]))
+        assert result.fun <= 1e-12
+
+    def test_deterministic_given_seed(self):
+        a = simulated_annealing(rosenbrock, *BOUNDS_2D, seed=9,
+                                max_iterations=500)
+        b = simulated_annealing(rosenbrock, *BOUNDS_2D, seed=9,
+                                max_iterations=500)
+        np.testing.assert_array_equal(a.x, b.x)

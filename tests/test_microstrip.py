@@ -1,0 +1,139 @@
+"""Microstrip model tests (repro.passives.microstrip)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.passives.microstrip import (
+    MicrostripLine,
+    MicrostripSubstrate,
+    synthesize_width,
+)
+from repro.rf.frequency import FrequencyGrid
+
+
+@pytest.fixture
+def substrate():
+    return MicrostripSubstrate()
+
+
+class TestSynthesis:
+    @given(st.floats(min_value=25.0, max_value=110.0))
+    @settings(max_examples=25, deadline=None)
+    def test_synthesis_analysis_roundtrip(self, z0_target):
+        substrate = MicrostripSubstrate()
+        width = synthesize_width(substrate, z0_target)
+        line = MicrostripLine(substrate, width, 10e-3)
+        assert line._z0_static == pytest.approx(z0_target, rel=2e-3)
+
+    def test_wider_strip_lower_impedance(self, substrate):
+        narrow = MicrostripLine(substrate, 0.3e-3, 10e-3)
+        wide = MicrostripLine(substrate, 3.0e-3, 10e-3)
+        assert wide._z0_static < narrow._z0_static
+
+    def test_unrealizable_target_rejected(self, substrate):
+        with pytest.raises(ValueError):
+            synthesize_width(substrate, 500.0)
+        with pytest.raises(ValueError):
+            synthesize_width(substrate, -50.0)
+
+
+class TestDispersion:
+    def test_eps_eff_between_one_and_er(self, substrate):
+        line = MicrostripLine(substrate, 1.1e-3, 10e-3)
+        f = np.logspace(8, 10.5, 20)
+        eps = line.eps_eff(f)
+        assert np.all(eps > 1.0)
+        assert np.all(eps < substrate.epsilon_r)
+
+    def test_eps_eff_monotonic_in_frequency(self, substrate):
+        line = MicrostripLine(substrate, 1.1e-3, 10e-3)
+        f = np.logspace(8, 10.5, 30)
+        eps = line.eps_eff(f)
+        assert np.all(np.diff(eps) >= -1e-12)
+
+    def test_eps_eff_approaches_er_at_high_f(self, substrate):
+        line = MicrostripLine(substrate, 1.1e-3, 10e-3)
+        assert line.eps_eff(1e12)[()] == pytest.approx(
+            substrate.epsilon_r, rel=0.02
+        )
+
+    def test_losses_positive_and_growing(self, substrate):
+        line = MicrostripLine(substrate, 1.1e-3, 10e-3)
+        f = np.array([0.5e9, 1e9, 2e9, 4e9])
+        alpha_c = line.alpha_conductor(f)
+        alpha_d = line.alpha_dielectric(f)
+        assert np.all(alpha_c > 0)
+        assert np.all(alpha_d > 0)
+        assert np.all(np.diff(alpha_c) > 0)  # ~ sqrt(f)
+        assert np.all(np.diff(alpha_d) > 0)  # ~ f
+
+    def test_electrical_length_scales_with_length(self, substrate):
+        short = MicrostripLine(substrate, 1.1e-3, 5e-3)
+        long = MicrostripLine(substrate, 1.1e-3, 10e-3)
+        assert long.electrical_length_deg(1.5e9) == pytest.approx(
+            2 * short.electrical_length_deg(1.5e9), rel=1e-9
+        )
+
+
+class TestNetworkViews:
+    def test_line_two_port_passive_reciprocal(self, substrate):
+        fg = FrequencyGrid.linear(0.5e9, 4e9, 7)
+        line = MicrostripLine(substrate, 1.1e-3, 20e-3)
+        network = line.as_twoport(fg)
+        assert network.is_passive()
+        assert network.is_reciprocal(tol=1e-9)
+
+    def test_y_matrix_vectorized_equals_scalar(self, substrate):
+        line = MicrostripLine(substrate, 1.1e-3, 15e-3)
+        f = np.array([1.0e9, 1.7e9])
+        stacked = line.y_matrix(f)
+        np.testing.assert_allclose(stacked[0], line.y_matrix(1.0e9))
+        np.testing.assert_allclose(stacked[1], line.y_matrix(1.7e9))
+
+    def test_mna_insertion_matches_twoport(self, substrate):
+        from repro.analysis.acsolver import solve_ac
+        from repro.analysis.netlist import Circuit
+
+        fg = FrequencyGrid.linear(0.8e9, 2e9, 5)
+        line = MicrostripLine(substrate, 1.1e-3, 25e-3)
+        circuit = Circuit()
+        circuit.port("p1", "a").port("p2", "b")
+        line.add_to(circuit, "a", "b")
+        result = solve_ac(circuit, fg)
+        np.testing.assert_allclose(
+            result.s, line.as_twoport(fg).s, atol=1e-9
+        )
+
+    def test_quarter_wave_transformer(self, substrate):
+        # A quarter-wave line of Z0 = sqrt(50*100) matches 100 ohm to 50.
+        z_transform = np.sqrt(50.0 * 100.0)
+        width = synthesize_width(substrate, z_transform)
+        probe = MicrostripLine(substrate, width, 1e-3)
+        f0 = 1.4e9
+        eps = float(probe.eps_eff(f0))
+        length = 3e8 / (4 * f0 * np.sqrt(eps))
+        line = MicrostripLine(substrate, width, length)
+        fg = FrequencyGrid.single(f0)
+        network = line.as_twoport(fg)
+        # Input reflection with a 100-ohm load, referenced to 50 ohm.
+        gamma_load = (100.0 - 50.0) / (100.0 + 50.0)
+        from repro.rf.gain import input_reflection
+
+        gamma_in = input_reflection(network.s, gamma_load)
+        assert abs(gamma_in[0]) < 0.05
+
+    def test_invalid_geometry_rejected(self, substrate):
+        with pytest.raises(ValueError):
+            MicrostripLine(substrate, 0.0, 1e-3)
+        with pytest.raises(ValueError):
+            MicrostripLine(substrate, 1e-3, -1e-3)
+
+    def test_substrate_validation(self):
+        with pytest.raises(ValueError):
+            MicrostripSubstrate(epsilon_r=0.5)
+        with pytest.raises(ValueError):
+            MicrostripSubstrate(height=-1e-3)
+        with pytest.raises(ValueError):
+            MicrostripSubstrate(tan_delta=-0.1)

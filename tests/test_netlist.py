@@ -1,0 +1,102 @@
+"""Netlist data-model tests (repro.analysis.netlist)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.netlist import Circuit, TransmissionLineElement
+
+
+class TestCircuitConstruction:
+    def test_nodes_registered_in_order(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", "b", 50.0)
+        circuit.capacitor("C1", "b", "c", 1e-12)
+        assert circuit.node_names == ["a", "b", "c"]
+
+    def test_ground_aliases_not_registered(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", "gnd", 50.0)
+        circuit.resistor("R2", "b", "0", 50.0)
+        assert circuit.node_names == ["a", "b"]
+        assert circuit.node_index("gnd") == -1
+        assert circuit.node_index("0") == -1
+
+    def test_duplicate_element_name_rejected(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", "b", 50.0)
+        with pytest.raises(ValueError):
+            circuit.resistor("R1", "b", "c", 75.0)
+
+    def test_duplicate_port_name_rejected(self):
+        circuit = Circuit()
+        circuit.port("p1", "a")
+        with pytest.raises(ValueError):
+            circuit.port("p1", "b")
+
+    def test_vccs_registers_all_nodes(self):
+        circuit = Circuit()
+        circuit.vccs("G1", "out_p", "out_n", "ctl_p", "ctl_n", 0.1)
+        assert set(circuit.node_names) == {"out_p", "out_n", "ctl_p",
+                                           "ctl_n"}
+
+    def test_yblock_registers_nodes(self):
+        circuit = Circuit()
+        circuit.y_block("X1", ("n1", "n2", "n3"),
+                        lambda f: np.zeros((3, 3), dtype=complex))
+        assert circuit.node_names == ["n1", "n2", "n3"]
+
+    def test_builder_chaining(self):
+        circuit = (
+            Circuit("chained")
+            .resistor("R1", "a", "b", 10.0)
+            .capacitor("C1", "b", "gnd", 1e-12)
+            .inductor("L1", "a", "gnd", 1e-9)
+            .port("p1", "a")
+        )
+        assert len(circuit.elements) == 3
+        assert len(circuit.ports) == 1
+
+
+class TestElementValidation:
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().resistor("R1", "a", "b", -5.0)
+
+    def test_zero_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().capacitor("C1", "a", "b", 0.0)
+
+    def test_zero_inductance_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().inductor("L1", "a", "b", 0.0)
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().resistor("R1", "a", "b", 10.0, temperature=-3.0)
+
+    def test_nonpositive_port_z0_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().port("p1", "a", z0=0.0)
+
+
+class TestTransmissionLineElement:
+    def test_y_matrix_reciprocal_symmetric(self):
+        element = TransmissionLineElement("T1", "a", "b", 75.0, 0.2 + 1.1j)
+        y = element.y_matrix(1e9)
+        assert y[0, 1] == pytest.approx(y[1, 0])
+        assert y[0, 0] == pytest.approx(y[1, 1])
+
+    def test_zero_length_rejected(self):
+        element = TransmissionLineElement("T1", "a", "b", 75.0, 0.0)
+        with pytest.raises(ValueError):
+            element.y_matrix(1e9)
+
+    def test_callable_parameters(self):
+        element = TransmissionLineElement(
+            "T1", "a", "b",
+            z_characteristic=lambda f: 75.0,
+            gamma_length=lambda f: 1j * 2 * np.pi * f / 3e8 * 0.01,
+        )
+        y1 = element.y_matrix(1.0e9)
+        y2 = element.y_matrix(2.0e9)
+        assert not np.allclose(y1, y2)

@@ -1,0 +1,216 @@
+"""Noise-theory tests (repro.rf.noise).
+
+Anchored on textbook results: a matched attenuator's NF equals its
+loss, a series resistor gives F = 1 + R/Rs, and the correlation-matrix
+cascade agrees with the Friis formula.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.noise import (
+    NoiseParameters,
+    NoisyTwoPort,
+    ca_from_cy,
+    ca_from_cz,
+    ca_from_noise_parameters,
+    cascade_ca,
+    cy_from_ca,
+    cz_from_ca,
+    friis_cascade,
+    noise_parameters_from_ca,
+    passive_cy,
+)
+from repro.rf.twoport import attenuator, series_impedance, shunt_admittance
+from repro.util.constants import T0_KELVIN
+
+
+@pytest.fixture
+def fg():
+    return FrequencyGrid.linear(1e9, 2e9, 5)
+
+
+class TestNoiseParameters:
+    def test_validation_shapes(self):
+        with pytest.raises(ValueError):
+            NoiseParameters([1.1, 1.2], [10.0], [0.01 + 0j, 0.01 + 0j])
+
+    def test_fmin_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseParameters([0.5], [10.0], [0.02 + 0j])
+
+    def test_negative_rn_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseParameters([1.5], [-1.0], [0.02 + 0j])
+
+    def test_nf_at_optimum_is_nfmin(self):
+        params = NoiseParameters([2.0], [15.0], [0.015 + 0.005j])
+        assert params.noise_factor(params.y_opt)[0] == pytest.approx(2.0)
+
+    def test_nf_grows_off_optimum(self):
+        params = NoiseParameters([1.5], [20.0], [0.02 + 0j])
+        off = params.noise_factor(0.03 + 0.01j)[0]
+        assert off > 1.5
+
+    def test_gamma_opt_consistent_with_y_opt(self):
+        params = NoiseParameters([1.5], [20.0], [0.02 + 0.01j])
+        gamma = params.gamma_opt(50.0)
+        y_back = (1 - gamma) / (1 + gamma) / 50.0
+        assert y_back[0] == pytest.approx(params.y_opt[0])
+
+    def test_gamma_source_form_matches_admittance_form(self):
+        params = NoiseParameters([1.8], [12.0], [0.018 - 0.008j])
+        gamma_s = 0.3 + 0.2j
+        ys = (1 - gamma_s) / (1 + gamma_s) / 50.0
+        assert params.noise_factor_gamma(gamma_s, 50.0)[
+            0
+        ] == pytest.approx(params.noise_factor(ys)[0])
+
+    def test_source_with_negative_conductance_rejected(self):
+        params = NoiseParameters([1.5], [20.0], [0.02 + 0j])
+        with pytest.raises(ValueError):
+            params.noise_factor(-0.01 + 0j)
+
+    def test_from_nfmin_db(self):
+        params = NoiseParameters.from_nfmin_db([3.0], [10.0], [0.0 + 0.0j])
+        assert params.fmin[0] == pytest.approx(10 ** 0.3)
+        assert params.y_opt[0] == pytest.approx(1 / 50.0)
+
+
+class TestCorrelationMatrices:
+    @given(
+        st.floats(min_value=1.01, max_value=10.0),
+        st.floats(min_value=1.0, max_value=100.0),
+        st.floats(min_value=0.002, max_value=0.05),
+        st.floats(min_value=-0.02, max_value=0.02),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ca_roundtrip(self, fmin, rn, g_opt, b_opt):
+        params = NoiseParameters([fmin], [rn], [g_opt + 1j * b_opt])
+        ca = ca_from_noise_parameters(params)
+        back = noise_parameters_from_ca(ca)
+        assert back.fmin[0] == pytest.approx(fmin, rel=1e-6)
+        assert back.rn[0] == pytest.approx(rn, rel=1e-9)
+        assert back.y_opt[0] == pytest.approx(g_opt + 1j * b_opt, rel=1e-6)
+
+    def test_series_resistor_noise_figure(self, fg):
+        # F = 1 + R/Rs for a series resistor at T0.
+        network = series_impedance(fg, 100.0)
+        noisy = NoisyTwoPort.from_passive(network, T0_KELVIN)
+        nf = noisy.noise_figure_db()
+        expected = 10 * np.log10(1 + 100.0 / 50.0)
+        np.testing.assert_allclose(nf, expected, rtol=1e-9)
+
+    def test_attenuator_noise_figure_equals_loss(self, fg):
+        for loss_db in (3.0, 6.0, 10.0, 20.0):
+            pad = NoisyTwoPort.from_passive(attenuator(fg, loss_db),
+                                            T0_KELVIN)
+            np.testing.assert_allclose(
+                pad.noise_figure_db(), loss_db, rtol=1e-9
+            )
+
+    def test_cold_attenuator_quieter_than_t0(self, fg):
+        pad_cold = NoisyTwoPort.from_passive(attenuator(fg, 10.0), 77.0)
+        assert np.all(pad_cold.noise_figure_db() < 10.0)
+
+    def test_cascade_matches_friis(self, fg):
+        # Two matched attenuators: F_total = F1 + (F2-1)/G1.
+        pad_a = NoisyTwoPort.from_passive(attenuator(fg, 4.0), T0_KELVIN)
+        pad_b = NoisyTwoPort.from_passive(attenuator(fg, 7.0), T0_KELVIN)
+        total = pad_a ** pad_b
+        friis = friis_cascade(
+            [10 ** 0.4 * np.ones(5), 10 ** 0.7 * np.ones(5)],
+            [10 ** -0.4 * np.ones(5), 10 ** -0.7 * np.ones(5)],
+        )
+        np.testing.assert_allclose(
+            total.noise_figure_db(), 10 * np.log10(friis), rtol=1e-9
+        )
+
+    def test_cy_ca_transform_consistency(self, fg):
+        network = attenuator(fg, 8.0)
+        cy = passive_cy(network.y, T0_KELVIN)
+        ca = ca_from_cy(cy, network.abcd)
+        cy_back = cy_from_ca(ca, network.y)
+        np.testing.assert_allclose(cy_back, cy, rtol=1e-8, atol=1e-30)
+
+    def test_cz_ca_transform_consistency(self, fg):
+        network = attenuator(fg, 8.0)
+        cy = passive_cy(network.y, T0_KELVIN)
+        ca = ca_from_cy(cy, network.abcd)
+        cz = cz_from_ca(ca, network.z)
+        ca_back = ca_from_cz(cz, network.abcd)
+        np.testing.assert_allclose(ca_back, ca, rtol=1e-8, atol=1e-30)
+
+    def test_cascade_ca_zero_second_stage(self, fg):
+        network = attenuator(fg, 5.0)
+        cy = passive_cy(network.y, T0_KELVIN)
+        ca = ca_from_cy(cy, network.abcd)
+        total = cascade_ca(ca, network.abcd, np.zeros_like(ca))
+        np.testing.assert_allclose(total, ca)
+
+    def test_zero_voltage_noise_ca_raises_degenerate(self):
+        # CA11 == 0 (a noiseless-series network, e.g. an ideal shunt
+        # conductance) has no finite noise-parameter representation.
+        ca = np.zeros((1, 2, 2), dtype=complex)
+        ca[0, 1, 1] = 1e-20
+        with pytest.raises(ValueError):
+            noise_parameters_from_ca(ca)
+
+    def test_shunt_with_series_loss_has_small_rn(self, fg):
+        # A realistic shunt branch preceded by a tiny series resistance
+        # has Rn ~ that resistance and Yopt near the shunt conductance.
+        network = series_impedance(fg, 0.5) ** shunt_admittance(fg, 0.02)
+        noisy = NoisyTwoPort.from_passive(network, T0_KELVIN)
+        params = noisy.noise_parameters
+        assert np.all(params.rn < 1.0)
+        assert np.all(params.fmin >= 1.0)
+
+
+class TestNoisyTwoPort:
+    def test_shape_validation(self, fg):
+        network = attenuator(fg, 3.0)
+        with pytest.raises(ValueError):
+            NoisyTwoPort(network, np.zeros((2, 2, 2)))
+
+    def test_grid_mismatch_rejected(self, fg):
+        network = attenuator(fg, 3.0)
+        other = FrequencyGrid.linear(1e9, 2e9, 7)
+        params = NoiseParameters(
+            np.full(7, 1.5), np.full(7, 10.0), np.full(7, 0.02 + 0j)
+        )
+        with pytest.raises(ValueError):
+            NoisyTwoPort.from_noise_parameters(network, params)
+
+    def test_cascade_type_error(self, fg):
+        noisy = NoisyTwoPort.from_passive(attenuator(fg, 3.0))
+        with pytest.raises(TypeError):
+            noisy ** attenuator(fg, 3.0)
+
+    def test_amplifier_then_attenuator_nf_nearly_amplifier(self, fg):
+        # A 20 dB gain stage (NF 1 dB) in front of a 10 dB pad: Friis
+        # gives F = 1.259 + 9/100 = 1.349, i.e. ~0.3 dB of degradation.
+        s = np.zeros((5, 2, 2), dtype=complex)
+        s[:, 1, 0] = 10.0
+        from repro.rf.twoport import TwoPort
+
+        amp_network = TwoPort(fg, s)
+        params = NoiseParameters.from_nfmin_db(
+            np.full(5, 1.0), np.full(5, 10.0), np.zeros(5, dtype=complex)
+        )
+        amp = NoisyTwoPort.from_noise_parameters(amp_network, params)
+        pad = NoisyTwoPort.from_passive(attenuator(fg, 10.0), T0_KELVIN)
+        chain = amp ** pad
+        nf_chain = chain.noise_figure_db()
+        nf_amp = amp.noise_figure_db()
+        assert np.all(nf_chain >= nf_amp)
+        expected = 10 * np.log10(10 ** 0.1 + 9.0 / 100.0)
+        np.testing.assert_allclose(nf_chain, expected, rtol=1e-9)
+
+    def test_friis_validation(self):
+        with pytest.raises(ValueError):
+            friis_cascade([], [])
+        with pytest.raises(ValueError):
+            friis_cascade([1.5], [0.5, 0.5])

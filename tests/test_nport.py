@@ -1,0 +1,156 @@
+"""N-port algebra tests (repro.rf.nport), validated against MNA."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.acsolver import solve_ac
+from repro.analysis.netlist import Circuit
+from repro.passives.splitter import ResistiveSplitter
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.matching import gamma_from_impedance
+from repro.rf.nport import NPort
+from repro.rf.twoport import attenuator, series_impedance
+
+
+@pytest.fixture
+def fg():
+    return FrequencyGrid.linear(1.0e9, 1.8e9, 5)
+
+
+@pytest.fixture
+def splitter(fg):
+    return NPort.from_acresult(ResistiveSplitter().solve(fg),
+                               name="splitter")
+
+
+class TestConstruction:
+    def test_shape_validation(self, fg):
+        with pytest.raises(ValueError):
+            NPort(fg, np.zeros((3, 2, 2)))
+
+    def test_port_names_default(self, fg, splitter):
+        assert splitter.port_names == ["p1", "p2", "p3"]
+
+    def test_port_resolution(self, splitter):
+        assert splitter.port_index("p2") == 1
+        assert splitter.port_index(2) == 2
+        with pytest.raises(KeyError):
+            splitter.port_index("nope")
+        with pytest.raises(IndexError):
+            splitter.port_index(7)
+
+    def test_from_twoport_roundtrip(self, fg):
+        pad = attenuator(fg, 5.0)
+        nport = NPort.from_twoport(pad)
+        back = nport.as_twoport()
+        np.testing.assert_array_equal(back.s, pad.s)
+
+    def test_as_twoport_requires_two(self, splitter):
+        with pytest.raises(ValueError):
+            splitter.as_twoport()
+
+    def test_physical_checks(self, splitter):
+        assert splitter.is_reciprocal()
+        assert splitter.is_passive()
+
+
+class TestTerminate:
+    def test_matched_termination_drops_port(self, splitter, fg):
+        reduced = splitter.terminate("p3", 0.0)
+        assert reduced.n_ports == 2
+        # Matched termination of a matched splitter leaves S unchanged
+        # in the kept block.
+        np.testing.assert_allclose(
+            reduced.s, splitter.s[:, :2, :2], atol=1e-12
+        )
+
+    def test_termination_matches_mna(self, fg):
+        # Splitter with port 3 loaded by 100 ohm, solved both ways.
+        gamma = gamma_from_impedance(100.0)
+        reduced = NPort.from_acresult(
+            ResistiveSplitter().solve(fg)
+        ).terminate("p3", gamma)
+
+        circuit = Circuit("loaded_splitter")
+        arm = 50.0 / 3.0
+        circuit.port("p1", "n1").port("p2", "n2")
+        circuit.resistor("R1", "n1", "star", arm)
+        circuit.resistor("R2", "n2", "star", arm)
+        circuit.resistor("R3", "star", "n3", arm)
+        circuit.resistor("Rload", "n3", "gnd", 100.0)
+        direct = solve_ac(circuit, fg, compute_noise=False)
+        np.testing.assert_allclose(reduced.s, direct.s, atol=1e-9)
+
+    def test_shorted_twoport_gives_input_reflection(self, fg):
+        pad = NPort.from_twoport(series_impedance(fg, 50.0))
+        one_port = pad.terminate(1, -1.0)  # short the output
+        # Series 50 into a short looks like 50 ohm -> Gamma = 0.
+        np.testing.assert_allclose(one_port.s[:, 0, 0], 0.0, atol=1e-10)
+        # And into an open it is fully reflective.
+        open_port = pad.terminate(1, 1.0)
+        np.testing.assert_allclose(np.abs(open_port.s[:, 0, 0]), 1.0,
+                                   atol=1e-10)
+
+
+class TestConnect:
+    def test_cascade_matches_twoport_operator(self, fg):
+        a = attenuator(fg, 3.0)
+        b = attenuator(fg, 7.0)
+        connected = NPort.from_twoport(a).connect(
+            1, NPort.from_twoport(b), 0
+        )
+        expected = a ** b
+        np.testing.assert_allclose(connected.s, expected.s, atol=1e-9)
+
+    def test_splitter_with_lna_arm_matches_mna(self, fg):
+        # Attach a 6 dB pad to arm 2 of the splitter: compare against
+        # the flat MNA solve of the same physical circuit.
+        splitter = NPort.from_acresult(ResistiveSplitter().solve(fg))
+        pad = NPort.from_twoport(attenuator(fg, 6.0))
+        combined = splitter.connect("p2", pad, 0)
+        assert combined.n_ports == 3
+
+        circuit = Circuit("splitter_pad")
+        arm = 50.0 / 3.0
+        z0 = 50.0
+        k = 10 ** (6.0 / 20.0)
+        r_series = z0 * (k - 1) / (k + 1)
+        r_shunt = 2 * z0 * k / (k * k - 1)
+        circuit.port("p1", "n1").port("p3", "n3").port("pout", "out")
+        circuit.resistor("R1", "n1", "star", arm)
+        circuit.resistor("R2", "n2", "star", arm)
+        circuit.resistor("R3", "star", "n3", arm)
+        circuit.resistor("Rs1", "n2", "mid", r_series)
+        circuit.resistor("Rp", "mid", "gnd", r_shunt)
+        circuit.resistor("Rs2", "mid", "out", r_series)
+        direct = solve_ac(circuit, fg, compute_noise=False)
+        # Port order: combined = (p1, p3, pad-out); direct = (p1, p3, out).
+        np.testing.assert_allclose(combined.s, direct.s, atol=1e-9)
+
+    def test_grid_mismatch_rejected(self, fg, splitter):
+        other_grid = FrequencyGrid.linear(1.0e9, 1.8e9, 7)
+        other = NPort.from_twoport(attenuator(other_grid, 3.0))
+        with pytest.raises(ValueError):
+            splitter.connect("p2", other, 0)
+
+    def test_port_name_collision_renamed(self, fg, splitter):
+        other = NPort.from_twoport(attenuator(fg, 3.0), name="pad")
+        combined = splitter.connect("p2", other, 0)
+        assert len(set(combined.port_names)) == combined.n_ports
+
+
+class TestInnerconnect:
+    def test_loopback_through_line_matches_mna(self, fg):
+        # Take two series resistors as a 4-port (two separate 2-ports),
+        # innerconnect the middle -> one series 2-port of the sum.
+        a = series_impedance(fg, 30.0)
+        b = series_impedance(fg, 45.0)
+        combined = NPort.from_twoport(a).connect(
+            1, NPort.from_twoport(b), 0
+        )
+        expected = series_impedance(fg, 75.0)
+        np.testing.assert_allclose(combined.s, expected.s, atol=1e-9)
+
+    def test_self_connection_rejected(self, splitter):
+        with pytest.raises(ValueError):
+            splitter.innerconnect("p1", "p1")

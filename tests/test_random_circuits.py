@@ -1,0 +1,111 @@
+"""Property-based tests on randomly generated passive circuits.
+
+A random R/L/C mesh, whatever its topology, must come out of the MNA
+solver reciprocal and passive, with a Hermitian positive-semidefinite
+noise correlation; and when every resistor sits at T0 and the network
+is matched-ish, the noise figure must never fall below 0 dB.  These
+invariants catch sign errors in stamps and correlation assembly that
+no hand-written example would.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.acsolver import solve_ac
+from repro.analysis.netlist import Circuit
+from repro.rf.frequency import FrequencyGrid
+from repro.util.constants import T0_KELVIN
+
+
+def _random_passive_circuit(seed: int) -> Circuit:
+    """A random connected R/L/C network between two ports and ground."""
+    rng = np.random.default_rng(seed)
+    n_internal = int(rng.integers(1, 4))
+    nodes = ["in", "out"] + [f"n{k}" for k in range(n_internal)] + ["gnd"]
+    circuit = Circuit(f"random{seed}")
+    circuit.port("p1", "in")
+    circuit.port("p2", "out")
+
+    # Spanning chain guarantees connectivity of every node to a port.
+    chain = ["in"] + [f"n{k}" for k in range(n_internal)] + ["out"]
+    element_id = 0
+
+    def add_random_element(node_a, node_b):
+        nonlocal element_id
+        kind = rng.integers(3)
+        name = f"E{element_id}"
+        element_id += 1
+        if kind == 0:
+            circuit.resistor(name, node_a, node_b,
+                             float(10 ** rng.uniform(0.5, 3.0)),
+                             temperature=T0_KELVIN)
+        elif kind == 1:
+            circuit.capacitor(name, node_a, node_b,
+                              float(10 ** rng.uniform(-13, -10.5)))
+        else:
+            circuit.inductor(name, node_a, node_b,
+                             float(10 ** rng.uniform(-9.5, -7.5)))
+
+    for a, b in zip(chain[:-1], chain[1:]):
+        add_random_element(a, b)
+    # A few extra random edges, including to ground.
+    n_extra = int(rng.integers(1, 5))
+    for __ in range(n_extra):
+        a, b = rng.choice(nodes, size=2, replace=False)
+        add_random_element(a, b)
+    # Ensure a resistive path to ground exists so the matrix is robust.
+    circuit.resistor("Rgnd", str(rng.choice(chain)), "gnd", 500.0,
+                     temperature=T0_KELVIN)
+    return circuit
+
+
+GRID = FrequencyGrid.logarithmic(0.2e9, 5e9, 6)
+
+
+class TestRandomPassiveCircuits:
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=40, deadline=None)
+    def test_reciprocal_and_passive(self, seed):
+        circuit = _random_passive_circuit(seed)
+        result = solve_ac(circuit, GRID)
+        network = result.as_twoport()
+        assert network.is_reciprocal(tol=1e-8)
+        assert network.is_passive(tol=1e-8)
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=40, deadline=None)
+    def test_noise_correlation_hermitian_psd(self, seed):
+        circuit = _random_passive_circuit(seed)
+        result = solve_ac(circuit, GRID)
+        cy = result.cy
+        np.testing.assert_allclose(
+            cy, np.conjugate(np.swapaxes(cy, 1, 2)), atol=1e-30
+        )
+        eigenvalues = np.linalg.eigvalsh(cy)
+        assert np.all(eigenvalues >= -1e-28)
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=40, deadline=None)
+    def test_noise_figure_at_least_zero_db(self, seed):
+        circuit = _random_passive_circuit(seed)
+        noisy = solve_ac(circuit, GRID).as_noisy_twoport()
+        # Any passive network at T0 has F >= 1 for any positive-real
+        # source admittance.
+        for ys in (1 / 50.0, 1 / 50.0 + 0.01j, 1 / 200.0 - 0.005j):
+            assert np.all(noisy.noise_factor(ys) >= 1.0 - 1e-9)
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=20, deadline=None)
+    def test_mna_noise_consistent_with_bosma(self, seed):
+        # Independent check: CY of the whole passive network must equal
+        # 2kT Re(Y_network) (Bosma's theorem) since everything sits at T0.
+        from repro.util.constants import BOLTZMANN
+
+        circuit = _random_passive_circuit(seed)
+        result = solve_ac(circuit, GRID)
+        expected = 2.0 * BOLTZMANN * T0_KELVIN * result.y.real
+        np.testing.assert_allclose(result.cy.real, expected, rtol=1e-6,
+                                    atol=1e-32)
+        np.testing.assert_allclose(result.cy.imag, 0.0, atol=1e-26)

@@ -1,0 +1,92 @@
+"""Golden-device and dataset tests (repro.devices.reference/datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.datasets import BiasPoint, DeviceDataset, IVDataset
+from repro.devices.reference import ReferencePHEMT, make_reference_device
+from repro.rf.frequency import FrequencyGrid
+
+
+class TestGoldenDC:
+    def test_positive_gds_in_saturation(self, golden_device):
+        for vgs in (0.40, 0.52, 0.65):
+            assert float(golden_device.dc.gds(vgs, 3.0)) > 0
+
+    def test_target_current_class(self, golden_device):
+        # ATF-54143-class: tens of mA at the design bias.
+        ids = float(golden_device.dc.ids(0.60, 3.0))
+        assert 0.02 < ids < 0.10
+
+    def test_compression_below_pure_angelov(self, golden_device):
+        pure = golden_device.dc.angelov.ids(0.6, 3.0)
+        compressed = golden_device.dc.ids(0.6, 3.0)
+        assert compressed < pure
+
+    def test_enhancement_mode(self, golden_device):
+        # Negligible current at Vgs = 0 (enhancement pHEMT).
+        assert float(golden_device.dc.ids(0.0, 3.0)) < 2e-3
+
+
+class TestDatasets:
+    def test_iv_dataset_shapes(self, golden_device):
+        iv = golden_device.iv_dataset()
+        assert iv.ids.shape == (iv.vgs.size, iv.vds.size)
+        assert iv.i_max > 0.02
+
+    def test_iv_noise_level(self):
+        device = ReferencePHEMT(seed=5)
+        iv = device.iv_dataset(relative_noise=0.01, absolute_noise=0.0)
+        clean = device.dc.ids(*iv.mesh)
+        residual = (iv.ids - clean)[clean > 1e-3] / clean[clean > 1e-3]
+        assert 0.003 < np.std(residual) < 0.03
+
+    def test_same_seed_reproducible(self):
+        a = ReferencePHEMT(seed=42).iv_dataset()
+        b = ReferencePHEMT(seed=42).iv_dataset()
+        np.testing.assert_array_equal(a.ids, b.ids)
+
+    def test_different_seed_differs(self):
+        a = ReferencePHEMT(seed=1).iv_dataset()
+        b = ReferencePHEMT(seed=2).iv_dataset()
+        assert not np.allclose(a.ids, b.ids)
+
+    def test_iv_shape_validation(self):
+        with pytest.raises(ValueError):
+            IVDataset(vgs=np.zeros(3), vds=np.zeros(4), ids=np.zeros((4, 3)))
+
+    def test_rms_error_of_truth_is_noise_floor(self, golden_device):
+        iv = golden_device.iv_dataset()
+        rms = iv.rms_error_percent(golden_device.dc)
+        assert rms < 1.0  # only measurement noise remains
+
+    def test_sparam_record_close_to_clean(self):
+        device = ReferencePHEMT(seed=3)
+        fg = FrequencyGrid.linear(1e9, 2e9, 5)
+        bias = BiasPoint(0.52, 3.0)
+        record = device.sparam_record(fg, bias, error_magnitude=0.002)
+        clean = device.small_signal.twoport(fg, bias.vgs, bias.vds)
+        assert np.max(np.abs(record.network.s - clean.s)) < 0.35
+
+    def test_noise_parameters_jittered_but_sane(self):
+        device = ReferencePHEMT(seed=3)
+        fg = FrequencyGrid.linear(1e9, 2e9, 5)
+        params = device.noise_parameters(fg, BiasPoint(0.52, 3.0))
+        assert np.all(params.fmin >= 1.0)
+        assert np.all(params.nfmin_db < 1.0)
+
+    def test_full_dataset_contents(self, golden_device):
+        dataset = golden_device.full_dataset()
+        assert isinstance(dataset, DeviceDataset)
+        assert len(dataset.sparams) == 3
+        assert dataset.noise is not None
+        record = dataset.sparams_at(BiasPoint(0.52, 3.0))
+        assert record.bias.vgs == pytest.approx(0.52)
+
+    def test_sparams_at_missing_bias_raises(self, golden_device):
+        dataset = golden_device.full_dataset()
+        with pytest.raises(KeyError):
+            dataset.sparams_at(BiasPoint(0.99, 9.9))
+
+    def test_factory_seed_default(self):
+        assert isinstance(make_reference_device(), ReferencePHEMT)

@@ -1,0 +1,50 @@
+"""Report-formatting tests (repro.core.report)."""
+
+import numpy as np
+
+from repro.core.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"],
+            [("alpha", 1.5), ("beta-long-name", 22.125)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert "alpha" in lines[3]
+        assert "22.125" in lines[4]
+        # All data rows share one width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_float_format_applied(self):
+        text = format_table(["x"], [(3.14159,)], float_format="{:.1f}")
+        assert "3.1" in text
+        assert "3.14159" not in text
+
+    def test_non_float_cells_passed_through(self):
+        text = format_table(["a", "b"], [("yes", 7)])
+        assert "yes" in text
+        assert "7" in text
+
+    def test_no_title(self):
+        text = format_table(["a"], [(1.0,)])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].startswith("a")
+
+
+class TestFormatSeries:
+    def test_columns_paired_with_x(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y1 = np.array([10.0, 20.0, 30.0])
+        y2 = np.array([0.1, 0.2, 0.3])
+        text = format_series("f", ["a", "b"], x, [y1, y2], title="curves")
+        lines = text.splitlines()
+        assert lines[0] == "curves"
+        assert len(lines) == 2 + 1 + 3  # title + header + rule + rows
+        assert "20.000" in lines[4]
+        assert "0.200" in lines[4]

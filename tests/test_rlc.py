@@ -1,0 +1,145 @@
+"""Dispersive passive-component tests (repro.passives.rlc)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.acsolver import solve_ac
+from repro.analysis.netlist import Circuit
+from repro.passives.rlc import (
+    RealCapacitor,
+    RealInductor,
+    RealResistor,
+    coilcraft_style_inductor,
+    murata_style_capacitor,
+    thin_film_resistor,
+)
+from repro.rf.frequency import FrequencyGrid
+
+
+@pytest.fixture
+def fg():
+    return FrequencyGrid.linear(0.5e9, 2.5e9, 6)
+
+
+class TestRealCapacitor:
+    def test_low_frequency_is_capacitive(self):
+        cap = RealCapacitor(10e-12)
+        z = cap.impedance(10e6)
+        assert z.imag < 0
+        assert abs(z.imag) == pytest.approx(
+            1 / (2 * np.pi * 10e6 * 10e-12), rel=1e-2
+        )
+
+    def test_inductive_above_srf(self):
+        cap = RealCapacitor(10e-12, esl=1e-9)
+        assert cap.impedance(5 * cap.srf_hz).imag > 0
+
+    def test_esr_u_shape(self):
+        # Dielectric loss dominates low f, conductor loss high f.
+        cap = RealCapacitor(10e-12, esr_conductor_1ghz=0.05,
+                            tan_delta=2e-3)
+        esr = cap.esr(np.array([1e7, 1.5e9, 10e9]))
+        assert esr[0] > esr[1]
+        assert esr[2] > esr[1]
+
+    def test_q_reciprocal_of_tand_at_low_f(self):
+        cap = RealCapacitor(10e-12, esr_conductor_1ghz=0.0, tan_delta=1e-3,
+                            esl=0.0)
+        assert cap.q_factor(1e8) == pytest.approx(1e3, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RealCapacitor(-1e-12)
+        with pytest.raises(ValueError):
+            RealCapacitor(1e-12, esl=-1e-9)
+
+
+class TestRealInductor:
+    def test_q_rises_peaks_collapses(self):
+        inductor = coilcraft_style_inductor(10e-9)
+        f = np.array([0.1e9, 1.5e9, inductor.srf_hz])
+        q = inductor.q_factor(f)
+        assert q[0] < q[1]
+        assert q[2] < 1.0  # Q ~ 0 at self-resonance
+
+    def test_impedance_peaks_at_srf(self):
+        inductor = RealInductor(10e-9, c_parallel=0.1e-12)
+        f = np.array([0.5, 0.99, 1.5]) * inductor.srf_hz
+        mag = np.abs(inductor.impedance(f))
+        assert mag[1] > mag[0]
+        assert mag[1] > mag[2]
+
+    def test_low_frequency_inductive(self):
+        inductor = RealInductor(10e-9, r_dc=0.1)
+        z = inductor.impedance(1e8)
+        assert z.imag == pytest.approx(2 * np.pi * 1e8 * 10e-9, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RealInductor(0.0)
+        with pytest.raises(ValueError):
+            RealInductor(1e-9, r_parallel=0.0)
+
+
+class TestRealResistor:
+    def test_dc_value(self):
+        resistor = thin_film_resistor(100.0)
+        assert resistor.impedance(1e6).real == pytest.approx(100.0,
+                                                             rel=1e-4)
+
+    def test_parasitics_matter_at_high_f(self):
+        resistor = RealResistor(1000.0, c_parallel=0.1e-12)
+        assert abs(resistor.impedance(10e9)) < 1000.0
+
+
+class TestNetworkViews:
+    def test_series_view_matches_mna_insertion(self, fg):
+        component = murata_style_capacitor(5.6e-12, name="Ctest")
+        analytic = component.as_series(fg)
+        circuit = Circuit()
+        circuit.port("p1", "a").port("p2", "b")
+        component.add_to(circuit, "a", "b")
+        result = solve_ac(circuit, fg)
+        np.testing.assert_allclose(result.s, analytic.s, atol=1e-10)
+
+    def test_shunt_view_matches_mna_insertion(self, fg):
+        component = coilcraft_style_inductor(8.2e-9, name="Ltest")
+        analytic = component.as_shunt(fg)
+        circuit = Circuit()
+        circuit.port("p1", "a").port("p2", "b")
+        circuit.resistor("Rthru", "a", "b", 1e-6, temperature=0.0)
+        component.add_to(circuit, "b", "gnd")
+        result = solve_ac(circuit, fg)
+        np.testing.assert_allclose(result.s, analytic.s, atol=1e-5)
+
+    def test_mna_noise_matches_passive_equilibrium(self, fg):
+        # The YBlock's thermal noise must equal NoisyTwoPort.from_passive.
+        from repro.rf.noise import NoisyTwoPort
+
+        component = thin_film_resistor(68.0, name="Rtest")
+        circuit = Circuit()
+        circuit.port("p1", "a").port("p2", "b")
+        component.add_to(circuit, "a", "b")
+        mna = solve_ac(circuit, fg).as_noisy_twoport()
+        analytic = NoisyTwoPort.from_passive(
+            component.as_series(fg), component.temperature
+        )
+        np.testing.assert_allclose(
+            mna.noise_figure_db(), analytic.noise_figure_db(), rtol=1e-8
+        )
+
+    @given(st.floats(min_value=1e-12, max_value=100e-12))
+    @settings(max_examples=20, deadline=None)
+    def test_capacitor_two_port_always_passive(self, capacitance):
+        fg = FrequencyGrid.linear(0.5e9, 3e9, 4)
+        cap = murata_style_capacitor(capacitance)
+        assert cap.as_series(fg).is_passive(tol=1e-9)
+
+    @given(st.floats(min_value=1e-9, max_value=100e-9))
+    @settings(max_examples=20, deadline=None)
+    def test_inductor_two_port_always_passive(self, inductance):
+        fg = FrequencyGrid.linear(0.5e9, 3e9, 4)
+        inductor = coilcraft_style_inductor(inductance)
+        assert inductor.as_series(fg).is_passive(tol=1e-9)

@@ -1,0 +1,136 @@
+"""Small-signal model tests (repro.devices.smallsignal)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.dcmodels import AngelovModel
+from repro.devices.smallsignal import (
+    CapacitanceModel,
+    ExtrinsicParams,
+    IntrinsicParams,
+    PHEMTSmallSignal,
+    embed_intrinsic,
+)
+from repro.rf.frequency import FrequencyGrid
+
+
+@pytest.fixture
+def fg():
+    return FrequencyGrid.linear(0.5e9, 4.0e9, 8)
+
+
+@pytest.fixture
+def device():
+    return PHEMTSmallSignal(AngelovModel())
+
+
+class TestIntrinsic:
+    def test_ft_formula(self):
+        intrinsic = IntrinsicParams(gm=0.2, gds=2e-3, cgs=0.8e-12,
+                                    cgd=0.2e-12, cds=0.3e-12, ri=2.0,
+                                    tau=2e-12)
+        assert intrinsic.ft_hz == pytest.approx(
+            0.2 / (2 * np.pi * 1e-12), rel=1e-9
+        )
+
+    def test_y_matrix_low_frequency_limits(self):
+        intrinsic = IntrinsicParams(gm=0.2, gds=2e-3, cgs=0.8e-12,
+                                    cgd=0.2e-12, cds=0.3e-12, ri=2.0,
+                                    tau=2e-12)
+        y = intrinsic.y_matrix(2 * np.pi * 1e6)  # 1 MHz
+        assert abs(y[0, 0, 0]) < 1e-4          # gate looks open
+        assert y[0, 1, 0] == pytest.approx(0.2, rel=1e-4)  # y21 -> gm
+        assert y[0, 1, 1].real == pytest.approx(2e-3, rel=1e-4)
+
+    def test_capacitance_laws_monotonic(self):
+        caps = CapacitanceModel()
+        vgs = np.linspace(-0.5, 1.0, 20)
+        assert np.all(np.diff(caps.cgs(vgs)) >= 0)
+        vds = np.linspace(0.0, 5.0, 20)
+        assert np.all(np.diff(caps.cgd(vds)) <= 0)
+
+
+class TestEmbedding:
+    def test_analytic_equals_mna(self, fg, device):
+        analytic = device.twoport(fg, 0.55, 3.0)
+        mna = device.as_noisy_twoport(fg, 0.55, 3.0)
+        np.testing.assert_allclose(mna.network.s, analytic.s, atol=1e-10)
+
+    def test_parasitics_reduce_gain_at_high_f(self, fg):
+        bare = ExtrinsicParams(rg=0.0, rd=0.0, rs=0.0, lg=1e-15, ld=1e-15,
+                               ls=1e-15, cpg=1e-18, cpd=1e-18)
+        heavy = ExtrinsicParams(rg=3.0, rd=3.0, rs=2.0, lg=1e-9, ld=1e-9,
+                                ls=0.5e-9, cpg=0.5e-12, cpd=0.5e-12)
+        clean = PHEMTSmallSignal(AngelovModel(), extrinsics=bare)
+        dirty = PHEMTSmallSignal(AngelovModel(), extrinsics=heavy)
+        f_top = FrequencyGrid.single(4e9)
+        s21_clean = abs(clean.twoport(f_top, 0.55, 3.0).s21[0])
+        s21_dirty = abs(dirty.twoport(f_top, 0.55, 3.0).s21[0])
+        assert s21_dirty < s21_clean
+
+    def test_source_degeneration_via_embedding(self, fg):
+        # Larger Ls lowers |S21| (series-series feedback).
+        small_ls = PHEMTSmallSignal(
+            AngelovModel(), extrinsics=ExtrinsicParams(ls=0.05e-9)
+        )
+        big_ls = PHEMTSmallSignal(
+            AngelovModel(), extrinsics=ExtrinsicParams(ls=1.0e-9)
+        )
+        f0 = FrequencyGrid.single(2e9)
+        assert abs(big_ls.twoport(f0, 0.55, 3.0).s21[0]) < abs(
+            small_ls.twoport(f0, 0.55, 3.0).s21[0]
+        )
+
+    def test_embed_intrinsic_shape(self, fg):
+        intrinsic = IntrinsicParams(gm=0.2, gds=2e-3, cgs=0.8e-12,
+                                    cgd=0.2e-12, cds=0.3e-12, ri=2.0,
+                                    tau=2e-12)
+        network = embed_intrinsic(intrinsic, ExtrinsicParams(), fg)
+        assert network.s.shape == (len(fg), 2, 2)
+
+
+class TestNoise:
+    def test_bad_bias_rejected(self, fg):
+        # A hard-threshold model below pinch-off has gds == 0 exactly;
+        # the MNA emission must refuse the invalid bias.
+        from repro.devices.dcmodels import CurticeQuadratic
+
+        device = PHEMTSmallSignal(CurticeQuadratic())
+        with pytest.raises(ValueError):
+            device.as_noisy_twoport(fg, -1.0, 3.0)
+
+    def test_nf_increases_with_drain_temperature(self, fg):
+        cool = PHEMTSmallSignal(AngelovModel(), td0=500.0, td_slope=0.0)
+        hot = PHEMTSmallSignal(AngelovModel(), td0=5000.0, td_slope=0.0)
+        nf_cool = cool.as_noisy_twoport(fg, 0.55, 3.0).noise_figure_db()
+        nf_hot = hot.as_noisy_twoport(fg, 0.55, 3.0).noise_figure_db()
+        assert np.all(nf_hot > nf_cool)
+
+    def test_nfmin_increases_with_frequency(self, fg, golden_device):
+        params = golden_device.small_signal.as_noisy_twoport(
+            fg, 0.52, 3.0
+        ).noise_parameters
+        assert np.all(np.diff(params.nfmin_db) > 0)
+
+    def test_fukui_tracks_pospieszalski_trend(self, golden_device):
+        # Independent analytic check: Fukui and the MNA-Pospieszalski
+        # NFmin must agree within a factor ~2 of (F-1) over the band.
+        from repro.devices.noise_models import fukui_fmin
+
+        fg = FrequencyGrid.linear(1e9, 3e9, 5)
+        ss = golden_device.small_signal
+        params = ss.as_noisy_twoport(fg, 0.52, 3.0).noise_parameters
+        intrinsic = ss.intrinsic_at(0.52, 3.0)
+        fukui = fukui_fmin(
+            fg.f_hz, intrinsic.gm, intrinsic.cgs, intrinsic.cgd,
+            ss.extrinsics.rg, ss.extrinsics.rs,
+        )
+        ratio = (params.fmin - 1.0) / (fukui - 1.0)
+        assert np.all(ratio > 0.4)
+        assert np.all(ratio < 2.5)
+
+    def test_drain_temperature_scales_with_current(self, golden_device):
+        ss = golden_device.small_signal
+        td_low = ss.drain_temperature(0.40, 3.0)
+        td_high = ss.drain_temperature(0.65, 3.0)
+        assert td_high > td_low

@@ -1,0 +1,108 @@
+"""Edge-case tests for the AC solver's callable-evaluation layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.acsolver import _eval_block, _eval_psd, solve_ac
+from repro.analysis.netlist import Circuit
+from repro.rf.frequency import FrequencyGrid
+
+
+@pytest.fixture
+def fg():
+    return FrequencyGrid.linear(1e9, 2e9, 4)
+
+
+class TestEvalBlock:
+    def test_vectorized_callable_used_directly(self):
+        f = np.array([1e9, 2e9])
+        calls = []
+
+        def vectorized(f_hz):
+            calls.append(np.size(f_hz))
+            y = np.asarray(f_hz) * 1e-12
+            out = np.zeros((np.size(f_hz), 2, 2), dtype=complex)
+            out[:, 0, 0] = y
+            return out
+
+        result = _eval_block(vectorized, f, 2)
+        assert result.shape == (2, 2, 2)
+        assert calls == [2]  # one vectorized call, no per-point loop
+
+    def test_scalar_callable_looped(self):
+        f = np.array([1e9, 2e9, 3e9])
+
+        def scalar_only(f_hz):
+            # Would raise on array input (float() of an array).
+            value = float(f_hz) * 1e-12
+            return np.full((2, 2), value, dtype=complex)
+
+        result = _eval_block(scalar_only, f, 2)
+        assert result.shape == (3, 2, 2)
+        assert result[2, 0, 0] == pytest.approx(3e-3)
+
+    def test_single_point_matrix_promoted(self):
+        f = np.array([1e9])
+
+        def single(f_hz):
+            return np.eye(2, dtype=complex)
+
+        result = _eval_block(single, f, 2)
+        assert result.shape == (1, 2, 2)
+
+
+class TestEvalPsd:
+    def test_constant_broadcast(self):
+        f = np.array([1e9, 2e9])
+        result = _eval_psd(lambda f_hz: 3.0, f)
+        np.testing.assert_array_equal(result, [3.0, 3.0])
+
+    def test_vectorized_passthrough(self):
+        f = np.array([1e9, 2e9])
+        result = _eval_psd(lambda f_hz: np.asarray(f_hz) * 1e-9, f)
+        np.testing.assert_allclose(result, [1.0, 2.0])
+
+    def test_scalar_only_looped(self):
+        f = np.array([1e9, 2e9])
+
+        def scalar_only(f_hz):
+            return float(f_hz) * 1e-9
+
+        np.testing.assert_allclose(_eval_psd(scalar_only, f), [1.0, 2.0])
+
+
+class TestSolverMisc:
+    def test_compute_noise_false_gives_zero_cy(self, fg):
+        circuit = Circuit()
+        circuit.port("p1", "a").port("p2", "b")
+        circuit.resistor("R1", "a", "b", 75.0)
+        result = solve_ac(circuit, fg, compute_noise=False)
+        np.testing.assert_array_equal(result.cy, 0.0)
+
+    def test_port_names_preserved(self, fg):
+        circuit = Circuit()
+        circuit.port("antenna", "a").port("receiver", "b")
+        circuit.resistor("R1", "a", "b", 75.0)
+        result = solve_ac(circuit, fg)
+        assert result.port_names == ["antenna", "receiver"]
+
+    def test_y_property_consistent_with_s(self, fg):
+        import repro.rf.conversions as cv
+
+        circuit = Circuit()
+        circuit.port("p1", "a").port("p2", "b")
+        circuit.resistor("R1", "a", "b", 75.0)
+        circuit.capacitor("C1", "b", "gnd", 1e-12)
+        result = solve_ac(circuit, fg)
+        np.testing.assert_allclose(result.y, cv.s_to_y(result.s), atol=1e-15)
+
+    def test_frequency_dependent_noise_current(self, fg):
+        # A rising-PSD source must give a rising output correlation.
+        circuit = Circuit()
+        circuit.port("p1", "a").port("p2", "b")
+        circuit.resistor("R1", "a", "b", 75.0, temperature=0.0)
+        circuit.noise_current("IN", "a", "gnd",
+                              lambda f: 1e-22 * (f / 1e9))
+        result = solve_ac(circuit, fg)
+        magnitudes = np.abs(result.cy[:, 0, 0])
+        assert np.all(np.diff(magnitudes) > 0)

@@ -1,0 +1,152 @@
+"""Splitter and composite-network tests (repro.passives.splitter/networks)."""
+
+import numpy as np
+import pytest
+
+from repro.passives.networks import BiasFeed, MatchingSection, dc_block
+from repro.passives.splitter import (
+    ResistiveSplitter,
+    WilkinsonDivider,
+    ideal_tee_sparams,
+    tee_junction_parasitic_sparams,
+)
+from repro.rf.frequency import FrequencyGrid
+
+
+@pytest.fixture
+def fg():
+    return FrequencyGrid.linear(1.0e9, 1.8e9, 9)
+
+
+class TestTeeJunction:
+    def test_ideal_tee_values(self):
+        s = ideal_tee_sparams(2)
+        assert s.shape == (2, 3, 3)
+        np.testing.assert_allclose(np.diag(s[0]), -1 / 3)
+        assert s[0, 0, 1] == pytest.approx(2 / 3)
+
+    def test_parasitic_tee_approaches_ideal_at_low_f(self):
+        low = FrequencyGrid.single(10e6)
+        s = tee_junction_parasitic_sparams(low, shunt_capacitance=30e-15)
+        np.testing.assert_allclose(s[0], ideal_tee_sparams(1)[0], atol=1e-3)
+
+    def test_parasitic_tee_degrades_with_frequency(self, fg):
+        s = tee_junction_parasitic_sparams(fg, shunt_capacitance=200e-15)
+        # More reflective at the top of the band than the bottom.
+        assert abs(s[-1, 0, 0]) > abs(s[0, 0, 0])
+
+
+class TestResistiveSplitter:
+    def test_matched_all_ports(self, fg):
+        result = ResistiveSplitter().solve(fg)
+        np.testing.assert_allclose(
+            np.abs(np.diagonal(result.s, axis1=1, axis2=2)), 0.0, atol=1e-9
+        )
+
+    def test_six_db_split(self, fg):
+        result = ResistiveSplitter().solve(fg)
+        np.testing.assert_allclose(np.abs(result.s[:, 1, 0]), 0.5,
+                                   rtol=1e-9)
+
+    def test_symmetric(self, fg):
+        result = ResistiveSplitter().solve(fg)
+        np.testing.assert_allclose(result.s[:, 1, 0], result.s[:, 2, 0],
+                                   atol=1e-12)
+
+
+class TestWilkinson:
+    def test_design_frequency_behaviour(self):
+        divider = WilkinsonDivider(1.4e9)
+        fg = FrequencyGrid.single(1.4e9)
+        result = divider.solve(fg)
+        s = result.s[0]
+        # Input match better than 20 dB, isolation better than 20 dB,
+        # split within 0.5 dB of the lossy ideal -3 dB.
+        assert 20 * np.log10(abs(s[0, 0])) < -20.0
+        assert 20 * np.log10(abs(s[2, 1])) < -20.0
+        split_db = 20 * np.log10(abs(s[1, 0]))
+        assert -3.6 < split_db < -3.0
+
+    def test_reciprocal(self):
+        divider = WilkinsonDivider(1.4e9)
+        fg = FrequencyGrid.linear(1.2e9, 1.6e9, 3)
+        s = divider.solve(fg).s
+        np.testing.assert_allclose(s, np.swapaxes(s, 1, 2), atol=1e-9)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            WilkinsonDivider(-1e9)
+
+
+class TestMatchingSection:
+    def test_cascade_matches_mna_insertion(self, fg):
+        from repro.analysis.acsolver import solve_ac
+        from repro.analysis.netlist import Circuit
+
+        section = MatchingSection("m1", series=("L", 6.8e-9),
+                                  shunt=("C", 2.2e-12))
+        analytic = section.as_noisy_twoport(fg)
+        circuit = Circuit()
+        circuit.port("p1", "a").port("p2", "b")
+        section.add_to(circuit, "a", "b")
+        result = solve_ac(circuit, fg)
+        np.testing.assert_allclose(result.s, analytic.network.s, atol=1e-9)
+        np.testing.assert_allclose(
+            result.as_noisy_twoport().noise_figure_db(),
+            analytic.noise_figure_db(),
+            rtol=1e-6,
+        )
+
+    def test_shunt_first_order_matters(self, fg):
+        args = dict(series=("L", 6.8e-9), shunt=("C", 2.2e-12))
+        normal = MatchingSection("m1", **args)
+        swapped = MatchingSection("m2", shunt_first=True, **args)
+        s_a = normal.as_noisy_twoport(fg).network.s
+        s_b = swapped.as_noisy_twoport(fg).network.s
+        assert not np.allclose(s_a, s_b)
+
+    def test_unknown_element_kind_rejected(self, fg):
+        section = MatchingSection("bad", series=("R", 10.0))
+        with pytest.raises(ValueError):
+            section.as_noisy_twoport(fg)
+
+    def test_empty_section_is_thru(self, fg):
+        section = MatchingSection("empty")
+        network = section.as_noisy_twoport(fg).network
+        np.testing.assert_allclose(np.abs(network.s21), 1.0, rtol=1e-9)
+
+
+class TestBiasBlocks:
+    def test_bias_feed_high_impedance_in_band(self, fg):
+        feed = BiasFeed("vd")
+        z = feed.shunt_impedance(1.575e9)
+        assert abs(z) > 200.0  # must not load the 50-ohm line
+
+    def test_bias_feed_noise_small(self, fg):
+        feed = BiasFeed("vd")
+        noisy = feed.as_noisy_twoport(fg)
+        assert np.all(noisy.noise_figure_db() < 0.5)
+
+    def test_bias_feed_mna_matches_shunt_model_at_rf(self, fg):
+        from repro.analysis.acsolver import solve_ac
+        from repro.analysis.netlist import Circuit
+
+        feed = BiasFeed("vd")
+        circuit = Circuit()
+        circuit.port("p1", "a").port("p2", "b")
+        circuit.resistor("Rthru", "a", "b", 1e-6, temperature=0.0)
+        feed.add_to(circuit, "b", "supply")
+        # The supply node is RF-grounded through the decoupling network
+        # inside the feed itself; the model treats it as a shunt.
+        result = solve_ac(circuit, fg)
+        analytic = feed.as_noisy_twoport(fg)
+        np.testing.assert_allclose(
+            np.abs(result.s[:, 1, 0]),
+            np.abs(analytic.network.s[:, 1, 0]),
+            rtol=0.02,
+        )
+
+    def test_dc_block_transparent_in_band(self, fg):
+        block = dc_block(fg, 47e-12)
+        s21_db = 20 * np.log10(np.abs(block.network.s21))
+        assert np.all(s21_db > -0.2)

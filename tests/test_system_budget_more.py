@@ -1,0 +1,109 @@
+"""Additional system-budget and NPort-through-noise consistency tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.amplifier import AmplifierTemplate, DesignVariables
+from repro.core.system_budget import SystemBudget
+from repro.passives.coax import rg58_like
+from repro.passives.splitter import WilkinsonDivider
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.noise import friis_cascade
+from repro.util.units import from_db10
+
+
+@pytest.fixture(scope="module")
+def template():
+    from repro.devices.reference import make_reference_device
+
+    return AmplifierTemplate(make_reference_device().small_signal)
+
+
+@pytest.fixture
+def fg():
+    return FrequencyGrid.linear(1.2e9, 1.6e9, 5)
+
+
+class TestBudgetConsistency:
+    def test_correlation_cascade_matches_friis(self, template, fg):
+        """The full correlation-matrix budget must agree with a manual
+        Friis computation built from per-stage NF and available gain
+        (both derived independently)."""
+        from repro.rf.gain import available_gain
+
+        budget = SystemBudget(template, DesignVariables(),
+                              downlead=rg58_like(10.0))
+        result = budget.evaluate(fg)
+
+        preamp = template.solve(DesignVariables(), fg)
+        cable = budget.downlead.as_noisy_twoport(fg)
+        f_preamp = preamp.noise_factor(1 / 50.0)
+        # Stage 2's Friis terms use the available gain from the
+        # preamp's output reflection; with a well-matched preamp the
+        # 50-ohm-source approximation is within a few hundredths dB.
+        gain_preamp = available_gain(preamp.network.s, 0.0)
+        f_cable = cable.noise_factor(1 / 50.0)
+        f_total = friis_cascade([f_preamp, f_cable],
+                                [gain_preamp, np.ones_like(gain_preamp)])
+        friis_nf_db = 10 * np.log10(f_total)
+        np.testing.assert_allclose(result.nf_with_preamp_db, friis_nf_db,
+                                   atol=0.06)
+
+    def test_summary_keys(self, template, fg):
+        budget = SystemBudget(template, DesignVariables(),
+                              downlead=rg58_like(10.0),
+                              splitter=WilkinsonDivider(1.4e9))
+        summary = budget.evaluate(fg).summary()
+        assert set(summary) == {
+            "NF_with_preamp_max_dB",
+            "NF_without_preamp_max_dB",
+            "improvement_min_dB",
+            "gain_with_preamp_min_dB",
+        }
+
+    def test_receiver_port_choice_symmetric(self, template, fg):
+        a = SystemBudget(template, DesignVariables(),
+                         downlead=rg58_like(10.0),
+                         splitter=WilkinsonDivider(1.4e9),
+                         receiver_port="p2").evaluate(fg)
+        b = SystemBudget(template, DesignVariables(),
+                         downlead=rg58_like(10.0),
+                         splitter=WilkinsonDivider(1.4e9),
+                         receiver_port="p3").evaluate(fg)
+        np.testing.assert_allclose(a.nf_with_preamp_db,
+                                   b.nf_with_preamp_db, atol=1e-9)
+
+    def test_splitter_path_costs_about_3db(self, template, fg):
+        with_splitter = SystemBudget(
+            template, DesignVariables(), downlead=rg58_like(10.0),
+            splitter=WilkinsonDivider(1.4e9),
+        ).evaluate(fg)
+        without = SystemBudget(
+            template, DesignVariables(), downlead=rg58_like(10.0),
+        ).evaluate(fg)
+        delta = (without.gain_with_preamp_db
+                 - with_splitter.gain_with_preamp_db)
+        assert np.all(delta > 2.8)
+        assert np.all(delta < 4.5)
+
+    def test_passive_chain_nf_equals_loss(self, template, fg):
+        # Without the preamp the chain is passive near ambient: NF is
+        # within ~0.1 dB of its insertion loss.
+        budget = SystemBudget(template, DesignVariables(),
+                              downlead=rg58_like(10.0))
+        result = budget.evaluate(fg)
+        np.testing.assert_allclose(
+            result.nf_without_preamp_db,
+            -result.gain_without_preamp_db,
+            atol=0.15,
+        )
+
+    def test_improvement_is_ratio_of_factors(self, template, fg):
+        result = SystemBudget(template, DesignVariables(),
+                              downlead=rg58_like(10.0)).evaluate(fg)
+        improvement = result.improvement_db()
+        ratio = from_db10(result.nf_without_preamp_db) / from_db10(
+            result.nf_with_preamp_db
+        )
+        np.testing.assert_allclose(improvement,
+                                   10 * np.log10(ratio), atol=1e-9)

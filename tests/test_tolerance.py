@@ -1,0 +1,68 @@
+"""Monte-Carlo yield-analysis tests (repro.core.tolerance)."""
+
+import numpy as np
+import pytest
+
+from repro.core.amplifier import AmplifierTemplate, DesignVariables
+from repro.core.tolerance import ToleranceSpec, monte_carlo_yield
+
+
+@pytest.fixture(scope="module")
+def template():
+    from repro.devices.reference import make_reference_device
+
+    return AmplifierTemplate(make_reference_device().small_signal)
+
+
+class TestToleranceSpec:
+    def test_presets_ordered(self):
+        assert ToleranceSpec.tight().inductor < ToleranceSpec().inductor
+        assert ToleranceSpec().inductor < ToleranceSpec.loose().inductor
+
+
+class TestMonteCarloYield:
+    def test_zero_tolerance_gives_unit_yield(self, template):
+        spec = ToleranceSpec(inductor=0.0, capacitor=0.0, resistor=0.0,
+                             vgs_volts=0.0, vds_volts=0.0)
+        # The default design has GTmin ~12 dB; judge it against a
+        # shipping limit it meets so zero tolerance must pass always.
+        result = monte_carlo_yield(template, DesignVariables(),
+                                   tolerances=spec, n_trials=3, seed=0,
+                                   gt_ship_limit_db=11.0)
+        assert result.yield_fraction == 1.0
+        np.testing.assert_allclose(result.nf_max_db,
+                                   result.nf_max_db[0])
+
+    def test_reproducible_with_seed(self, template):
+        a = monte_carlo_yield(template, DesignVariables(), n_trials=5,
+                              seed=4)
+        b = monte_carlo_yield(template, DesignVariables(), n_trials=5,
+                              seed=4)
+        np.testing.assert_array_equal(a.nf_max_db, b.nf_max_db)
+
+    def test_tight_tolerances_spread_less(self, template):
+        tight = monte_carlo_yield(template, DesignVariables(),
+                                  tolerances=ToleranceSpec.tight(),
+                                  n_trials=12, seed=1,
+                                  gt_ship_limit_db=11.0)
+        loose = monte_carlo_yield(template, DesignVariables(),
+                                  tolerances=ToleranceSpec.loose(),
+                                  n_trials=12, seed=1,
+                                  gt_ship_limit_db=11.0)
+        assert np.std(tight.gt_min_db) < np.std(loose.gt_min_db)
+        assert tight.yield_fraction >= loose.yield_fraction
+
+    def test_failure_accounting_consistent(self, template):
+        result = monte_carlo_yield(template, DesignVariables(),
+                                   tolerances=ToleranceSpec.loose(),
+                                   n_trials=10, seed=2,
+                                   nf_ship_limit_db=0.1)  # force NF fails
+        assert result.n_pass == 0
+        assert result.failures["nf"] == 10
+
+    def test_percentiles(self, template):
+        result = monte_carlo_yield(template, DesignVariables(),
+                                   n_trials=8, seed=3)
+        p5 = result.percentile("gt_min_db", 5)
+        p95 = result.percentile("gt_min_db", 95)
+        assert p5 <= p95

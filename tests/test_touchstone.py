@@ -1,0 +1,121 @@
+"""Touchstone I/O tests (repro.rf.touchstone)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.noise import NoiseParameters
+from repro.rf.touchstone import (
+    TouchstoneData,
+    read_touchstone,
+    write_touchstone,
+)
+from repro.rf.twoport import attenuator, transmission_line
+
+
+@pytest.fixture
+def fg():
+    return FrequencyGrid.linear(1e9, 2e9, 5)
+
+
+class TestRoundTrip:
+    def test_sparams_roundtrip(self, fg):
+        network = transmission_line(fg, 65.0, 0.1 + 0.9j)
+        text = write_touchstone(TouchstoneData(network=network))
+        parsed = read_touchstone(text)
+        np.testing.assert_allclose(parsed.network.s, network.s, atol=1e-8)
+        np.testing.assert_allclose(parsed.network.frequency.f_hz, fg.f_hz)
+        assert parsed.noise is None
+
+    def test_noise_roundtrip(self, fg):
+        network = attenuator(fg, 3.0)
+        noise = NoiseParameters.from_nfmin_db(
+            np.linspace(0.5, 1.0, 5),
+            np.linspace(8.0, 12.0, 5),
+            0.3 * np.exp(1j * np.linspace(0.1, 1.0, 5)),
+        )
+        text = write_touchstone(TouchstoneData(network=network, noise=noise))
+        parsed = read_touchstone(text)
+        assert parsed.noise is not None
+        np.testing.assert_allclose(
+            parsed.noise.nfmin_db, noise.nfmin_db, atol=1e-5
+        )
+        np.testing.assert_allclose(parsed.noise.rn, noise.rn, rtol=1e-5)
+        np.testing.assert_allclose(
+            parsed.noise.gamma_opt(50.0), noise.gamma_opt(50.0), atol=1e-5
+        )
+
+    def test_write_to_file_object(self, fg):
+        network = attenuator(fg, 6.0)
+        buffer = io.StringIO()
+        write_touchstone(TouchstoneData(network=network), buffer)
+        parsed = read_touchstone(buffer.getvalue())
+        np.testing.assert_allclose(parsed.network.s, network.s, atol=1e-8)
+
+    def test_write_read_file(self, fg, tmp_path):
+        network = attenuator(fg, 2.0)
+        path = tmp_path / "pad.s2p"
+        write_touchstone(TouchstoneData(network=network), str(path))
+        parsed = read_touchstone(str(path))
+        np.testing.assert_allclose(parsed.network.s, network.s, atol=1e-8)
+
+
+class TestFormats:
+    def test_ma_format(self):
+        text = (
+            "# GHz S MA R 50\n"
+            "1.0 0.5 45 0.9 -30 0.1 60 0.4 10\n"
+        )
+        parsed = read_touchstone(text)
+        s = parsed.network.s[0]
+        assert abs(s[0, 0]) == pytest.approx(0.5)
+        assert np.angle(s[0, 0], deg=True) == pytest.approx(45.0)
+        # Column order is S11 S21 S12 S22.
+        assert abs(s[1, 0]) == pytest.approx(0.9)
+        assert abs(s[0, 1]) == pytest.approx(0.1)
+        assert abs(s[1, 1]) == pytest.approx(0.4)
+
+    def test_db_format(self):
+        text = (
+            "# MHz S DB R 50\n"
+            "1500 -6.0206 0 0 0 0 0 0 0\n"
+        )
+        parsed = read_touchstone(text)
+        assert parsed.network.frequency.f_hz[0] == pytest.approx(1.5e9)
+        assert abs(parsed.network.s[0, 0, 0]) == pytest.approx(0.5, rel=1e-4)
+
+    def test_custom_reference_impedance(self):
+        text = "# GHz S RI R 75\n1.0 0 0 1 0 1 0 0 0\n"
+        parsed = read_touchstone(text)
+        assert parsed.network.z0 == 75.0
+
+    def test_comments_ignored(self):
+        text = (
+            "! header comment\n"
+            "# GHz S RI R 50\n"
+            "1.0 0 0 1 0 1 0 0 0 ! inline comment\n"
+        )
+        parsed = read_touchstone(text)
+        assert len(parsed.network.frequency) == 1
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            read_touchstone("! nothing here\n")
+
+    def test_wrong_column_count_rejected(self):
+        with pytest.raises(ValueError):
+            read_touchstone("# GHz S RI R 50\n1.0 0 0 1\n")
+
+    def test_noise_on_other_grid_is_resampled(self, fg):
+        network = attenuator(fg, 3.0)
+        body = write_touchstone(TouchstoneData(network=network))
+        body += "! noise parameters\n"
+        # Two noise rows bracketing the S grid.
+        body += "1.0 0.5 0.3 20 0.15\n2.0 1.0 0.2 60 0.22\n"
+        parsed = read_touchstone(body)
+        assert parsed.noise is not None
+        assert len(parsed.noise) == len(fg)
+        assert parsed.noise.nfmin_db[0] == pytest.approx(0.5, abs=1e-6)
+        assert parsed.noise.nfmin_db[-1] == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,223 @@
+"""TwoPort container and elementary-network tests (repro.rf.twoport)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.twoport import (
+    TwoPort,
+    attenuator,
+    ideal_transformer,
+    series_impedance,
+    shunt_admittance,
+    shunt_impedance,
+    thru,
+    transmission_line,
+)
+
+
+@pytest.fixture
+def fg():
+    return FrequencyGrid.linear(1e9, 2e9, 5)
+
+
+class TestConstruction:
+    def test_shape_validation(self, fg):
+        with pytest.raises(ValueError):
+            TwoPort(fg, np.zeros((3, 2, 2)))
+
+    def test_z0_validation(self, fg):
+        with pytest.raises(ValueError):
+            TwoPort(fg, np.zeros((5, 2, 2)), z0=-50.0)
+
+    def test_representation_roundtrip(self, fg):
+        # An L-section has non-degenerate S, Z, Y, and ABCD forms.
+        network = series_impedance(fg, 30 + 40j) ** shunt_admittance(
+            fg, 0.004 - 0.002j
+        )
+        rebuilt = TwoPort.from_z(fg, network.z)
+        np.testing.assert_allclose(rebuilt.s, network.s, atol=1e-12)
+        rebuilt_y = TwoPort.from_y(fg, network.y)
+        np.testing.assert_allclose(rebuilt_y.s, network.s, atol=1e-12)
+        rebuilt_a = TwoPort.from_abcd(fg, network.abcd)
+        np.testing.assert_allclose(rebuilt_a.s, network.s, atol=1e-12)
+
+    def test_s_element_accessors(self, fg):
+        network = attenuator(fg, 6.0)
+        np.testing.assert_array_equal(network.s11, network.s_element(1, 1))
+        np.testing.assert_array_equal(network.s21, network.s_element(2, 1))
+
+
+class TestElementaryNetworks:
+    def test_thru_is_identity_for_cascade(self, fg):
+        line = transmission_line(fg, 75.0, 0.3 + 0.8j)
+        cascaded = thru(fg) ** line ** thru(fg)
+        np.testing.assert_allclose(cascaded.s, line.s, atol=1e-12)
+
+    def test_series_plus_shunt_is_l_section(self, fg):
+        # Compose via cascade and verify against direct ABCD math.
+        series = series_impedance(fg, 20j)
+        shunt = shunt_admittance(fg, 0.01j)
+        l_section = series ** shunt
+        abcd = l_section.abcd
+        np.testing.assert_allclose(abcd[:, 0, 0], 1.0 + 20j * 0.01j)
+        np.testing.assert_allclose(abcd[:, 0, 1], 20j)
+        np.testing.assert_allclose(abcd[:, 1, 0], 0.01j)
+        np.testing.assert_allclose(abcd[:, 1, 1], 1.0)
+
+    def test_shunt_impedance_matches_admittance(self, fg):
+        a = shunt_impedance(fg, 100.0)
+        b = shunt_admittance(fg, 0.01)
+        np.testing.assert_allclose(a.s, b.s, atol=1e-12)
+
+    def test_attenuator_loss_and_match(self, fg):
+        pad = attenuator(fg, 10.0)
+        np.testing.assert_allclose(np.abs(pad.s21), 10 ** (-0.5), rtol=1e-9)
+        np.testing.assert_allclose(np.abs(pad.s11), 0.0, atol=1e-9)
+        assert pad.is_passive()
+        assert pad.is_reciprocal()
+
+    def test_attenuator_zero_db_is_thru(self, fg):
+        pad = attenuator(fg, 0.0)
+        np.testing.assert_allclose(pad.s, thru(fg).s, atol=1e-12)
+
+    def test_attenuator_rejects_negative(self, fg):
+        with pytest.raises(ValueError):
+            attenuator(fg, -3.0)
+
+    def test_quarter_wave_line_inverts_impedance(self, fg):
+        # A quarter-wave 100-ohm line transforms a short to an open:
+        # S11 of (line ** short) must be +1-like at the input.
+        line = transmission_line(fg, 100.0, 1j * np.pi / 2)
+        zin = (
+            line.abcd[:, 0, 0] * 0.0 + line.abcd[:, 0, 1]
+        ) / (line.abcd[:, 1, 0] * 0.0 + line.abcd[:, 1, 1])
+        # Zin = B/D for a shorted output.
+        assert np.all(np.abs(zin) > 1e6)
+
+    def test_half_wave_line_is_transparent(self, fg):
+        line = transmission_line(fg, 100.0, 1j * np.pi)
+        np.testing.assert_allclose(np.abs(line.s21), 1.0, rtol=1e-9)
+
+    def test_lossy_line_is_passive(self, fg):
+        line = transmission_line(fg, 60.0, 0.2 + 1.5j)
+        assert line.is_passive()
+
+    def test_transformer_impedance_scaling(self, fg):
+        transformer = ideal_transformer(fg, 2.0)
+        # Terminated in z0, input impedance must be 4 z0 -> S11 = 3/5.
+        np.testing.assert_allclose(transformer.s11, 0.6, atol=1e-9)
+
+    def test_transformer_rejects_zero_ratio(self, fg):
+        with pytest.raises(ValueError):
+            ideal_transformer(fg, 0.0)
+
+
+class TestAlgebra:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_cascade_associative(self, seed):
+        fg = FrequencyGrid.linear(1e9, 2e9, 3)
+        rng = np.random.default_rng(seed)
+
+        def random_network():
+            s = 0.4 * (
+                rng.standard_normal((3, 2, 2))
+                + 1j * rng.standard_normal((3, 2, 2))
+            )
+            return TwoPort(fg, s)
+
+        a, b, c = random_network(), random_network(), random_network()
+        left = (a ** b) ** c
+        right = a ** (b ** c)
+        np.testing.assert_allclose(left.s, right.s, rtol=1e-8, atol=1e-10)
+
+    def test_cascade_of_lines_adds_length(self, fg):
+        half = transmission_line(fg, 75.0, 0.1 + 0.7j)
+        full = transmission_line(fg, 75.0, 0.2 + 1.4j)
+        np.testing.assert_allclose((half ** half).s, full.s, atol=1e-10)
+
+    def test_parallel_adds_admittance(self, fg):
+        # Two series-impedance two-ports in parallel-parallel connection
+        # combine like the parallel impedance (their Y-matrices add).
+        a = series_impedance(fg, 100.0)
+        b = series_impedance(fg, 50.0)
+        combined = a.parallel(b)
+        expected = series_impedance(fg, 100.0 * 50.0 / 150.0)
+        np.testing.assert_allclose(combined.s, expected.s, atol=1e-10)
+
+    def test_series_adds_impedance(self, fg):
+        # Two shunt-admittance two-ports in series-series connection
+        # combine like series-connected shunt impedances (Z-matrices add).
+        a = shunt_admittance(fg, 0.01)
+        b = shunt_admittance(fg, 0.02)
+        combined = a.series(b)
+        expected = shunt_admittance(fg, 0.01 * 0.02 / 0.03)
+        np.testing.assert_allclose(combined.s, expected.s, atol=1e-10)
+
+    def test_flip_swaps_ports(self, fg):
+        series = series_impedance(fg, 10 + 5j)
+        asymmetric = series ** shunt_admittance(fg, 0.01j)
+        flipped = asymmetric.flipped()
+        np.testing.assert_array_equal(flipped.s11, asymmetric.s22)
+        np.testing.assert_array_equal(flipped.s21, asymmetric.s12)
+
+    def test_double_flip_is_identity(self, fg):
+        network = attenuator(fg, 3.0) ** series_impedance(fg, 5j)
+        np.testing.assert_array_equal(
+            network.flipped().flipped().s, network.s
+        )
+
+    def test_renormalized_physical_invariance(self, fg):
+        network = series_impedance(fg, 30 + 10j)
+        re_normalized = network.renormalized(75.0).renormalized(50.0)
+        np.testing.assert_allclose(re_normalized.s, network.s, atol=1e-10)
+
+    def test_renormalized_matches_z_path(self, fg):
+        # For a network with a valid Z representation, the bilinear
+        # renormalization must agree with the Z-matrix route.
+        import repro.rf.conversions as cv
+
+        network = attenuator(fg, 7.0)
+        direct = network.renormalized(75.0).s
+        via_z = cv.z_to_s(cv.s_to_z(network.s, 50.0), 75.0)
+        np.testing.assert_allclose(direct, via_z, atol=1e-10)
+
+    def test_mismatched_grids_rejected(self):
+        a = thru(FrequencyGrid.linear(1e9, 2e9, 5))
+        b = thru(FrequencyGrid.linear(1e9, 2e9, 7))
+        with pytest.raises(ValueError):
+            a ** b
+
+    def test_mismatched_z0_rejected(self, fg):
+        a = thru(fg, z0=50.0)
+        b = thru(fg, z0=75.0)
+        with pytest.raises(ValueError):
+            a ** b
+
+    def test_cascade_type_error(self, fg):
+        with pytest.raises(TypeError):
+            thru(fg) ** 42
+
+    def test_at_returns_matrix_near_frequency(self, fg):
+        pad = attenuator(fg, 6.0)
+        matrix = pad.at(1.5e9)
+        assert matrix.shape == (2, 2)
+        assert abs(matrix[1, 0]) == pytest.approx(10 ** (-0.3), rel=1e-9)
+
+
+class TestPhysicalChecks:
+    def test_active_network_not_passive(self, fg):
+        s = np.zeros((5, 2, 2), dtype=complex)
+        s[:, 1, 0] = 10.0  # 20 dB gain
+        amp = TwoPort(fg, s)
+        assert not amp.is_passive()
+
+    def test_nonreciprocal_detected(self, fg):
+        s = np.zeros((5, 2, 2), dtype=complex)
+        s[:, 1, 0] = 0.5
+        s[:, 0, 1] = 0.1
+        isolator = TwoPort(fg, s)
+        assert not isolator.is_reciprocal()

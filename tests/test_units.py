@@ -1,0 +1,84 @@
+"""Unit-conversion tests (repro.util.units)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import units
+
+
+class TestDbConversions:
+    def test_db10_of_ten_is_ten_db(self):
+        assert units.db10(10.0) == pytest.approx(10.0)
+
+    def test_db20_of_ten_is_twenty_db(self):
+        assert units.db20(10.0) == pytest.approx(20.0)
+
+    def test_db20_uses_magnitude_of_complex(self):
+        assert units.db20(3 + 4j) == pytest.approx(units.db20(5.0))
+
+    def test_db10_clamps_zero_instead_of_minus_inf(self):
+        assert np.isfinite(units.db10(0.0))
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_db10_roundtrip(self, x_db):
+        assert units.db10(units.from_db10(x_db)) == pytest.approx(
+            x_db, abs=1e-9
+        )
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_db20_roundtrip(self, x_db):
+        assert units.db20(units.from_db20(x_db)) == pytest.approx(
+            x_db, abs=1e-9
+        )
+
+    def test_vectorized(self):
+        values = np.array([1.0, 10.0, 100.0])
+        np.testing.assert_allclose(units.db10(values), [0.0, 10.0, 20.0])
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watt(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert units.dbm_to_watt(30.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=-120, max_value=60))
+    def test_dbm_roundtrip(self, p_dbm):
+        assert units.watt_to_dbm(units.dbm_to_watt(p_dbm)) == pytest.approx(
+            p_dbm, abs=1e-9
+        )
+
+
+class TestNoiseConversions:
+    def test_nf_3db_is_factor_two(self):
+        assert units.nf_db_to_factor(10 * np.log10(2)) == pytest.approx(2.0)
+
+    def test_t290_is_3db(self):
+        assert units.noise_temperature_to_nf_db(290.0) == pytest.approx(
+            10 * np.log10(2)
+        )
+
+    def test_0db_is_zero_kelvin(self):
+        assert units.nf_db_to_noise_temperature(0.0) == pytest.approx(0.0)
+
+    @given(st.floats(min_value=0.0, max_value=30.0))
+    def test_temperature_roundtrip(self, nf_db):
+        temperature = units.nf_db_to_noise_temperature(nf_db)
+        assert units.noise_temperature_to_nf_db(
+            temperature
+        ) == pytest.approx(nf_db, abs=1e-9)
+
+
+class TestMagPhase:
+    @given(
+        st.floats(min_value=1e-3, max_value=1e3),
+        st.floats(min_value=-179.0, max_value=179.0),
+    )
+    def test_roundtrip(self, mag, phase):
+        z = units.from_magphase_deg(mag, phase)
+        mag_out, phase_out = units.magphase_deg(z)
+        assert mag_out == pytest.approx(mag, rel=1e-9)
+        assert phase_out == pytest.approx(phase, abs=1e-6)

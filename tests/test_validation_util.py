@@ -1,0 +1,52 @@
+"""Validation-helper tests (repro.util.validation)."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    ensure_1d,
+    ensure_in_range,
+    ensure_matrix_shape,
+    ensure_nonnegative,
+    ensure_positive,
+)
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert ensure_positive(3.0, "x") == 3.0
+        ensure_positive([1.0, 2.0], "x")
+
+    def test_positive_rejects(self):
+        with pytest.raises(ValueError, match="x"):
+            ensure_positive(0.0, "x")
+        with pytest.raises(ValueError):
+            ensure_positive([1.0, -2.0], "x")
+
+    def test_nonnegative(self):
+        ensure_nonnegative(0.0, "x")
+        with pytest.raises(ValueError):
+            ensure_nonnegative(-1e-12, "x")
+
+    def test_in_range(self):
+        ensure_in_range(0.5, 0.0, 1.0, "x")
+        ensure_in_range([0.0, 1.0], 0.0, 1.0, "x")
+        with pytest.raises(ValueError):
+            ensure_in_range(1.5, 0.0, 1.0, "x")
+
+
+class TestArrayChecks:
+    def test_matrix_shape_suffix(self):
+        arr = np.zeros((5, 2, 2))
+        out = ensure_matrix_shape(arr, (2, 2), "s")
+        assert out.shape == (5, 2, 2)
+        with pytest.raises(ValueError, match="s"):
+            ensure_matrix_shape(arr, (3, 3), "s")
+
+    def test_ensure_1d(self):
+        out = ensure_1d([1.0, 2.0], "f")
+        assert out.shape == (2,)
+        out_scalar = ensure_1d(3.0, "f")
+        assert out_scalar.shape == (1,)
+        with pytest.raises(ValueError):
+            ensure_1d(np.zeros((2, 2)), "f")
