@@ -8,12 +8,22 @@
 
 from repro.analysis.netlist import Circuit
 from repro.analysis.acsolver import ACResult, solve_ac
+from repro.analysis.compiled import (
+    BatchACResult,
+    BatchNoiseSource,
+    solve_ac_batch,
+    solve_tensor_batch,
+)
 from repro.analysis.dc import DcCircuit, DcConvergenceError, DcSolution
 
 __all__ = [
     "Circuit",
     "ACResult",
     "solve_ac",
+    "BatchACResult",
+    "BatchNoiseSource",
+    "solve_ac_batch",
+    "solve_tensor_batch",
     "DcCircuit",
     "DcConvergenceError",
     "DcSolution",

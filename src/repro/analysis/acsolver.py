@@ -199,12 +199,17 @@ def solve_ac(circuit: Circuit, frequency: FrequencyGrid,
 # ----------------------------------------------------------------------
 
 def _assemble_tensor(circuit: Circuit, f_hz: np.ndarray,
-                     n_nodes: int) -> np.ndarray:
-    """The (F, n, n) node-admittance tensor of the circuit."""
+                     n_nodes: int, elements=None) -> np.ndarray:
+    """The (F, n, n) node-admittance tensor of the circuit.
+
+    *elements* restricts assembly to a subset of ``circuit.elements``
+    (used by the compiled batch engine to stamp only the
+    design-invariant part once); the default stamps everything.
+    """
     omega = 2.0 * np.pi * f_hz
     n_freq = f_hz.size
     y = np.zeros((n_freq, n_nodes, n_nodes), dtype=complex)
-    for element in circuit.elements:
+    for element in (circuit.elements if elements is None else elements):
         if isinstance(element, Resistor):
             _stamp_admittance(y, circuit, element.node_a, element.node_b,
                               1.0 / element.resistance)
@@ -311,11 +316,11 @@ class _NoiseSource:
         self.psd_array = psd_array    # (F,) or (F, w, w)
 
 
-def _collect_noise_sources(circuit: Circuit,
-                           f_hz: np.ndarray) -> List["_NoiseSource"]:
+def _collect_noise_sources(circuit: Circuit, f_hz: np.ndarray,
+                           elements=None) -> List["_NoiseSource"]:
     n_nodes = len(circuit.node_names)
     sources: List[_NoiseSource] = []
-    for element in circuit.elements:
+    for element in (circuit.elements if elements is None else elements):
         if isinstance(element, Resistor):
             if element.temperature <= 0:
                 continue

@@ -1,0 +1,258 @@
+"""Batched AC analysis: population-level MNA solves.
+
+Population-based optimizers (DE, PSO, NSGA-II, the goal-attainment
+probe phase) evaluate many circuits that share one topology and differ
+only in element values.  Solving them one at a time wastes most of the
+wall clock on Python dispatch; this module stacks B candidates into a
+``(B, F, n, n)`` admittance tensor and performs **one** batched
+factorization for the signal *and* noise right-hand sides — the exact
+computation of :func:`repro.analysis.acsolver.solve_ac`, candidate by
+candidate, to floating-point roundoff (the equivalence is enforced by
+``tests/test_random_circuits.py``).
+
+Two entry points:
+
+* :func:`solve_ac_batch` — takes a sequence of fully built
+  :class:`~repro.analysis.netlist.Circuit` objects with identical
+  topology and returns a :class:`BatchACResult`.  Generic, but still
+  pays per-candidate assembly cost; it is the fallback for arbitrary
+  same-topology batches.
+* :func:`solve_tensor_batch` — the low-level core used by the compiled
+  LNA engine (:mod:`repro.core.engine`), which assembles the batch
+  tensor directly from a stamp plan and skips circuit construction
+  entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.acsolver import (
+    ACResult,
+    _assemble_tensor,
+    _collect_noise_sources,
+)
+from repro.analysis.netlist import Circuit
+from repro.rf import conversions as cv
+from repro.rf.frequency import FrequencyGrid
+
+__all__ = [
+    "BatchNoiseSource",
+    "BatchACResult",
+    "solve_ac_batch",
+    "solve_tensor_batch",
+]
+
+
+@dataclass
+class BatchNoiseSource:
+    """One noise source shared across a batch of same-topology circuits.
+
+    ``columns`` is the ``(n_nodes, w)`` stack of injection vectors —
+    they depend only on the topology, so one copy serves the whole
+    batch.  ``psd`` is the (possibly per-candidate) power spectral
+    density: shape ``(F,)`` or broadcastable ``(B, F)`` for scalar
+    sources, ``(F, w, w)`` or ``(B, F, w, w)`` for correlated blocks,
+    in the 2kT-normalized convention of :mod:`repro.rf.noise`.
+    """
+
+    columns: np.ndarray
+    psd: np.ndarray
+
+    @property
+    def width(self) -> int:
+        return self.columns.shape[1]
+
+
+@dataclass
+class BatchACResult:
+    """S-parameters and port noise correlation of a batch of circuits."""
+
+    frequency: FrequencyGrid
+    s: np.ndarray          # (B, F, n_ports, n_ports)
+    cy: np.ndarray         # (B, F, n_ports, n_ports)
+    z0: float
+    port_names: List[str]
+    node_transfers: Optional[np.ndarray] = None  # (B, F, n_probes, n_ports)
+    probe_nodes: tuple = ()
+
+    def __len__(self) -> int:
+        return self.s.shape[0]
+
+    def candidate(self, index: int) -> ACResult:
+        """The :class:`ACResult` view of one batch member."""
+        transfers = None
+        if self.node_transfers is not None:
+            transfers = self.node_transfers[index]
+        return ACResult(
+            frequency=self.frequency,
+            s=self.s[index],
+            cy=self.cy[index],
+            z0=self.z0,
+            port_names=list(self.port_names),
+            node_transfers=transfers,
+            probe_nodes=self.probe_nodes,
+        )
+
+
+def solve_tensor_batch(
+    y_batch: np.ndarray,
+    port_rows: np.ndarray,
+    z0: float,
+    noise_sources: Sequence[BatchNoiseSource] = (),
+    probe_rows: Sequence[int] = (),
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """One batched MNA solve of ``(B, F, n, n)`` admittance tensors.
+
+    *y_batch* must NOT yet include the port reference loads; they are
+    added here (in place).  Returns ``(s, cy, node_transfers)`` with
+    shapes ``(B, F, p, p)``, ``(B, F, p, p)`` and
+    ``(B, F, n_probes, p)`` (transfers are ``None`` when no probe rows
+    are requested).  Raises ``ValueError`` on singular topology, like
+    the scalar solver.
+    """
+    if y_batch.ndim != 4 or y_batch.shape[-1] != y_batch.shape[-2]:
+        raise ValueError(
+            f"expected (B, F, n, n) admittance tensor, got {y_batch.shape}"
+        )
+    n_batch, n_freq, n_nodes, _ = y_batch.shape
+    port_rows = np.asarray(port_rows, dtype=int)
+    n_ports = port_rows.size
+
+    for row in port_rows:
+        y_batch[..., row, row] += 1.0 / z0  # noiseless reference loads
+
+    n_noise_cols = sum(src.width for src in noise_sources)
+    rhs = np.zeros((n_nodes, n_ports + n_noise_cols), dtype=complex)
+    for col, row in enumerate(port_rows):
+        rhs[row, col] = 1.0
+    col = n_ports
+    for src in noise_sources:
+        rhs[:, col:col + src.width] = src.columns
+        col += src.width
+
+    try:
+        solution = np.linalg.solve(
+            y_batch,
+            np.broadcast_to(rhs, (n_batch, n_freq) + rhs.shape),
+        )
+    except np.linalg.LinAlgError as exc:
+        raise ValueError(
+            "singular circuit (floating node or degenerate element): "
+            f"{exc}"
+        ) from None
+
+    v_ports = solution[..., port_rows, :]
+    z_loaded = v_ports[..., :n_ports]
+    z_loaded_inv = np.linalg.inv(z_loaded)
+    g0 = np.eye(n_ports) / z0
+    y_net = z_loaded_inv - g0
+    s_out = cv.y_to_s(y_net, z0)
+
+    transfers = None
+    if len(probe_rows):
+        transfers = np.zeros((n_batch, n_freq, len(probe_rows), n_ports),
+                             dtype=complex)
+        for k, row in enumerate(probe_rows):
+            if row >= 0:
+                transfers[..., k, :] = solution[..., row, :n_ports]
+
+    cy_out = np.zeros((n_batch, n_freq, n_ports, n_ports), dtype=complex)
+    col = n_ports
+    for src in noise_sources:
+        width = src.width
+        transfer = v_ports[..., col:col + width]
+        col += width
+        # Port-referred noise currents: i_n = -(Y_net + G0) v_loaded.
+        i_n = -z_loaded_inv @ transfer
+        i_n_h = np.conjugate(np.swapaxes(i_n, -1, -2))
+        psd = np.asarray(src.psd)
+        if psd.ndim <= 2:          # (F,) or (B, F) scalar densities
+            cy_out += psd[..., None, None] * (i_n @ i_n_h)
+        else:                      # (F, w, w) or (B, F, w, w) matrices
+            cy_out += i_n @ psd @ i_n_h
+    return s_out, cy_out, transfers
+
+
+def solve_ac_batch(circuits: Sequence[Circuit], frequency: FrequencyGrid,
+                   compute_noise: bool = True,
+                   probe_nodes: tuple = ()) -> BatchACResult:
+    """Run AC + noise analysis of a batch of same-topology circuits.
+
+    Every circuit must share node names, element structure, and port
+    declarations with the first one — only element *values* may differ.
+    The result matches ``[solve_ac(c, frequency) for c in circuits]``
+    to floating-point roundoff at a fraction of the Python overhead.
+    """
+    if not len(circuits):
+        raise ValueError("need at least one circuit to solve")
+    reference = circuits[0]
+    if not reference.ports:
+        raise ValueError("circuit has no ports; declare at least one")
+    z0_values = {p.z0 for p in reference.ports}
+    if len(z0_values) != 1:
+        raise ValueError(
+            f"ports must share one reference impedance, got {sorted(z0_values)}"
+        )
+    z0 = reference.ports[0].z0
+    node_names = reference.node_names
+    port_spec = [(p.name, p.node, p.z0) for p in reference.ports]
+    for circuit in circuits[1:]:
+        if circuit.node_names != node_names:
+            raise ValueError(
+                f"circuit {circuit.name!r} has different node topology "
+                f"than {reference.name!r}"
+            )
+        if [(p.name, p.node, p.z0) for p in circuit.ports] != port_spec:
+            raise ValueError(
+                f"circuit {circuit.name!r} has different ports "
+                f"than {reference.name!r}"
+            )
+
+    n_nodes = len(node_names)
+    f_hz = frequency.f_hz
+    port_rows = np.array(
+        [reference.node_index(p.node) for p in reference.ports], dtype=int
+    )
+    if np.any(port_rows < 0):
+        raise ValueError("a port cannot be attached to ground")
+    probe_rows = [reference.node_index(node) for node in probe_nodes]
+
+    y_batch = np.stack([
+        _assemble_tensor(circuit, f_hz, n_nodes) for circuit in circuits
+    ])
+
+    noise_sources: List[BatchNoiseSource] = []
+    if compute_noise:
+        per_circuit = [_collect_noise_sources(c, f_hz) for c in circuits]
+        n_sources = len(per_circuit[0])
+        if any(len(sources) != n_sources for sources in per_circuit):
+            raise ValueError(
+                "circuits declare different numbers of noise sources"
+            )
+        for idx in range(n_sources):
+            columns = np.stack(per_circuit[0][idx].columns, axis=1)
+            for sources in per_circuit[1:]:
+                other = np.stack(sources[idx].columns, axis=1)
+                if other.shape != columns.shape or not np.array_equal(
+                    other, columns
+                ):
+                    raise ValueError(
+                        "noise-source injection topology differs across "
+                        "the batch"
+                    )
+            psd = np.stack([sources[idx].psd_array
+                            for sources in per_circuit])
+            noise_sources.append(BatchNoiseSource(columns, psd))
+
+    s_out, cy_out, transfers = solve_tensor_batch(
+        y_batch, port_rows, z0, noise_sources, probe_rows
+    )
+    return BatchACResult(
+        frequency=frequency, s=s_out, cy=cy_out, z0=z0,
+        port_names=[p.name for p in reference.ports],
+        node_transfers=transfers, probe_nodes=tuple(probe_nodes),
+    )

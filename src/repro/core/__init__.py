@@ -12,6 +12,11 @@ from repro.core.amplifier import (
     AmplifierTemplate,
     DesignVariables,
 )
+from repro.core.engine import (
+    BatchPerformance,
+    CompiledTemplate,
+    CompileError,
+)
 from repro.core.objectives import DesignSpec, LnaEvaluator, build_lna_problem
 from repro.core.design import DEFAULT_GOALS, DesignFlow, FinalDesign
 from repro.core.evaluation import (
@@ -37,6 +42,9 @@ __all__ = [
     "AmplifierPerformance",
     "AmplifierTemplate",
     "DesignVariables",
+    "BatchPerformance",
+    "CompiledTemplate",
+    "CompileError",
     "DesignSpec",
     "LnaEvaluator",
     "build_lna_problem",

@@ -28,7 +28,7 @@ evaluated through the MNA simulator, noise included.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -147,7 +147,7 @@ class AmplifierTemplate:
     """Builds and evaluates the LNA circuit for a set of design variables."""
 
     def __init__(self, device: PHEMTSmallSignal,
-                 substrate: MicrostripSubstrate = None,
+                 substrate: Optional[MicrostripSubstrate] = None,
                  z0: float = 50.0,
                  bias_resistance: float = 10e3,
                  access_line_length: float = 4e-3):
@@ -218,22 +218,25 @@ class AmplifierTemplate:
         return solve_ac(circuit, frequency).as_noisy_twoport("gnss_lna")
 
     def evaluate(self, variables: DesignVariables,
-                 frequency: FrequencyGrid = None,
-                 guard: FrequencyGrid = None) -> AmplifierPerformance:
+                 frequency: Optional[FrequencyGrid] = None,
+                 guard: Optional[FrequencyGrid] = None
+                 ) -> AmplifierPerformance:
         """Full figure-of-merit evaluation (band + stability guard)."""
         if frequency is None:
             frequency = design_grid()
         if guard is None:
             guard = stability_grid()
-        noisy = self.solve(variables, frequency)
+        # One circuit build serves both solves: element values depend
+        # only on the design point, not on the frequency grid.
+        circuit = self.build_circuit(variables)
+        noisy = solve_ac(circuit, frequency).as_noisy_twoport("gnss_lna")
         s = noisy.network.s
         nf_db = noisy.noise_figure_db()
         gt_db = 20.0 * np.log10(np.maximum(np.abs(s[:, 1, 0]), 1e-12))
         s11_db = 20.0 * np.log10(np.maximum(np.abs(s[:, 0, 0]), 1e-12))
         s22_db = 20.0 * np.log10(np.maximum(np.abs(s[:, 1, 1]), 1e-12))
 
-        guard_result = solve_ac(self.build_circuit(variables), guard,
-                                compute_noise=False)
+        guard_result = solve_ac(circuit, guard, compute_noise=False)
         mu_min = float(np.min(mu_source(guard_result.s)))
         ids = float(self.device.dc_model.ids(variables.vgs, variables.vds))
         return AmplifierPerformance(

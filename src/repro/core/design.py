@@ -69,12 +69,14 @@ class FinalDesign:
 class DesignFlow:
     """Orchestrates problem construction, optimization, and finalization."""
 
-    def __init__(self, device: PHEMTSmallSignal, spec: DesignSpec = None,
-                 template: AmplifierTemplate = None):
+    def __init__(self, device: PHEMTSmallSignal,
+                 spec: Optional[DesignSpec] = None,
+                 template: Optional[AmplifierTemplate] = None,
+                 engine: str = "compiled"):
         self.device = device
         self.spec = spec or DesignSpec()
         self.template = template or AmplifierTemplate(device)
-        self.evaluator = LnaEvaluator(self.template)
+        self.evaluator = LnaEvaluator(self.template, engine=engine)
         self.problem = build_lna_problem(self.template, self.spec,
                                          self.evaluator)
 

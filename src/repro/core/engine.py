@@ -1,0 +1,518 @@
+"""Compiled LNA evaluation engine: netlist stamps lowered to tensors.
+
+The scalar path (:meth:`AmplifierTemplate.evaluate`) rebuilds the whole
+:class:`~repro.analysis.netlist.Circuit` in Python for every candidate
+and re-stamps every element into the admittance tensor — fine for one
+design, ruinous for population-based optimization where thousands of
+candidates share one topology.  :class:`CompiledTemplate` lowers the
+netlist **once** into a *stamp plan*:
+
+* a constant base tensor holding every design-invariant element
+  (access lines, bias resistor, decoupling, device parasitic shell),
+  assembled one time by the ordinary scalar stamping code;
+* a short list of :class:`StampSlot` records — precomputed node-index
+  arrays for the handful of elements whose value depends on the design
+  vector (matching passives, stabilization branches, and the intrinsic
+  bias-dependent device elements);
+* the matching noise-source plan (constant sources pre-evaluated,
+  variable PSDs computed per candidate).
+
+Per-candidate assembly is then pure vectorized NumPy — broadcast the
+base tensor to ``(B, F, n, n)``, add ``signs * value`` at the
+precomputed indices — and one call to
+:func:`repro.analysis.compiled.solve_tensor_batch` solves the design
+grid *and* the stability guard grid for all candidates at once (the two
+grids are fused along the frequency axis; rows are independent in MNA,
+so the fused solve is exact).
+
+Element values are computed by the *same* component models as the
+scalar path (:mod:`repro.passives.rlc` factories, the device's DC and
+capacitance models), evaluated on ``(B, 1)`` value arrays, so the
+numbers agree with the scalar path to floating-point roundoff.  Because
+the constant/variable split is an assumption about
+:meth:`AmplifierTemplate.build_circuit`, compilation **verifies** it:
+the compiled engine is checked against the scalar path at two probe
+design points and :class:`CompileError` is raised on any mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.acsolver import (
+    _assemble_tensor,
+    _collect_noise_sources,
+    _injection,
+)
+from repro.analysis.compiled import BatchNoiseSource, solve_tensor_batch
+from repro.analysis.netlist import (
+    Capacitor,
+    NoiseCurrent,
+    Resistor,
+    Vccs,
+    YBlock,
+)
+from repro.core.amplifier import (
+    AmplifierPerformance,
+    AmplifierTemplate,
+    DesignVariables,
+)
+from repro.core.bands import design_grid, stability_grid
+from repro.passives.rlc import (
+    _two_terminal_stack,
+    coilcraft_style_inductor,
+    murata_style_capacitor,
+)
+from repro.rf import conversions as cv
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.noise import ca_from_cy
+from repro.rf.stability import mu_source
+from repro.util.constants import BOLTZMANN, T_AMBIENT
+
+__all__ = [
+    "CompileError",
+    "CompiledTemplate",
+    "BatchPerformance",
+    "StampSlot",
+    "VARIABLE_ELEMENT_NAMES",
+]
+
+_2KT0 = 2.0 * BOLTZMANN * 290.0
+
+#: Elements of :meth:`AmplifierTemplate.build_circuit` whose stamped
+#: value depends on the design vector.  Everything else goes into the
+#: constant base tensor; compilation verifies this classification.
+VARIABLE_ELEMENT_NAMES = frozenset({
+    "Cin", "Lin", "Ldeg", "Lchoke", "Cout", "Csh",   # matching passives
+    "Rstab", "Rsh",                                  # stabilization
+    "Q_Cgs", "Q_Cgd", "Q_gm", "Q_Gds", "Q_ind",      # bias-dependent
+})
+
+
+class CompileError(RuntimeError):
+    """The stamp plan disagrees with the scalar path.
+
+    Raised when :meth:`AmplifierTemplate.build_circuit` produced a
+    topology the compiled constant/variable split cannot represent —
+    usually because an element was added or renamed without updating
+    ``VARIABLE_ELEMENT_NAMES``.
+    """
+
+
+@dataclass(frozen=True)
+class StampSlot:
+    """Precomputed index arrays of one design-dependent element.
+
+    ``y_batch[..., rows, cols] += signs * value[..., None]`` applies the
+    slot; the (row, col) pairs within one slot are unique, so the fancy
+    indexing accumulates correctly.
+    """
+
+    name: str
+    rows: np.ndarray   # (k,) int
+    cols: np.ndarray   # (k,) int
+    signs: np.ndarray  # (k,) float
+
+
+@dataclass
+class BatchPerformance:
+    """Figures of merit of a batch of evaluated designs (arrays over B)."""
+
+    frequency: FrequencyGrid
+    nf_db: np.ndarray          # (B, F)
+    gt_db: np.ndarray          # (B, F)
+    s11_db: np.ndarray         # (B, F)
+    s22_db: np.ndarray         # (B, F)
+    mu_min: np.ndarray         # (B,)
+    ids: np.ndarray            # (B,)
+    nf_max_db: np.ndarray      # (B,)
+    gt_min_db: np.ndarray      # (B,)
+    gt_ripple_db: np.ndarray   # (B,)
+
+    def __len__(self) -> int:
+        return self.nf_db.shape[0]
+
+    def candidate(self, index: int) -> AmplifierPerformance:
+        """The scalar :class:`AmplifierPerformance` of one batch member."""
+        return AmplifierPerformance(
+            frequency=self.frequency,
+            nf_db=self.nf_db[index],
+            gt_db=self.gt_db[index],
+            s11_db=self.s11_db[index],
+            s22_db=self.s22_db[index],
+            mu_min=float(self.mu_min[index]),
+            ids=float(self.ids[index]),
+            nf_max_db=float(self.nf_max_db[index]),
+            gt_min_db=float(self.gt_min_db[index]),
+            gt_ripple_db=float(self.gt_ripple_db[index]),
+        )
+
+
+class CompiledTemplate:
+    """An :class:`AmplifierTemplate` lowered to a batched stamp plan.
+
+    Parameters
+    ----------
+    template:
+        The amplifier template to compile.
+    band_grid, guard_grid:
+        Objective and stability-guard frequency grids (defaults match
+        :class:`repro.core.objectives.LnaEvaluator`).
+    verify:
+        Check the compiled engine against the scalar path at two probe
+        design points (recommended; a few scalar solves at compile
+        time).
+    """
+
+    def __init__(self, template: AmplifierTemplate,
+                 band_grid: Optional[FrequencyGrid] = None,
+                 guard_grid: Optional[FrequencyGrid] = None,
+                 verify: bool = True):
+        self.template = template
+        self.band_grid = band_grid or design_grid(17)
+        self.guard_grid = guard_grid or stability_grid(24)
+        self._n_band = len(self.band_grid)
+        # Fused frequency axis: objective band first, guard band after.
+        # MNA rows are independent per frequency, so one solve of the
+        # fused axis is exact for both grids.
+        self._f_fused = np.concatenate([self.band_grid.f_hz,
+                                        self.guard_grid.f_hz])
+        self._compile()
+        if verify:
+            self._verify()
+
+    # -- compilation --------------------------------------------------------
+    def _compile(self):
+        proto = self.template.build_circuit(DesignVariables())
+        names = {element.name for element in proto.elements}
+        missing = VARIABLE_ELEMENT_NAMES - names
+        if missing:
+            raise CompileError(
+                f"template netlist lacks expected design-dependent "
+                f"elements: {sorted(missing)}"
+            )
+        self._n_nodes = len(proto.node_names)
+        self._port_rows = np.array(
+            [proto.node_index(p.node) for p in proto.ports], dtype=int
+        )
+        z0_values = {p.z0 for p in proto.ports}
+        if len(z0_values) != 1:
+            raise CompileError("ports must share one reference impedance")
+        self._z0 = proto.ports[0].z0
+        self._port_names = [p.name for p in proto.ports]
+
+        constant = [e for e in proto.elements
+                    if e.name not in VARIABLE_ELEMENT_NAMES]
+        variable = {e.name: e for e in proto.elements
+                    if e.name in VARIABLE_ELEMENT_NAMES}
+
+        # Constant part: stamped once by the ordinary scalar assembler.
+        self._base = _assemble_tensor(proto, self._f_fused, self._n_nodes,
+                                      elements=constant)
+        self._const_noise = [
+            BatchNoiseSource(np.stack(src.columns, axis=1), src.psd_array)
+            for src in _collect_noise_sources(proto, self._f_fused,
+                                              elements=constant)
+        ]
+
+        # Variable part: precompute index arrays and noise injections.
+        self._slots: Dict[str, StampSlot] = {}
+        self._scalar_noise: List[tuple] = []   # (name, columns (n, 1))
+        self._block_noise: List[tuple] = []    # (name, columns (n, 2))
+        for name, element in variable.items():
+            if isinstance(element, Vccs):
+                self._slots[name] = self._vccs_slot(proto, element)
+                continue
+            if isinstance(element, YBlock):
+                node_a, node_b = element.nodes
+            else:
+                node_a, node_b = element.node_a, element.node_b
+            if isinstance(element, NoiseCurrent):
+                self._scalar_noise.append((name, _injection(
+                    proto, node_a, node_b, self._n_nodes
+                )[:, None]))
+                continue
+            self._slots[name] = self._two_terminal_slot(proto, name,
+                                                        node_a, node_b)
+            if isinstance(element, Resistor):
+                if element.temperature > 0:
+                    self._scalar_noise.append((name, _injection(
+                        proto, node_a, node_b, self._n_nodes
+                    )[:, None]))
+            elif isinstance(element, YBlock):
+                if element.cy_function is not None:
+                    columns = np.zeros((self._n_nodes, 2), dtype=complex)
+                    for k, node in enumerate(element.nodes):
+                        idx = proto.node_index(node)
+                        if idx >= 0:
+                            columns[idx, k] = 1.0
+                    self._block_noise.append((name, columns))
+
+    @staticmethod
+    def _two_terminal_slot(circuit, name, node_a, node_b) -> StampSlot:
+        a = circuit.node_index(node_a)
+        b = circuit.node_index(node_b)
+        entries = []
+        if a >= 0:
+            entries.append((a, a, +1.0))
+        if b >= 0:
+            entries.append((b, b, +1.0))
+        if a >= 0 and b >= 0:
+            entries.append((a, b, -1.0))
+            entries.append((b, a, -1.0))
+        if not entries:
+            raise CompileError(f"element {name!r} connects ground to ground")
+        rows, cols, signs = (np.array(v) for v in zip(*entries))
+        return StampSlot(name, rows.astype(int), cols.astype(int),
+                         signs.astype(float))
+
+    @staticmethod
+    def _vccs_slot(circuit, element: Vccs) -> StampSlot:
+        op = circuit.node_index(element.out_p)
+        on = circuit.node_index(element.out_n)
+        cp = circuit.node_index(element.ctrl_p)
+        cn = circuit.node_index(element.ctrl_n)
+        entries = []
+        for out_idx, sign in ((op, +1.0), (on, -1.0)):
+            if out_idx < 0:
+                continue
+            if cp >= 0:
+                entries.append((out_idx, cp, sign))
+            if cn >= 0:
+                entries.append((out_idx, cn, -sign))
+        if not entries:
+            raise CompileError(
+                f"vccs {element.name!r} has no stamped entries"
+            )
+        rows, cols, signs = (np.array(v) for v in zip(*entries))
+        return StampSlot(element.name, rows.astype(int), cols.astype(int),
+                         signs.astype(float))
+
+    # -- per-candidate values ----------------------------------------------
+    def _candidate_values(self, x_physical: np.ndarray):
+        """Vectorized element values for a (B, n_vars) design matrix.
+
+        Returns ``(admittances, scalar_psds, block_psds, ids)`` where
+        admittances maps slot name -> (B, F) complex, scalar_psds maps
+        noise-source name -> (B, 1) or (B, F), block_psds maps YBlock
+        name -> (B, F, 2, 2).
+        """
+        index = {name: k for k, name in enumerate(DesignVariables.NAMES)}
+        col = lambda name: x_physical[:, index[name]]  # noqa: E731
+        f = self._f_fused
+        omega = 2.0 * np.pi * f
+        device = self.template.device
+
+        admittances: Dict[str, np.ndarray] = {}
+        scalar_psds: Dict[str, np.ndarray] = {}
+        block_psds: Dict[str, np.ndarray] = {}
+
+        # Matching passives: the same catalogue models as build_circuit,
+        # evaluated on (B, 1) value columns so each row is bitwise the
+        # scalar computation.
+        passives = {
+            "Cin": murata_style_capacitor(col("c_in")[:, None], name="Cin"),
+            "Cout": murata_style_capacitor(col("c_out")[:, None],
+                                           name="Cout"),
+            "Csh": murata_style_capacitor(col("c_sh")[:, None], name="Csh"),
+            "Lin": coilcraft_style_inductor(col("l_in")[:, None],
+                                            name="Lin"),
+            "Ldeg": coilcraft_style_inductor(col("l_deg")[:, None],
+                                             name="Ldeg"),
+            "Lchoke": coilcraft_style_inductor(col("l_choke")[:, None],
+                                               name="Lchoke"),
+        }
+        for name, component in passives.items():
+            y = np.asarray(component.admittance(f), dtype=complex)
+            admittances[name] = y
+            g = np.real(y)
+            block_psds[name] = _two_terminal_stack(
+                (2.0 * BOLTZMANN * T_AMBIENT * g).astype(complex)
+            )
+
+        # Stabilization resistors: ideal (the scalar path uses
+        # circuit.resistor), admittance flat over frequency.
+        for name, var in (("Rstab", "r_stab"), ("Rsh", "r_sh")):
+            r = col(var)[:, None]
+            admittances[name] = (1.0 / r).astype(complex)
+            scalar_psds[name] = 2.0 * BOLTZMANN * T_AMBIENT / r
+
+        # Bias-dependent intrinsic device elements, from the same DC and
+        # capacitance models the scalar path calls in intrinsic_at().
+        vgs = col("vgs")
+        vds = col("vds")
+        dc = device.dc_model
+        caps = device.capacitances
+        gm = np.asarray(dc.gm(vgs, vds), dtype=float)
+        gds = np.asarray(dc.gds(vgs, vds), dtype=float)
+        if np.any(gds <= 0):
+            bad = np.flatnonzero(gds <= 0)
+            raise ValueError(
+                f"candidates {bad.tolist()} bias the device outside the "
+                "saturated forward region (gds <= 0)"
+            )
+        cgs = np.asarray(caps.cgs(vgs), dtype=float)
+        cgd = np.asarray(caps.cgd(vds), dtype=float)
+        ids = np.asarray(dc.ids(vgs, vds), dtype=float)
+
+        admittances["Q_Cgs"] = 1j * omega * cgs[:, None]
+        admittances["Q_Cgd"] = 1j * omega * cgd[:, None]
+        # The scalar path stamps 1 / resistance with resistance set to
+        # 1 / gds; replicate the double reciprocal for exactness.
+        admittances["Q_Gds"] = (1.0 / (1.0 / gds[:, None])).astype(complex)
+        admittances["Q_gm"] = gm[:, None] * np.exp(
+            -1j * omega * caps.tau
+        )[None, :]
+        td = device.td0 + device.td_slope * ids
+        scalar_psds["Q_ind"] = (2.0 * BOLTZMANN * td * gds)[:, None]
+        return admittances, scalar_psds, block_psds, ids
+
+    # -- solving ------------------------------------------------------------
+    def solve_batch(self, x_physical: np.ndarray):
+        """Fused-grid batch solve for (B, n_vars) physical design vectors.
+
+        Returns ``(s, cy_band, ids)``: S-parameters ``(B, F_fused, 2, 2)``
+        over the fused band+guard axis, the port noise correlation on
+        the design band only (``(B, n_band, 2, 2)`` — the guard grid
+        feeds the stability margin, which needs no noise), and the
+        drain bias currents ``(B,)``.
+        """
+        x_physical = np.atleast_2d(np.asarray(x_physical, dtype=float))
+        n_batch = x_physical.shape[0]
+        admittances, scalar_psds, block_psds, ids = self._candidate_values(
+            x_physical
+        )
+
+        y_batch = np.broadcast_to(
+            self._base, (n_batch,) + self._base.shape
+        ).copy()
+        for name, slot in self._slots.items():
+            y_batch[..., slot.rows, slot.cols] += (
+                slot.signs * admittances[name][..., None]
+            )
+
+        n_band = self._n_band
+        noise_sources = [
+            BatchNoiseSource(src.columns, src.psd[:n_band])
+            for src in self._const_noise
+        ]
+        for name, columns in self._scalar_noise:
+            noise_sources.append(BatchNoiseSource(columns, scalar_psds[name]))
+        for name, columns in self._block_noise:
+            noise_sources.append(
+                BatchNoiseSource(columns, block_psds[name][:, :n_band])
+            )
+
+        # Two batched solves sharing the stamped tensor: the band slice
+        # carries the signal *and* noise right-hand sides, the guard
+        # slice only the two port columns (its noise response is never
+        # consumed).  Per-frequency independence makes the split exact.
+        s_band, cy_band, _ = solve_tensor_batch(
+            y_batch[:, :n_band], self._port_rows, self._z0, noise_sources
+        )
+        s_guard, _, _ = solve_tensor_batch(
+            y_batch[:, n_band:], self._port_rows, self._z0
+        )
+        s = np.concatenate([s_band, s_guard], axis=1)
+        return s, cy_band, ids
+
+    def performance_batch(self, unit_x: np.ndarray) -> BatchPerformance:
+        """Figures of merit for a (B, n_vars) batch of unit-box vectors.
+
+        Matches ``[template.evaluate(DesignVariables.from_unit(u), band,
+        guard) for u in unit_x]`` to ~1e-10.
+        """
+        unit_x = np.atleast_2d(np.asarray(unit_x, dtype=float))
+        lower, upper = DesignVariables.LOWER, DesignVariables.UPPER
+        x_physical = lower + np.clip(unit_x, 0.0, 1.0) * (upper - lower)
+        s, cy_band, ids = self.solve_batch(x_physical)
+
+        n_band = self._n_band
+        s_band = s[:, :n_band]
+        s_guard = s[:, n_band:]
+
+        # Noise figure exactly as NoisyTwoPort.noise_factor with the
+        # port reference source: ca from cy via the network ABCD.
+        abcd = cv.s_to_abcd(s_band, self._z0)
+        ca = ca_from_cy(cy_band, abcd)
+        zs = 1.0 / (1.0 / self._z0)
+        e_total = (
+            ca[..., 0, 0]
+            + np.conjugate(zs) * ca[..., 0, 1]
+            + zs * ca[..., 1, 0]
+            + np.abs(zs) ** 2 * ca[..., 1, 1]
+        ).real
+        noise_factor = 1.0 + e_total / (_2KT0 * np.real(zs))
+        nf_db = 10.0 * np.log10(noise_factor)
+
+        gt_db = 20.0 * np.log10(
+            np.maximum(np.abs(s_band[..., 1, 0]), 1e-12)
+        )
+        s11_db = 20.0 * np.log10(
+            np.maximum(np.abs(s_band[..., 0, 0]), 1e-12)
+        )
+        s22_db = 20.0 * np.log10(
+            np.maximum(np.abs(s_band[..., 1, 1]), 1e-12)
+        )
+        mu_min = np.min(mu_source(s_guard), axis=1)
+        return BatchPerformance(
+            frequency=self.band_grid,
+            nf_db=nf_db,
+            gt_db=gt_db,
+            s11_db=s11_db,
+            s22_db=s22_db,
+            mu_min=mu_min,
+            ids=ids,
+            nf_max_db=np.max(nf_db, axis=1),
+            gt_min_db=np.min(gt_db, axis=1),
+            gt_ripple_db=np.max(gt_db, axis=1) - np.min(gt_db, axis=1),
+        )
+
+    def performance(self, unit_x: np.ndarray) -> AmplifierPerformance:
+        """Single-candidate convenience wrapper over the batch path."""
+        return self.performance_batch(np.atleast_2d(unit_x)).candidate(0)
+
+    # -- verification -------------------------------------------------------
+    def _verify(self, tolerance: float = 1e-8):
+        """Cross-check the stamp plan against the scalar path.
+
+        Two probe points (the template defaults and an off-centre
+        design) catch any element that varies with the design vector
+        but was classified constant — its stamp would be frozen at the
+        compile-time value and the probes would disagree.
+        """
+        probes = np.vstack([
+            DesignVariables().to_unit(),
+            DesignVariables.from_unit(
+                np.full(len(DesignVariables.NAMES), 0.3)
+            ).to_unit(),
+        ])
+        batch = self.performance_batch(probes)
+        for k in range(probes.shape[0]):
+            scalar = self.template.evaluate(
+                DesignVariables.from_unit(probes[k]),
+                self.band_grid, self.guard_grid,
+            )
+            compiled = batch.candidate(k)
+            checks = [
+                ("nf_db", scalar.nf_db, compiled.nf_db),
+                ("gt_db", scalar.gt_db, compiled.gt_db),
+                ("s11_db", scalar.s11_db, compiled.s11_db),
+                ("s22_db", scalar.s22_db, compiled.s22_db),
+                ("mu_min", scalar.mu_min, compiled.mu_min),
+                ("ids", scalar.ids, compiled.ids),
+            ]
+            for label, expected, got in checks:
+                error = float(np.max(np.abs(
+                    np.asarray(got) - np.asarray(expected)
+                )))
+                if not np.isfinite(error) or error > tolerance:
+                    raise CompileError(
+                        f"compiled engine disagrees with the scalar path "
+                        f"on {label!r} at probe {k} (max error {error:.3e});"
+                        f" the netlist changed — update "
+                        f"VARIABLE_ELEMENT_NAMES in repro.core.engine"
+                    )

@@ -16,6 +16,7 @@ Experiments E9/E10 plot the designed vs "measured" curves from here.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -61,8 +62,8 @@ class MeasuredPerformance:
 
 def simulate_measurement(template: AmplifierTemplate,
                          variables: DesignVariables,
-                         frequency: FrequencyGrid = None,
-                         settings: MeasurementSettings = None
+                         frequency: Optional[FrequencyGrid] = None,
+                         settings: Optional[MeasurementSettings] = None
                          ) -> MeasuredPerformance:
     """Run the bench: dense solve + instrument corruption."""
     if frequency is None:

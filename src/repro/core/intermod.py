@@ -22,7 +22,7 @@ slightly pessimistic — the safe direction for an intercept check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -57,7 +57,8 @@ class TwoToneResult:
 def two_tone_analysis(template: AmplifierTemplate,
                       variables: DesignVariables,
                       f_center: float = 1.4e9,
-                      pin_dbm: Sequence[float] = None) -> TwoToneResult:
+                      pin_dbm: Optional[Sequence[float]] = None
+                      ) -> TwoToneResult:
     """IM3 of the amplifier with two tones around *f_center*.
 
     The tone spacing is irrelevant in the memoryless power-series

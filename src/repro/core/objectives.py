@@ -22,7 +22,10 @@ comparable.
 
 from __future__ import annotations
 
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
@@ -32,6 +35,7 @@ from repro.core.amplifier import (
     DesignVariables,
 )
 from repro.core.bands import design_grid, stability_grid
+from repro.core.engine import CompiledTemplate, CompileError
 from repro.optimize.goal_attainment import MultiObjectiveProblem
 from repro.rf.frequency import FrequencyGrid
 
@@ -58,59 +62,164 @@ class LnaEvaluator:
     """Memoized map from a design vector to amplifier figures of merit.
 
     Objectives and constraints share one circuit solve per design
-    point; the single-entry cache makes the SLSQP finite-difference
-    pattern (objective then constraints at the same x) cost one
-    evaluation, exactly as in the goal-attainment counter.
+    point; the quantized-key LRU cache makes the SLSQP
+    finite-difference pattern (objective then constraints at the same
+    x) cost one evaluation, and lets the multi-stage improved
+    goal-attainment flow revisit earlier iterates for free.  Keys
+    quantize the unit vector to 12 decimals — far below the ~1.5e-8
+    finite-difference step, so distinct probe points never collide.
+
+    By default evaluations run through the compiled batched engine
+    (:class:`repro.core.engine.CompiledTemplate`), which matches the
+    scalar path to ~1e-10; pass ``engine="scalar"`` to force the
+    original per-candidate circuit build.
     """
 
     def __init__(self, template: AmplifierTemplate,
-                 band_grid: FrequencyGrid = None,
-                 guard_grid: FrequencyGrid = None):
+                 band_grid: Optional[FrequencyGrid] = None,
+                 guard_grid: Optional[FrequencyGrid] = None,
+                 engine: str = "compiled",
+                 cache_size: int = 4096):
         self.template = template
         self.band_grid = band_grid or design_grid(17)
         self.guard_grid = guard_grid or stability_grid(24)
         self.n_solves = 0
-        self._last_key = None
-        self._last_value: AmplifierPerformance = None
+        self.cache_hits = 0
+        self.cache_size = int(cache_size)
+        self._cache: "OrderedDict[bytes, AmplifierPerformance]" = OrderedDict()
+        self._compiled: Optional[CompiledTemplate] = None
+        if engine == "compiled":
+            try:
+                self._compiled = CompiledTemplate(
+                    self.template, self.band_grid, self.guard_grid
+                )
+            except CompileError as exc:
+                warnings.warn(
+                    f"compiled engine rejected the template "
+                    f"({exc}); falling back to the scalar path",
+                    RuntimeWarning,
+                )
+        elif engine != "scalar":
+            raise ValueError(
+                f"unknown engine {engine!r}; use 'compiled' or 'scalar'"
+            )
+
+    @property
+    def engine(self) -> str:
+        """The evaluation path in use: ``"compiled"`` or ``"scalar"``."""
+        return "compiled" if self._compiled is not None else "scalar"
+
+    @staticmethod
+    def _key(unit_x: np.ndarray) -> bytes:
+        return np.round(np.asarray(unit_x, dtype=float), 12).tobytes()
+
+    def _remember(self, key: bytes, perf: AmplifierPerformance):
+        self._cache[key] = perf
+        if len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def _lookup(self, key: bytes) -> Optional[AmplifierPerformance]:
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+        return cached
+
+    def _solve_one(self, unit_x: np.ndarray) -> AmplifierPerformance:
+        if self._compiled is not None:
+            return self._compiled.performance(unit_x)
+        variables = DesignVariables.from_unit(unit_x)
+        return self.template.evaluate(
+            variables, self.band_grid, self.guard_grid
+        )
 
     def performance(self, unit_x: np.ndarray) -> AmplifierPerformance:
         """Figures of merit at a *unit-box* design vector."""
         unit_x = np.asarray(unit_x, dtype=float)
-        key = unit_x.tobytes()
-        if key != self._last_key:
-            variables = DesignVariables.from_unit(unit_x)
-            self._last_value = self.template.evaluate(
-                variables, self.band_grid, self.guard_grid
-            )
-            self._last_key = key
-            self.n_solves += 1
-        return self._last_value
+        key = self._key(unit_x)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        perf = self._solve_one(unit_x)
+        self.n_solves += 1
+        self._remember(key, perf)
+        return perf
+
+    def performance_batch(
+        self, unit_x: np.ndarray
+    ) -> List[AmplifierPerformance]:
+        """Figures of merit for a ``(B, n_vars)`` stack of unit vectors.
+
+        Cache hits are served from the LRU store; the misses are solved
+        in **one** batched MNA factorization when the compiled engine
+        is active (duplicate rows within the batch are solved once).
+        """
+        unit_x = np.atleast_2d(np.asarray(unit_x, dtype=float))
+        results: List[Optional[AmplifierPerformance]] = [None] * len(unit_x)
+        miss_rows: "OrderedDict[bytes, List[int]]" = OrderedDict()
+        for i, x in enumerate(unit_x):
+            key = self._key(x)
+            cached = self._lookup(key)
+            if cached is not None:
+                results[i] = cached
+            else:
+                miss_rows.setdefault(key, []).append(i)
+        if miss_rows:
+            first_rows = [rows[0] for rows in miss_rows.values()]
+            if self._compiled is not None:
+                batch = self._compiled.performance_batch(unit_x[first_rows])
+                solved = [batch.candidate(k) for k in range(len(first_rows))]
+            else:
+                solved = [self._solve_one(unit_x[i]) for i in first_rows]
+            for (key, rows), perf in zip(miss_rows.items(), solved):
+                self.n_solves += 1
+                self._remember(key, perf)
+                for i in rows:
+                    results[i] = perf
+        return results
 
 
 def build_lna_problem(template: AmplifierTemplate,
-                      spec: DesignSpec = None,
-                      evaluator: LnaEvaluator = None) -> MultiObjectiveProblem:
+                      spec: Optional[DesignSpec] = None,
+                      evaluator: Optional[LnaEvaluator] = None,
+                      ) -> MultiObjectiveProblem:
     """The (NFmax, -GTmin) problem with the spec's hard constraints.
 
     The problem is posed in the **unit box** [0, 1]^n; use
-    :meth:`DesignVariables.from_unit` to decode solution vectors.
+    :meth:`DesignVariables.from_unit` to decode solution vectors.  In
+    addition to the scalar callables the problem carries
+    ``objectives_batch`` / ``constraints_batch`` — population-level
+    maps an optimizer can call with a ``(B, n)`` matrix to amortize the
+    MNA factorization across candidates.
     """
     spec = spec or DesignSpec()
     evaluator = evaluator or LnaEvaluator(template)
 
-    def objectives(x: np.ndarray) -> np.ndarray:
-        perf = evaluator.performance(x)
-        return np.array([perf.nf_max_db, -perf.gt_min_db])
+    def _objective_row(perf: AmplifierPerformance) -> List[float]:
+        return [perf.nf_max_db, -perf.gt_min_db]
 
-    def constraints(x: np.ndarray) -> np.ndarray:
-        perf = evaluator.performance(x)
-        return np.array([
+    def _constraint_row(perf: AmplifierPerformance) -> List[float]:
+        return [
             float(np.max(perf.s11_db)) + spec.rl_spec_db,   # S11 <= -RL
             float(np.max(perf.s22_db)) + spec.rl_spec_db,   # S22 <= -RL
             spec.mu_margin - perf.mu_min,                   # mu >= margin
             perf.gt_ripple_db - spec.ripple_spec_db,        # ripple <= spec
             (perf.ids - spec.ids_max) / spec.ids_max,       # Ids <= budget
-        ])
+        ]
+
+    def objectives(x: np.ndarray) -> np.ndarray:
+        return np.array(_objective_row(evaluator.performance(x)))
+
+    def constraints(x: np.ndarray) -> np.ndarray:
+        return np.array(_constraint_row(evaluator.performance(x)))
+
+    def objectives_batch(x: np.ndarray) -> np.ndarray:
+        perfs = evaluator.performance_batch(x)
+        return np.array([_objective_row(p) for p in perfs])
+
+    def constraints_batch(x: np.ndarray) -> np.ndarray:
+        perfs = evaluator.performance_batch(x)
+        return np.array([_constraint_row(p) for p in perfs])
 
     n_vars = len(DesignVariables.NAMES)
     return MultiObjectiveProblem(
@@ -120,4 +229,6 @@ def build_lna_problem(template: AmplifierTemplate,
         upper=np.ones(n_vars),
         constraints=constraints,
         objective_names=("NFmax_dB", "-GTmin_dB"),
+        objectives_batch=objectives_batch,
+        constraints_batch=constraints_batch,
     )

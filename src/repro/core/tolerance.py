@@ -74,12 +74,12 @@ class YieldResult:
 def monte_carlo_yield(
     template: AmplifierTemplate,
     nominal: DesignVariables,
-    tolerances: ToleranceSpec = None,
-    spec: DesignSpec = None,
+    tolerances: Optional[ToleranceSpec] = None,
+    spec: Optional[DesignSpec] = None,
     n_trials: int = 50,
     seed: Optional[int] = 0,
-    band_grid: FrequencyGrid = None,
-    guard_grid: FrequencyGrid = None,
+    band_grid: Optional[FrequencyGrid] = None,
+    guard_grid: Optional[FrequencyGrid] = None,
     nf_ship_limit_db: float = 0.8,
     gt_ship_limit_db: float = 13.0,
 ) -> YieldResult:

@@ -19,7 +19,7 @@ jitters NFmin by a few hundredths of a dB.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -98,8 +98,8 @@ class ReferencePHEMT:
         self._rng = np.random.default_rng(seed)
 
     # -- dataset generation -------------------------------------------------
-    def iv_dataset(self, vgs: Sequence[float] = None,
-                   vds: Sequence[float] = None,
+    def iv_dataset(self, vgs: Optional[Sequence[float]] = None,
+                   vds: Optional[Sequence[float]] = None,
                    relative_noise: float = 0.004,
                    absolute_noise: float = 25e-6) -> IVDataset:
         """A "measured" output-characteristic grid."""
@@ -153,8 +153,9 @@ class ReferencePHEMT:
         fmin = np.maximum(10.0 ** (nfmin_db / 10.0), 1.0)
         return NoiseParameters(fmin, params.rn, params.y_opt)
 
-    def full_dataset(self, frequency: FrequencyGrid = None,
-                     biases: Sequence[BiasPoint] = None) -> DeviceDataset:
+    def full_dataset(self, frequency: Optional[FrequencyGrid] = None,
+                     biases: Optional[Sequence[BiasPoint]] = None
+                     ) -> DeviceDataset:
         """The complete characterization bundle for the extractor."""
         if frequency is None:
             frequency = FrequencyGrid.linear(0.5e9, 3.0e9, 26)

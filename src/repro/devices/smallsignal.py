@@ -29,6 +29,7 @@ noise path.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -171,8 +172,8 @@ class PHEMTSmallSignal:
     """
 
     def __init__(self, dc_model: FetDcModel,
-                 capacitances: CapacitanceModel = None,
-                 extrinsics: ExtrinsicParams = None,
+                 capacitances: Optional[CapacitanceModel] = None,
+                 extrinsics: Optional[ExtrinsicParams] = None,
                  tg: float = 300.0, td0: float = 700.0,
                  td_slope: float = 12000.0):
         self.dc_model = dc_model

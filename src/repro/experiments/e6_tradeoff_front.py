@@ -33,7 +33,8 @@ class E6Result:
     reference: np.ndarray
 
 
-def run(n_points: int = 5, seed: int = 0) -> E6Result:
+def run(n_points: int = 5, seed: int = 0,
+        engine: str = "compiled") -> E6Result:
     """Trace the front with both methods."""
     device = reference_device()
     nf_goals = np.linspace(0.50, 0.85, n_points)
@@ -41,7 +42,7 @@ def run(n_points: int = 5, seed: int = 0) -> E6Result:
 
     goal_points = []
     for nf_goal, gt_goal in zip(nf_goals, gt_goals):
-        flow = DesignFlow(device.small_signal)
+        flow = DesignFlow(device.small_signal, engine=engine)
         result = flow.run_improved(
             goals=np.array([nf_goal, -gt_goal]), seed=seed,
             n_probe=32, n_starts=2, tighten_rounds=1,
@@ -52,7 +53,7 @@ def run(n_points: int = 5, seed: int = 0) -> E6Result:
 
     wsum_points = []
     for w_nf in np.linspace(0.1, 4.0, n_points):
-        flow = DesignFlow(device.small_signal)
+        flow = DesignFlow(device.small_signal, engine=engine)
         result = flow.run_weighted_sum(weights=(w_nf, 0.2), seed=seed,
                                        n_starts=3)
         if result.constraint_violation <= 1e-6:

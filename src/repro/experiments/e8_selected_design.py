@@ -23,9 +23,9 @@ class E8Result:
     design: FinalDesign
 
 
-def run(profile: str = "full") -> E8Result:
+def run(profile: str = "full", engine: str = "compiled") -> E8Result:
     """Fetch (or compute) the cached selected design."""
-    return E8Result(design=selected_design(profile))
+    return E8Result(design=selected_design(profile, engine))
 
 
 def format_report(result: E8Result) -> str:

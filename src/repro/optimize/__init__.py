@@ -1,5 +1,6 @@
 """Optimization substrate: metaheuristics, extraction, goal attainment."""
 
+from repro.optimize.batching import PopulationEvaluator
 from repro.optimize.metaheuristics import (
     OptimizationResult,
     differential_evolution,
@@ -34,6 +35,7 @@ from repro.optimize.pareto import (
 )
 
 __all__ = [
+    "PopulationEvaluator",
     "OptimizationResult",
     "differential_evolution",
     "latin_hypercube",

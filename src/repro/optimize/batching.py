@@ -1,0 +1,76 @@
+"""Population evaluation strategies for the metaheuristic optimizers.
+
+The optimizers in :mod:`repro.optimize.metaheuristics` accept an
+optional *batch objective* — one call mapping a ``(B, n)`` population
+matrix to ``(B,)`` fitness values — so problems with a vectorized
+model (the compiled LNA engine, any NumPy-friendly test function) pay
+one solve per generation instead of one per candidate.
+
+:class:`PopulationEvaluator` packages the dispatch rules:
+
+1. an explicit ``objective_batch`` wins — it is trusted to match the
+   scalar objective row by row;
+2. otherwise, ``workers > 1`` spreads the scalar objective over a
+   ``ProcessPoolExecutor`` (the objective must then be picklable, i.e.
+   a module-level function, not a closure);
+3. otherwise, a plain Python loop — identical to what the optimizers
+   did before batching existed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["PopulationEvaluator"]
+
+
+class PopulationEvaluator:
+    """Maps a ``(B, n)`` population to ``(B,)`` objective values.
+
+    Use as a context manager (or call :meth:`close`) when ``workers``
+    is given, so the process pool is shut down deterministically.
+    """
+
+    def __init__(self, objective: Callable[[np.ndarray], float],
+                 objective_batch: Optional[Callable] = None,
+                 workers: Optional[int] = None):
+        self._objective = objective
+        self._batch = objective_batch
+        self._pool = None
+        if objective_batch is None and workers is not None and workers > 1:
+            self._pool = ProcessPoolExecutor(max_workers=int(workers))
+
+    def __call__(self, population: np.ndarray) -> np.ndarray:
+        population = np.atleast_2d(np.asarray(population, dtype=float))
+        n = population.shape[0]
+        if self._batch is not None:
+            values = np.asarray(self._batch(population),
+                                dtype=float).reshape(-1)
+            if values.shape[0] != n:
+                raise ValueError(
+                    f"objective_batch returned {values.shape[0]} values "
+                    f"for a population of {n}"
+                )
+            return values
+        if self._pool is not None:
+            return np.fromiter(
+                self._pool.map(self._objective, population),
+                dtype=float, count=n,
+            )
+        return np.array([self._objective(x) for x in population],
+                        dtype=float)
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "PopulationEvaluator":
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

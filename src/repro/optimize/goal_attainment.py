@@ -61,6 +61,14 @@ class MultiObjectiveProblem:
     ``objectives(x)`` returns the objective vector (all minimized);
     ``constraints(x)``, when given, returns values that must end up
     <= 0 at a feasible point.
+
+    ``objectives_batch`` / ``constraints_batch`` are optional
+    population-level companions: given a ``(B, n)`` matrix they return
+    ``(B, n_objectives)`` / ``(B, n_constraints)`` arrays matching the
+    scalar callables row by row.  Optimizers that evaluate whole
+    populations (NSGA-II, the improved goal-attainment probe stage)
+    use them when present to amortize the model solve across
+    candidates.
     """
 
     objectives: Callable[[np.ndarray], np.ndarray]
@@ -69,6 +77,8 @@ class MultiObjectiveProblem:
     upper: np.ndarray
     constraints: Optional[Callable[[np.ndarray], np.ndarray]] = None
     objective_names: Sequence[str] = ()
+    objectives_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    constraints_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None
 
     def __post_init__(self):
         self.lower = np.asarray(self.lower, dtype=float)
@@ -252,12 +262,25 @@ def goal_attainment_improved(
 
     # --- stage 1: probe the objective ranges on an LHS sample -----------
     probes = latin_hypercube(n_probe, problem.lower, problem.upper, rng)
-    probe_values = np.array([counter(p) for p in probes])
+    if problem.objectives_batch is not None:
+        # Population-level evaluation: one batched model solve for the
+        # whole sample, counted exactly like the per-point loop.
+        probe_values = np.asarray(
+            problem.objectives_batch(probes), dtype=float
+        )
+        counter.nfev += len(probes)
+    else:
+        probe_values = np.array([counter(p) for p in probes])
     if problem.constraints is not None:
-        feas = np.array([
-            np.all(np.asarray(problem.constraints(p)) <= 0.0)
-            for p in probes
-        ])
+        if problem.constraints_batch is not None:
+            feas = np.all(
+                np.asarray(problem.constraints_batch(probes)) <= 0.0, axis=1
+            )
+        else:
+            feas = np.array([
+                np.all(np.asarray(problem.constraints(p)) <= 0.0)
+                for p in probes
+            ])
     else:
         feas = np.ones(len(probes), dtype=bool)
     ranges = np.maximum(

@@ -23,6 +23,8 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.optimize.batching import PopulationEvaluator
+
 __all__ = [
     "OptimizationResult",
     "differential_evolution",
@@ -79,22 +81,41 @@ def differential_evolution(
     tolerance: float = 1e-10,
     seed: Optional[int] = None,
     initial: Optional[np.ndarray] = None,
+    objective_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    workers: Optional[int] = None,
 ) -> OptimizationResult:
-    """DE/rand/1/bin with mutation dither and bounce-back bound repair."""
+    """DE/rand/1/bin with mutation dither and bounce-back bound repair.
+
+    When ``objective_batch`` (a ``(B, n) -> (B,)`` map) or ``workers``
+    is given, each generation's trial vectors are built first and
+    evaluated in one population-level call.  This is the classic
+    *generational* DE variant: donors are drawn from the start-of-
+    generation population instead of the partially updated one, so
+    trajectories differ from the sequential path (convergence behaviour
+    is equivalent; the RNG consumption is identical).  Without either
+    argument the original sequential path runs unchanged.
+    """
     lower, upper = _check_bounds(lower, upper)
     rng = np.random.default_rng(seed)
     dim = lower.size
     pop_size = max(int(population_size), 4)
+    evaluator = None
+    if objective_batch is not None or workers is not None:
+        evaluator = PopulationEvaluator(objective, objective_batch, workers)
 
     population = latin_hypercube(pop_size, lower, upper, rng)
     if initial is not None:
         population[0] = np.clip(np.asarray(initial, dtype=float), lower, upper)
-    fitness = np.array([objective(ind) for ind in population])
+    if evaluator is not None:
+        fitness = evaluator(population)
+    else:
+        fitness = np.array([objective(ind) for ind in population])
     nfev = pop_size
     history = [float(np.min(fitness))]
 
     for iteration in range(1, max_iterations + 1):
         f_scale = rng.uniform(*mutation)
+        trials = np.empty_like(population) if evaluator is not None else None
         for i in range(pop_size):
             candidates = rng.choice(pop_size, size=3, replace=False)
             # Re-draw until all three donors differ from the target index.
@@ -115,21 +136,34 @@ def differential_evolution(
             cross = rng.random(dim) < crossover_rate
             cross[rng.integers(dim)] = True
             trial = np.where(cross, mutant, population[i])
+            if evaluator is not None:
+                trials[i] = trial
+                continue
             f_trial = objective(trial)
             nfev += 1
             if f_trial <= fitness[i]:
                 population[i] = trial
                 fitness[i] = f_trial
+        if evaluator is not None:
+            f_trials = evaluator(trials)
+            nfev += pop_size
+            accept = f_trials <= fitness
+            population[accept] = trials[accept]
+            fitness[accept] = f_trials[accept]
         best = float(np.min(fitness))
         history.append(best)
         spread = float(np.max(fitness) - best)
         if spread < tolerance * (1.0 + abs(best)):
+            if evaluator is not None:
+                evaluator.close()
             best_idx = int(np.argmin(fitness))
             return OptimizationResult(
                 x=population[best_idx].copy(), fun=best, nfev=nfev,
                 n_iterations=iteration, converged=True, history=history,
                 message="population collapsed within tolerance",
             )
+    if evaluator is not None:
+        evaluator.close()
     best_idx = int(np.argmin(fitness))
     return OptimizationResult(
         x=population[best_idx].copy(), fun=float(fitness[best_idx]),
@@ -149,17 +183,33 @@ def particle_swarm(
     social: float = 1.49,
     tolerance: float = 1e-10,
     seed: Optional[int] = None,
+    objective_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    workers: Optional[int] = None,
 ) -> OptimizationResult:
-    """Global-best PSO with velocity clamping at half the box width."""
+    """Global-best PSO with velocity clamping at half the box width.
+
+    When ``objective_batch`` or ``workers`` is given, each iteration's
+    particle positions are evaluated in one population-level call.
+    Unlike DE, this is *exactly* trajectory-preserving: all positions
+    of an iteration are fixed before any evaluation, and the
+    personal/global-best updates consume the values in the same order
+    as the sequential loop.
+    """
     lower, upper = _check_bounds(lower, upper)
     rng = np.random.default_rng(seed)
     dim = lower.size
     span = upper - lower
     v_max = 0.5 * span
+    evaluator = None
+    if objective_batch is not None or workers is not None:
+        evaluator = PopulationEvaluator(objective, objective_batch, workers)
 
     positions = latin_hypercube(n_particles, lower, upper, rng)
     velocities = rng.uniform(-0.1, 0.1, size=(n_particles, dim)) * span
-    fitness = np.array([objective(p) for p in positions])
+    if evaluator is not None:
+        fitness = evaluator(positions)
+    else:
+        fitness = np.array([objective(p) for p in positions])
     nfev = n_particles
     personal_best = positions.copy()
     personal_fitness = fitness.copy()
@@ -179,9 +229,12 @@ def particle_swarm(
         )
         velocities = np.clip(velocities, -v_max, v_max)
         positions = np.clip(positions + velocities, lower, upper)
+        values = evaluator(positions) if evaluator is not None else None
         improved_any = False
         for i in range(n_particles):
-            value = objective(positions[i])
+            value = values[i] if values is not None else objective(
+                positions[i]
+            )
             nfev += 1
             if value < personal_fitness[i]:
                 personal_fitness[i] = value
@@ -195,11 +248,15 @@ def particle_swarm(
         if stale >= 30 and np.std(personal_fitness) < tolerance * (
             1.0 + abs(global_fitness)
         ):
+            if evaluator is not None:
+                evaluator.close()
             return OptimizationResult(
                 x=global_best, fun=global_fitness, nfev=nfev,
                 n_iterations=iteration, converged=True, history=history,
                 message="swarm stagnated within tolerance",
             )
+    if evaluator is not None:
+        evaluator.close()
     return OptimizationResult(
         x=global_best, fun=global_fitness, nfev=nfev,
         n_iterations=max_iterations, converged=False, history=history,

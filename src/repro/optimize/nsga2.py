@@ -99,9 +99,18 @@ def nsga2(
 # ----------------------------------------------------------------------
 
 def _evaluate(problem, population):
-    objectives = np.array([problem.objectives(x) for x in population])
+    if getattr(problem, "objectives_batch", None) is not None:
+        # Population-level evaluation: one batched model solve for the
+        # whole generation (value-identical to the per-individual loop).
+        objectives = np.asarray(problem.objectives_batch(population),
+                                dtype=float)
+    else:
+        objectives = np.array([problem.objectives(x) for x in population])
     if problem.constraints is None:
         violations = np.zeros(len(population))
+    elif getattr(problem, "constraints_batch", None) is not None:
+        g = np.asarray(problem.constraints_batch(population), dtype=float)
+        violations = np.max(np.maximum(g, 0.0), axis=1, initial=0.0)
     else:
         violations = np.array([
             float(np.max(np.maximum(problem.constraints(x), 0.0),

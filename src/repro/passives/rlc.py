@@ -141,9 +141,13 @@ class RealCapacitor(_PassiveTwoTerminal):
     temperature: float = T_AMBIENT
 
     def __post_init__(self):
-        if self.capacitance <= 0:
+        # np.any keeps the checks valid for vectorized (array) values,
+        # which the compiled batch engine feeds through these models.
+        if np.any(np.asarray(self.capacitance) <= 0):
             raise ValueError(f"{self.name}: capacitance must be positive")
-        if self.esl < 0 or self.esr_conductor_1ghz < 0 or self.tan_delta < 0:
+        if (np.any(np.asarray(self.esl) < 0)
+                or np.any(np.asarray(self.esr_conductor_1ghz) < 0)
+                or np.any(np.asarray(self.tan_delta) < 0)):
             raise ValueError(f"{self.name}: parasitics must be non-negative")
 
     def impedance(self, f_hz) -> np.ndarray:
@@ -183,11 +187,13 @@ class RealInductor(_PassiveTwoTerminal):
     temperature: float = T_AMBIENT
 
     def __post_init__(self):
-        if self.inductance <= 0:
+        if np.any(np.asarray(self.inductance) <= 0):
             raise ValueError(f"{self.name}: inductance must be positive")
-        if min(self.r_dc, self.r_ac_1ghz, self.c_parallel) < 0:
+        if (np.any(np.asarray(self.r_dc) < 0)
+                or np.any(np.asarray(self.r_ac_1ghz) < 0)
+                or np.any(np.asarray(self.c_parallel) < 0)):
             raise ValueError(f"{self.name}: parasitics must be non-negative")
-        if self.r_parallel <= 0:
+        if np.any(np.asarray(self.r_parallel) <= 0):
             raise ValueError(f"{self.name}: r_parallel must be positive")
 
     def impedance(self, f_hz) -> np.ndarray:
@@ -223,9 +229,11 @@ class RealResistor(_PassiveTwoTerminal):
     temperature: float = T_AMBIENT
 
     def __post_init__(self):
-        if self.resistance <= 0:
+        if np.any(np.asarray(self.resistance) <= 0):
             raise ValueError(f"{self.name}: resistance must be positive")
-        if self.l_series < 0 or self.c_parallel < 0:
+        if np.any(np.asarray(self.l_series) < 0) or np.any(
+            np.asarray(self.c_parallel) < 0
+        ):
             raise ValueError(f"{self.name}: parasitics must be non-negative")
 
     def impedance(self, f_hz) -> np.ndarray:
@@ -242,10 +250,19 @@ class RealResistor(_PassiveTwoTerminal):
 
 def murata_style_capacitor(capacitance: float, name: str = "C",
                            temperature: float = T_AMBIENT) -> RealCapacitor:
-    """A C0G/NP0 multilayer chip capacitor with size-typical parasitics."""
+    """A C0G/NP0 multilayer chip capacitor with size-typical parasitics.
+
+    Accepts a scalar capacitance or an array of values (the compiled
+    batch engine passes a whole candidate population at once).
+    """
     # Smaller capacitors have slightly lower ESL and electrode loss.
-    esl = 0.35e-9 if capacitance < 10e-12 else 0.5e-9
-    esr = 0.04 if capacitance < 10e-12 else 0.08
+    if np.ndim(capacitance) == 0:
+        esl = 0.35e-9 if capacitance < 10e-12 else 0.5e-9
+        esr = 0.04 if capacitance < 10e-12 else 0.08
+    else:
+        small = np.asarray(capacitance) < 10e-12
+        esl = np.where(small, 0.35e-9, 0.5e-9)
+        esr = np.where(small, 0.04, 0.08)
     return RealCapacitor(capacitance=capacitance, esr_conductor_1ghz=esr,
                          tan_delta=5e-4, esl=esl, name=name,
                          temperature=temperature)

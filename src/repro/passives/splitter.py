@@ -17,6 +17,8 @@ objects (3-port S + noise correlation) from the in-house simulator.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.analysis.acsolver import ACResult, solve_ac
@@ -102,7 +104,8 @@ class WilkinsonDivider:
     real board.
     """
 
-    def __init__(self, f_design: float, substrate: MicrostripSubstrate = None,
+    def __init__(self, f_design: float,
+                 substrate: Optional[MicrostripSubstrate] = None,
                  z0: float = 50.0, name: str = "wilkinson"):
         if f_design <= 0:
             raise ValueError("f_design must be positive")

@@ -14,13 +14,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.acsolver import solve_ac
+from repro.analysis.compiled import solve_ac_batch
 from repro.analysis.netlist import Circuit
 from repro.rf.frequency import FrequencyGrid
 from repro.util.constants import T0_KELVIN
 
 
-def _random_passive_circuit(seed: int) -> Circuit:
-    """A random connected R/L/C network between two ports and ground."""
+def _random_passive_circuit(seed: int, value_rng=None) -> Circuit:
+    """A random connected R/L/C network between two ports and ground.
+
+    *seed* fixes the topology **and** the nominal element values; a
+    *value_rng*, when given, rescales every value without touching the
+    topology draw — circuits sharing a seed then form a same-topology
+    batch with different element values.
+    """
     rng = np.random.default_rng(seed)
     n_internal = int(rng.integers(1, 4))
     nodes = ["in", "out"] + [f"n{k}" for k in range(n_internal)] + ["gnd"]
@@ -32,6 +39,11 @@ def _random_passive_circuit(seed: int) -> Circuit:
     chain = ["in"] + [f"n{k}" for k in range(n_internal)] + ["out"]
     element_id = 0
 
+    def scale() -> float:
+        if value_rng is None:
+            return 1.0
+        return float(value_rng.uniform(0.5, 2.0))
+
     def add_random_element(node_a, node_b):
         nonlocal element_id
         kind = rng.integers(3)
@@ -39,14 +51,14 @@ def _random_passive_circuit(seed: int) -> Circuit:
         element_id += 1
         if kind == 0:
             circuit.resistor(name, node_a, node_b,
-                             float(10 ** rng.uniform(0.5, 3.0)),
+                             float(10 ** rng.uniform(0.5, 3.0)) * scale(),
                              temperature=T0_KELVIN)
         elif kind == 1:
             circuit.capacitor(name, node_a, node_b,
-                              float(10 ** rng.uniform(-13, -10.5)))
+                              float(10 ** rng.uniform(-13, -10.5)) * scale())
         else:
             circuit.inductor(name, node_a, node_b,
-                             float(10 ** rng.uniform(-9.5, -7.5)))
+                             float(10 ** rng.uniform(-9.5, -7.5)) * scale())
 
     for a, b in zip(chain[:-1], chain[1:]):
         add_random_element(a, b)
@@ -109,3 +121,49 @@ class TestRandomPassiveCircuits:
         np.testing.assert_allclose(result.cy.real, expected, rtol=1e-6,
                                     atol=1e-32)
         np.testing.assert_allclose(result.cy.imag, 0.0, atol=1e-26)
+
+
+class TestBatchedSolverEquivalence:
+    """The batched MNA path must reproduce solve_ac candidate by candidate."""
+
+    @staticmethod
+    def _batch(seed: int, n: int = 4):
+        return [
+            _random_passive_circuit(seed,
+                                    value_rng=np.random.default_rng(7000 + k))
+            for k in range(n)
+        ]
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=20, deadline=None)
+    def test_s_cy_and_transfers_match_scalar(self, seed):
+        circuits = self._batch(seed)
+        probes = ("out", "in")
+        batch = solve_ac_batch(circuits, GRID, probe_nodes=probes)
+        assert len(batch) == len(circuits)
+        for i, circuit in enumerate(circuits):
+            scalar = solve_ac(circuit, GRID, probe_nodes=probes)
+            np.testing.assert_allclose(batch.s[i], scalar.s,
+                                       rtol=1e-9, atol=1e-12)
+            np.testing.assert_allclose(batch.cy[i], scalar.cy,
+                                       rtol=1e-9, atol=1e-40)
+            np.testing.assert_allclose(batch.node_transfers[i],
+                                       scalar.node_transfers,
+                                       rtol=1e-9, atol=1e-12)
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=10, deadline=None)
+    def test_candidate_view_round_trips(self, seed):
+        circuits = self._batch(seed, n=3)
+        batch = solve_ac_batch(circuits, GRID)
+        view = batch.candidate(1)
+        scalar = solve_ac(circuits[1], GRID)
+        np.testing.assert_allclose(view.s, scalar.s, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(view.cy, scalar.cy, rtol=1e-9,
+                                   atol=1e-40)
+        assert view.port_names == scalar.port_names
+
+    def test_rejects_mismatched_topology(self):
+        circuits = [_random_passive_circuit(3), _random_passive_circuit(5)]
+        with pytest.raises(ValueError):
+            solve_ac_batch(circuits, GRID)
