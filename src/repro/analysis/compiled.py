@@ -44,6 +44,7 @@ __all__ = [
     "BatchACResult",
     "solve_ac_batch",
     "solve_tensor_batch",
+    "solve_tensor_batch_isolated",
 ]
 
 
@@ -175,6 +176,102 @@ def solve_tensor_batch(
         else:                      # (F, w, w) or (B, F, w, w) matrices
             cy_out += i_n @ psd @ i_n_h
     return s_out, cy_out, transfers
+
+
+def _noise_source_row(source: BatchNoiseSource, index: int,
+                      n_batch: int) -> BatchNoiseSource:
+    """The single-candidate view of one (possibly batched) noise source.
+
+    Per-candidate densities are ``(B, F)`` scalars or ``(B, F, w, w)``
+    blocks; shared densities (``(F,)`` / ``(F, w, w)``) pass through
+    unchanged — mirroring the broadcasting rules of
+    :func:`solve_tensor_batch`.
+    """
+    psd = np.asarray(source.psd)
+    if psd.ndim in (2, 4) and psd.shape[0] == n_batch:
+        return BatchNoiseSource(source.columns, psd[index:index + 1])
+    return BatchNoiseSource(source.columns, psd)
+
+
+def _finite_rows(*arrays: Optional[np.ndarray]) -> np.ndarray:
+    """Boolean (B,) mask of batch rows whose entries are all finite."""
+    mask = None
+    for array in arrays:
+        if array is None:
+            continue
+        flat = np.isfinite(array).reshape(array.shape[0], -1).all(axis=1)
+        mask = flat if mask is None else mask & flat
+    return mask
+
+
+def solve_tensor_batch_isolated(
+    y_batch: np.ndarray,
+    port_rows: np.ndarray,
+    z0: float,
+    noise_sources: Sequence[BatchNoiseSource] = (),
+    probe_rows: Sequence[int] = (),
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], np.ndarray]:
+    """:func:`solve_tensor_batch` with per-candidate failure isolation.
+
+    The fast path is the ordinary full-batch factorization.  When it
+    raises on a singular candidate, each row is re-solved on its own,
+    so one degenerate design can no longer fail the whole population;
+    rows that are singular (or produce non-finite results) come back
+    zero-filled with their ``failed`` flag set.  Unlike
+    :func:`solve_tensor_batch`, *y_batch* is never mutated — reference
+    loads are added to internal copies.
+
+    Returns ``(s, cy, node_transfers, failed)`` where ``failed`` is a
+    boolean ``(B,)`` mask; healthy rows carry exactly the values the
+    raising-variant would have produced for them.
+    """
+    if y_batch.ndim != 4 or y_batch.shape[-1] != y_batch.shape[-2]:
+        raise ValueError(
+            f"expected (B, F, n, n) admittance tensor, got {y_batch.shape}"
+        )
+    n_batch, n_freq = y_batch.shape[:2]
+    n_ports = np.asarray(port_rows, dtype=int).size
+    try:
+        s, cy, transfers = solve_tensor_batch(
+            y_batch.copy(), port_rows, z0, noise_sources, probe_rows
+        )
+    except (ValueError, np.linalg.LinAlgError):
+        pass  # fall through to the per-row path below
+    else:
+        failed = ~_finite_rows(s, cy, transfers)
+        if np.any(failed):
+            s[failed] = 0.0
+            cy[failed] = 0.0
+            if transfers is not None:
+                transfers[failed] = 0.0
+        return s, cy, transfers, failed
+
+    s = np.zeros((n_batch, n_freq, n_ports, n_ports), dtype=complex)
+    cy = np.zeros_like(s)
+    transfers = None
+    if len(probe_rows):
+        transfers = np.zeros((n_batch, n_freq, len(probe_rows), n_ports),
+                             dtype=complex)
+    failed = np.zeros(n_batch, dtype=bool)
+    for i in range(n_batch):
+        row_sources = [_noise_source_row(src, i, n_batch)
+                       for src in noise_sources]
+        try:
+            s_i, cy_i, tr_i = solve_tensor_batch(
+                y_batch[i:i + 1].copy(), port_rows, z0, row_sources,
+                probe_rows,
+            )
+        except (ValueError, np.linalg.LinAlgError):
+            failed[i] = True
+            continue
+        if not _finite_rows(s_i, cy_i, tr_i)[0]:
+            failed[i] = True
+            continue
+        s[i] = s_i[0]
+        cy[i] = cy_i[0]
+        if transfers is not None and tr_i is not None:
+            transfers[i] = tr_i[0]
+    return s, cy, transfers, failed
 
 
 def solve_ac_batch(circuits: Sequence[Circuit], frequency: FrequencyGrid,

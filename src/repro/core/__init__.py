@@ -8,6 +8,9 @@ from repro.core.bands import (
     stability_grid,
 )
 from repro.core.amplifier import (
+    PENALTY_GT_DB,
+    PENALTY_IDS,
+    PENALTY_NF_DB,
     AmplifierPerformance,
     AmplifierTemplate,
     DesignVariables,
@@ -31,7 +34,11 @@ from repro.core.tolerance import (
     YieldResult,
     monte_carlo_yield,
 )
-from repro.core.report import format_series, format_table
+from repro.core.report import (
+    format_run_health,
+    format_series,
+    format_table,
+)
 
 __all__ = [
     "DESIGN_BAND",
@@ -42,6 +49,9 @@ __all__ = [
     "AmplifierPerformance",
     "AmplifierTemplate",
     "DesignVariables",
+    "PENALTY_GT_DB",
+    "PENALTY_IDS",
+    "PENALTY_NF_DB",
     "BatchPerformance",
     "CompiledTemplate",
     "CompileError",
@@ -61,6 +71,7 @@ __all__ = [
     "ToleranceSpec",
     "YieldResult",
     "monte_carlo_yield",
+    "format_run_health",
     "format_series",
     "format_table",
 ]

@@ -50,7 +50,21 @@ from repro.rf.noise import NoisyTwoPort
 from repro.rf.stability import mu_source
 from repro.util.constants import T_AMBIENT
 
-__all__ = ["DesignVariables", "AmplifierTemplate", "AmplifierPerformance"]
+__all__ = [
+    "DesignVariables",
+    "AmplifierTemplate",
+    "AmplifierPerformance",
+    "PENALTY_NF_DB",
+    "PENALTY_GT_DB",
+    "PENALTY_IDS",
+]
+
+#: Finite penalty figures returned for unevaluable candidates: bad on
+#: every objective and violating every constraint, but safe to feed to
+#: gradient-free optimizers and SLSQP alike (no nan/inf propagation).
+PENALTY_NF_DB = 1.0e3     # "noise figure" of a failed candidate [dB]
+PENALTY_GT_DB = -1.0e3    # "gain" of a failed candidate [dB]
+PENALTY_IDS = 1.0         # "bias current" of a failed candidate [A]
 
 
 @dataclass(frozen=True)
@@ -129,6 +143,39 @@ class AmplifierPerformance:
     nf_max_db: float
     gt_min_db: float
     gt_ripple_db: float
+    #: Set when this record is a penalty stand-in for a failed
+    #: evaluation (an ``EvaluationFailure`` from repro.optimize.faults).
+    failure: Optional[object] = None
+
+    @property
+    def is_failure(self) -> bool:
+        """True when these figures are a penalty, not a real solve."""
+        return self.failure is not None
+
+    @classmethod
+    def penalty(cls, frequency: FrequencyGrid,
+                failure: Optional[object] = None) -> "AmplifierPerformance":
+        """Finite worst-case figures for an unevaluable candidate.
+
+        Every objective is maximally bad and every design constraint
+        (return loss, stability, ripple-via-gain, supply budget) is
+        violated, so optimizers discard the candidate without special
+        cases — and without nan/inf leaking into their arithmetic.
+        """
+        n = len(frequency)
+        return cls(
+            frequency=frequency,
+            nf_db=np.full(n, PENALTY_NF_DB),
+            gt_db=np.full(n, PENALTY_GT_DB),
+            s11_db=np.zeros(n),          # |S11| = 1: zero return loss
+            s22_db=np.zeros(n),
+            mu_min=0.0,                  # not unconditionally stable
+            ids=PENALTY_IDS,
+            nf_max_db=PENALTY_NF_DB,
+            gt_min_db=PENALTY_GT_DB,
+            gt_ripple_db=0.0,
+            failure=failure,
+        )
 
     def summary(self) -> Dict[str, float]:
         """Flat dict for table rows."""

@@ -47,7 +47,11 @@ from repro.analysis.acsolver import (
     _collect_noise_sources,
     _injection,
 )
-from repro.analysis.compiled import BatchNoiseSource, solve_tensor_batch
+from repro.analysis.compiled import (
+    BatchNoiseSource,
+    solve_tensor_batch,
+    solve_tensor_batch_isolated,
+)
 from repro.analysis.netlist import (
     Capacitor,
     NoiseCurrent,
@@ -61,6 +65,14 @@ from repro.core.amplifier import (
     DesignVariables,
 )
 from repro.core.bands import design_grid, stability_grid
+from repro.optimize.faults import (
+    CATEGORY_BAD_BIAS,
+    CATEGORY_NON_FINITE,
+    CATEGORY_SINGULAR,
+    EvaluationFailure,
+    FAILURE_EXCEPTIONS,
+    classify_exception,
+)
 from repro.passives.rlc import (
     _two_terminal_stack,
     coilcraft_style_inductor,
@@ -90,6 +102,18 @@ VARIABLE_ELEMENT_NAMES = frozenset({
     "Rstab", "Rsh",                                  # stabilization
     "Q_Cgs", "Q_Cgd", "Q_gm", "Q_Gds", "Q_ind",      # bias-dependent
 })
+
+
+def _performance_is_finite(perf: AmplifierPerformance) -> bool:
+    """Whether every figure of merit of a scalar evaluation is finite."""
+    return bool(
+        np.all(np.isfinite(perf.nf_db))
+        and np.all(np.isfinite(perf.gt_db))
+        and np.all(np.isfinite(perf.s11_db))
+        and np.all(np.isfinite(perf.s22_db))
+        and np.isfinite(perf.mu_min)
+        and np.isfinite(perf.ids)
+    )
 
 
 class CompileError(RuntimeError):
@@ -292,13 +316,22 @@ class CompiledTemplate:
                          signs.astype(float))
 
     # -- per-candidate values ----------------------------------------------
-    def _candidate_values(self, x_physical: np.ndarray):
+    def _candidate_values(self, x_physical: np.ndarray,
+                          bad_bias: str = "raise"):
         """Vectorized element values for a (B, n_vars) design matrix.
 
-        Returns ``(admittances, scalar_psds, block_psds, ids)`` where
-        admittances maps slot name -> (B, F) complex, scalar_psds maps
-        noise-source name -> (B, 1) or (B, F), block_psds maps YBlock
-        name -> (B, F, 2, 2).
+        Returns ``(admittances, scalar_psds, block_psds, ids, bad_mask)``
+        where admittances maps slot name -> (B, F) complex, scalar_psds
+        maps noise-source name -> (B, 1) or (B, F), block_psds maps
+        YBlock name -> (B, F, 2, 2), and bad_mask is a (B,) bool array
+        flagging candidates whose bias point is unusable (``gds <= 0``
+        or non-finite small-signal parameters).
+
+        ``bad_bias="raise"`` (the default, used by :meth:`solve_batch`)
+        raises ``ValueError`` when any candidate is flagged;
+        ``bad_bias="mask"`` substitutes a benign placeholder bias for
+        the flagged rows — keeping the tensor solvable for the healthy
+        rows — and leaves the caller to overwrite them with penalties.
         """
         index = {name: k for k, name in enumerate(DesignVariables.NAMES)}
         col = lambda name: x_physical[:, index[name]]  # noqa: E731
@@ -348,15 +381,26 @@ class CompiledTemplate:
         caps = device.capacitances
         gm = np.asarray(dc.gm(vgs, vds), dtype=float)
         gds = np.asarray(dc.gds(vgs, vds), dtype=float)
-        if np.any(gds <= 0):
-            bad = np.flatnonzero(gds <= 0)
-            raise ValueError(
-                f"candidates {bad.tolist()} bias the device outside the "
-                "saturated forward region (gds <= 0)"
-            )
+        ids = np.asarray(dc.ids(vgs, vds), dtype=float)
+        bad_mask = (
+            ~np.isfinite(gm) | ~np.isfinite(gds) | ~np.isfinite(ids)
+            | (np.nan_to_num(gds, nan=-1.0) <= 0)
+        )
+        if np.any(bad_mask):
+            if bad_bias != "mask":
+                bad = np.flatnonzero(bad_mask)
+                raise ValueError(
+                    f"candidates {bad.tolist()} bias the device outside "
+                    "the saturated forward region (gds <= 0)"
+                )
+            # Placeholder bias keeps the stamped tensor well-defined for
+            # the healthy rows; the flagged rows are overwritten with
+            # penalty figures by performance_batch_isolated.
+            gm = np.where(bad_mask, 0.0, gm)
+            gds = np.where(bad_mask, 1e-3, gds)
+            ids = np.where(bad_mask, 0.0, ids)
         cgs = np.asarray(caps.cgs(vgs), dtype=float)
         cgd = np.asarray(caps.cgd(vds), dtype=float)
-        ids = np.asarray(dc.ids(vgs, vds), dtype=float)
 
         admittances["Q_Cgs"] = 1j * omega * cgs[:, None]
         admittances["Q_Cgd"] = 1j * omega * cgd[:, None]
@@ -368,7 +412,7 @@ class CompiledTemplate:
         )[None, :]
         td = device.td0 + device.td_slope * ids
         scalar_psds["Q_ind"] = (2.0 * BOLTZMANN * td * gds)[:, None]
-        return admittances, scalar_psds, block_psds, ids
+        return admittances, scalar_psds, block_psds, ids, bad_mask
 
     # -- solving ------------------------------------------------------------
     def solve_batch(self, x_physical: np.ndarray):
@@ -381,30 +425,11 @@ class CompiledTemplate:
         drain bias currents ``(B,)``.
         """
         x_physical = np.atleast_2d(np.asarray(x_physical, dtype=float))
-        n_batch = x_physical.shape[0]
-        admittances, scalar_psds, block_psds, ids = self._candidate_values(
-            x_physical
-        )
-
-        y_batch = np.broadcast_to(
-            self._base, (n_batch,) + self._base.shape
-        ).copy()
-        for name, slot in self._slots.items():
-            y_batch[..., slot.rows, slot.cols] += (
-                slot.signs * admittances[name][..., None]
-            )
-
+        values = self._candidate_values(x_physical)
+        ids = values[3]
+        y_batch, noise_sources = self._stamped_batch(x_physical.shape[0],
+                                                     *values[:3])
         n_band = self._n_band
-        noise_sources = [
-            BatchNoiseSource(src.columns, src.psd[:n_band])
-            for src in self._const_noise
-        ]
-        for name, columns in self._scalar_noise:
-            noise_sources.append(BatchNoiseSource(columns, scalar_psds[name]))
-        for name, columns in self._block_noise:
-            noise_sources.append(
-                BatchNoiseSource(columns, block_psds[name][:, :n_band])
-            )
 
         # Two batched solves sharing the stamped tensor: the band slice
         # carries the signal *and* noise right-hand sides, the guard
@@ -419,6 +444,34 @@ class CompiledTemplate:
         s = np.concatenate([s_band, s_guard], axis=1)
         return s, cy_band, ids
 
+    def _stamped_batch(self, n_batch: int, admittances, scalar_psds,
+                       block_psds):
+        """Stamp the (B, F, n, n) tensor and band noise-source list."""
+        y_batch = np.broadcast_to(
+            self._base, (n_batch,) + self._base.shape
+        ).copy()
+        for name, slot in self._slots.items():
+            y_batch[..., slot.rows, slot.cols] += (
+                slot.signs * admittances[name][..., None]
+            )
+        n_band = self._n_band
+        noise_sources = [
+            BatchNoiseSource(src.columns, src.psd[:n_band])
+            for src in self._const_noise
+        ]
+        for name, columns in self._scalar_noise:
+            noise_sources.append(BatchNoiseSource(columns, scalar_psds[name]))
+        for name, columns in self._block_noise:
+            noise_sources.append(
+                BatchNoiseSource(columns, block_psds[name][:, :n_band])
+            )
+        return y_batch, noise_sources
+
+    @staticmethod
+    def _to_physical(unit_x: np.ndarray) -> np.ndarray:
+        lower, upper = DesignVariables.LOWER, DesignVariables.UPPER
+        return lower + np.clip(unit_x, 0.0, 1.0) * (upper - lower)
+
     def performance_batch(self, unit_x: np.ndarray) -> BatchPerformance:
         """Figures of merit for a (B, n_vars) batch of unit-box vectors.
 
@@ -426,10 +479,12 @@ class CompiledTemplate:
         guard) for u in unit_x]`` to ~1e-10.
         """
         unit_x = np.atleast_2d(np.asarray(unit_x, dtype=float))
-        lower, upper = DesignVariables.LOWER, DesignVariables.UPPER
-        x_physical = lower + np.clip(unit_x, 0.0, 1.0) * (upper - lower)
-        s, cy_band, ids = self.solve_batch(x_physical)
+        s, cy_band, ids = self.solve_batch(self._to_physical(unit_x))
+        return self._figures(s, cy_band, ids)
 
+    def _figures(self, s: np.ndarray, cy_band: np.ndarray,
+                 ids: np.ndarray) -> BatchPerformance:
+        """Figures of merit from solved S-parameters and noise data."""
         n_band = self._n_band
         s_band = s[:, :n_band]
         s_guard = s[:, n_band:]
@@ -474,6 +529,111 @@ class CompiledTemplate:
     def performance(self, unit_x: np.ndarray) -> AmplifierPerformance:
         """Single-candidate convenience wrapper over the batch path."""
         return self.performance_batch(np.atleast_2d(unit_x)).candidate(0)
+
+    # -- fault-isolated solving ---------------------------------------------
+    def performance_batch_isolated(self, unit_x: np.ndarray):
+        """Like :meth:`performance_batch`, but no candidate can sink it.
+
+        Degradation chain per candidate: the fused compiled solve first;
+        rows that make it fail (singular tensors, non-finite figures,
+        unusable bias) are retried one at a time, then through the
+        scalar :meth:`AmplifierTemplate.evaluate` path, and finally —
+        if nothing can evaluate them — filled with the finite
+        worst-case figures of :meth:`AmplifierPerformance.penalty`.
+        Healthy rows are numerically identical to the plain batch path.
+
+        Returns ``(batch, failures, n_fallbacks)``: the
+        :class:`BatchPerformance`, a per-candidate list of
+        ``Optional[EvaluationFailure]`` (``None`` for healthy rows,
+        including rows recovered by the scalar fallback), and the count
+        of rows the scalar fallback recovered.
+        """
+        unit_x = np.atleast_2d(np.asarray(unit_x, dtype=float))
+        x_physical = self._to_physical(unit_x)
+        n_batch = x_physical.shape[0]
+        failures: List[Optional[EvaluationFailure]] = [None] * n_batch
+
+        (admittances, scalar_psds, block_psds, ids,
+         bad_bias) = self._candidate_values(x_physical, bad_bias="mask")
+        y_batch, noise_sources = self._stamped_batch(
+            n_batch, admittances, scalar_psds, block_psds
+        )
+        n_band = self._n_band
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            s_band, cy_band, _, failed_band = solve_tensor_batch_isolated(
+                y_batch[:, :n_band], self._port_rows, self._z0,
+                noise_sources,
+            )
+            s_guard, _, _, failed_guard = solve_tensor_batch_isolated(
+                y_batch[:, n_band:], self._port_rows, self._z0
+            )
+            s = np.concatenate([s_band, s_guard], axis=1)
+            batch = self._figures(s, cy_band, ids)
+
+        solver_failed = failed_band | failed_guard
+        finite = (
+            np.isfinite(batch.nf_db).all(axis=1)
+            & np.isfinite(batch.gt_db).all(axis=1)
+            & np.isfinite(batch.s11_db).all(axis=1)
+            & np.isfinite(batch.s22_db).all(axis=1)
+            & np.isfinite(batch.mu_min)
+            & np.isfinite(batch.ids)
+        )
+
+        for i in np.flatnonzero(bad_bias):
+            failures[i] = EvaluationFailure(
+                CATEGORY_BAD_BIAS,
+                "device biased outside the saturated forward region "
+                "(gds <= 0)",
+                x=unit_x[i].copy(),
+            )
+            self._fill_row(batch, i, AmplifierPerformance.penalty(
+                self.band_grid, failures[i]))
+
+        n_fallbacks = 0
+        for i in np.flatnonzero((solver_failed | ~finite) & ~bad_bias):
+            category = (CATEGORY_SINGULAR if solver_failed[i]
+                        else CATEGORY_NON_FINITE)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                try:
+                    scalar = self.template.evaluate(
+                        DesignVariables.from_unit(unit_x[i]),
+                        self.band_grid, self.guard_grid,
+                    )
+                except FAILURE_EXCEPTIONS as exc:
+                    failures[i] = EvaluationFailure(
+                        classify_exception(exc), str(exc),
+                        x=unit_x[i].copy(),
+                    )
+                    self._fill_row(batch, i, AmplifierPerformance.penalty(
+                        self.band_grid, failures[i]))
+                    continue
+            if not _performance_is_finite(scalar):
+                failures[i] = EvaluationFailure(
+                    category,
+                    "scalar fallback also produced non-finite figures",
+                    x=unit_x[i].copy(),
+                )
+                self._fill_row(batch, i, AmplifierPerformance.penalty(
+                    self.band_grid, failures[i]))
+                continue
+            n_fallbacks += 1
+            self._fill_row(batch, i, scalar)
+        return batch, failures, n_fallbacks
+
+    @staticmethod
+    def _fill_row(batch: BatchPerformance, index: int,
+                  perf: AmplifierPerformance) -> None:
+        """Overwrite one batch row with a scalar performance record."""
+        batch.nf_db[index] = perf.nf_db
+        batch.gt_db[index] = perf.gt_db
+        batch.s11_db[index] = perf.s11_db
+        batch.s22_db[index] = perf.s22_db
+        batch.mu_min[index] = perf.mu_min
+        batch.ids[index] = perf.ids
+        batch.nf_max_db[index] = perf.nf_max_db
+        batch.gt_min_db[index] = perf.gt_min_db
+        batch.gt_ripple_db[index] = perf.gt_ripple_db
 
     # -- verification -------------------------------------------------------
     def _verify(self, tolerance: float = 1e-8):

@@ -35,7 +35,18 @@ from repro.core.amplifier import (
     DesignVariables,
 )
 from repro.core.bands import design_grid, stability_grid
-from repro.core.engine import CompiledTemplate, CompileError
+from repro.core.engine import (
+    CompiledTemplate,
+    CompileError,
+    _performance_is_finite,
+)
+from repro.optimize.faults import (
+    CATEGORY_NON_FINITE,
+    EvaluationFailure,
+    FAILURE_EXCEPTIONS,
+    RunHealth,
+    classify_exception,
+)
 from repro.optimize.goal_attainment import MultiObjectiveProblem
 from repro.rf.frequency import FrequencyGrid
 
@@ -73,16 +84,37 @@ class LnaEvaluator:
     (:class:`repro.core.engine.CompiledTemplate`), which matches the
     scalar path to ~1e-10; pass ``engine="scalar"`` to force the
     original per-candidate circuit build.
+
+    Failure isolation: with ``on_failure="penalty"`` (the default) a
+    candidate whose solve raises (``DcConvergenceError``, singular
+    matrices, bad bias) or produces non-finite figures yields the
+    finite worst-case :meth:`AmplifierPerformance.penalty` record —
+    carrying a structured :class:`EvaluationFailure` — instead of an
+    exception.  Failures are counted by category in ``self.health``,
+    logged (capped) in ``self.failure_log``, and **never cached**, so a
+    transiently failing design point is re-attempted on revisit.  Pass
+    ``on_failure="raise"`` to restore the raising behavior.
     """
 
     def __init__(self, template: AmplifierTemplate,
                  band_grid: Optional[FrequencyGrid] = None,
                  guard_grid: Optional[FrequencyGrid] = None,
                  engine: str = "compiled",
-                 cache_size: int = 4096):
+                 cache_size: int = 4096,
+                 on_failure: str = "penalty",
+                 max_failure_log: int = 64):
+        if on_failure not in ("penalty", "raise"):
+            raise ValueError(
+                f"unknown on_failure {on_failure!r}; "
+                f"use 'penalty' or 'raise'"
+            )
         self.template = template
         self.band_grid = band_grid or design_grid(17)
         self.guard_grid = guard_grid or stability_grid(24)
+        self.on_failure = on_failure
+        self.health = RunHealth()
+        self.failure_log: List[EvaluationFailure] = []
+        self.max_failure_log = int(max_failure_log)
         self.n_solves = 0
         self.cache_hits = 0
         self.cache_size = int(cache_size)
@@ -133,6 +165,31 @@ class LnaEvaluator:
             variables, self.band_grid, self.guard_grid
         )
 
+    def _record_failure(self, failure: EvaluationFailure):
+        self.health.record(failure.category)
+        if len(self.failure_log) < self.max_failure_log:
+            self.failure_log.append(failure)
+
+    def _penalty(self, failure: EvaluationFailure) -> AmplifierPerformance:
+        self._record_failure(failure)
+        return AmplifierPerformance.penalty(self.band_grid, failure)
+
+    def _solve_one_guarded(self, unit_x: np.ndarray) -> AmplifierPerformance:
+        """Scalar-path solve that maps failures to penalty records."""
+        try:
+            perf = self._solve_one(unit_x)
+        except FAILURE_EXCEPTIONS as exc:
+            return self._penalty(EvaluationFailure(
+                classify_exception(exc), str(exc), x=unit_x.copy()
+            ))
+        if not _performance_is_finite(perf):
+            return self._penalty(EvaluationFailure(
+                CATEGORY_NON_FINITE,
+                "evaluation produced non-finite figures of merit",
+                x=unit_x.copy(),
+            ))
+        return perf
+
     def performance(self, unit_x: np.ndarray) -> AmplifierPerformance:
         """Figures of merit at a *unit-box* design vector."""
         unit_x = np.asarray(unit_x, dtype=float)
@@ -140,8 +197,25 @@ class LnaEvaluator:
         cached = self._lookup(key)
         if cached is not None:
             return cached
-        perf = self._solve_one(unit_x)
-        self.n_solves += 1
+        if self.on_failure == "raise":
+            perf = self._solve_one(unit_x)
+            self.n_solves += 1
+            self._remember(key, perf)
+            return perf
+        if self._compiled is not None:
+            batch, failures, n_fallbacks = (
+                self._compiled.performance_batch_isolated(unit_x[None, :])
+            )
+            self.n_solves += 1
+            self.health.engine_fallbacks += n_fallbacks
+            if failures[0] is not None:
+                return self._penalty(failures[0])
+            perf = batch.candidate(0)
+        else:
+            perf = self._solve_one_guarded(unit_x)
+            self.n_solves += 1
+            if perf.is_failure:
+                return perf
         self._remember(key, perf)
         return perf
 
@@ -166,14 +240,36 @@ class LnaEvaluator:
                 miss_rows.setdefault(key, []).append(i)
         if miss_rows:
             first_rows = [rows[0] for rows in miss_rows.values()]
-            if self._compiled is not None:
-                batch = self._compiled.performance_batch(unit_x[first_rows])
-                solved = [batch.candidate(k) for k in range(len(first_rows))]
+            if self.on_failure == "raise":
+                if self._compiled is not None:
+                    batch = self._compiled.performance_batch(
+                        unit_x[first_rows]
+                    )
+                    solved = [batch.candidate(k)
+                              for k in range(len(first_rows))]
+                else:
+                    solved = [self._solve_one(unit_x[i])
+                              for i in first_rows]
+            elif self._compiled is not None:
+                batch, failures, n_fallbacks = (
+                    self._compiled.performance_batch_isolated(
+                        unit_x[first_rows]
+                    )
+                )
+                self.health.engine_fallbacks += n_fallbacks
+                solved = []
+                for k in range(len(first_rows)):
+                    if failures[k] is not None:
+                        solved.append(self._penalty(failures[k]))
+                    else:
+                        solved.append(batch.candidate(k))
             else:
-                solved = [self._solve_one(unit_x[i]) for i in first_rows]
+                solved = [self._solve_one_guarded(unit_x[i])
+                          for i in first_rows]
             for (key, rows), perf in zip(miss_rows.items(), solved):
                 self.n_solves += 1
-                self._remember(key, perf)
+                if not perf.is_failure:
+                    self._remember(key, perf)
                 for i in rows:
                     results[i] = perf
         return results

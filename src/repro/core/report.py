@@ -8,7 +8,9 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["format_table", "format_series"]
+from repro.optimize.faults import RunHealth
+
+__all__ = ["format_table", "format_series", "format_run_health"]
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],
@@ -51,3 +53,19 @@ def format_series(x_label: str, y_labels: Sequence[str], x_values,
         rows.append([x] + [column[i] for column in y_columns])
     return format_table([x_label] + list(y_labels), rows, title=title,
                         float_format=float_format)
+
+
+def format_run_health(health: RunHealth,
+                      title: str = "Run health") -> str:
+    """Render one run's fault/degradation telemetry as a table.
+
+    Every optimizer result carries a ``health`` record; experiment
+    drivers print it after a run so silent degradation (penalized
+    candidates, pool rebuilds, serial fallback) stays visible.
+    """
+    rows = [[key, value] for key, value in health.as_dict().items()]
+    if health.resumed_at is not None:
+        rows.append(["resumed_at", health.resumed_at])
+    if not rows:  # pragma: no cover - as_dict always has the counters
+        rows = [["(no telemetry)", ""]]
+    return format_table(["metric", "value"], rows, title=title)

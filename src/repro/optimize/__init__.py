@@ -1,6 +1,22 @@
 """Optimization substrate: metaheuristics, extraction, goal attainment."""
 
-from repro.optimize.batching import PopulationEvaluator
+from repro.optimize.batching import PopulationEvaluator, validate_workers
+from repro.optimize.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+)
+from repro.optimize.faults import (
+    FAILURE_EXCEPTIONS,
+    EvaluationFailure,
+    FaultInjector,
+    InjectedFault,
+    RunHealth,
+    classify_exception,
+    guarded_call,
+)
 from repro.optimize.metaheuristics import (
     OptimizationResult,
     differential_evolution,
@@ -36,6 +52,19 @@ from repro.optimize.pareto import (
 
 __all__ = [
     "PopulationEvaluator",
+    "validate_workers",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "FileCheckpointStore",
+    "MemoryCheckpointStore",
+    "FAILURE_EXCEPTIONS",
+    "EvaluationFailure",
+    "FaultInjector",
+    "InjectedFault",
+    "RunHealth",
+    "classify_exception",
+    "guarded_call",
     "OptimizationResult",
     "differential_evolution",
     "latin_hypercube",

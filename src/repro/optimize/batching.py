@@ -15,57 +15,238 @@ one solve per generation instead of one per candidate.
    a module-level function, not a closure);
 3. otherwise, a plain Python loop — identical to what the optimizers
    did before batching existed.
+
+Every path is **fault-isolated**: a candidate whose evaluation raises,
+returns a non-finite value, or exceeds the per-generation timeout gets
+``+inf`` fitness and a :class:`~repro.optimize.faults.RunHealth`
+counter tick — never an exception out of the evaluator.  The process
+pool additionally degrades gracefully: a batch-objective error falls
+back to the serial loop for that generation, a ``BrokenProcessPool``
+rebuilds the pool with capped exponential backoff, and after
+``max_pool_rebuilds`` rebuilds the evaluator falls back to the serial
+loop permanently (recorded as ``health.serial_fallback``).
 """
 
 from __future__ import annotations
 
+import time
+import concurrent.futures
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Optional
 
 import numpy as np
 
-__all__ = ["PopulationEvaluator"]
+from repro.optimize.faults import (
+    CATEGORY_NON_FINITE,
+    CATEGORY_TIMEOUT,
+    RunHealth,
+    classify_exception,
+    guarded_call,
+)
+
+__all__ = ["PopulationEvaluator", "validate_workers"]
+
+
+def validate_workers(workers: Optional[int]) -> Optional[int]:
+    """Check a ``workers`` argument, returning it normalized to int.
+
+    ``None`` means "no process pool".  Anything else must be a strictly
+    positive integer; floats, bools, and non-positive counts are
+    rejected with a message naming the offending value.
+    """
+    if workers is None:
+        return None
+    if isinstance(workers, bool) or not isinstance(
+        workers, (int, np.integer)
+    ):
+        raise TypeError(
+            f"workers must be a positive integer or None, "
+            f"got {workers!r} of type {type(workers).__name__}"
+        )
+    if workers <= 0:
+        raise ValueError(
+            f"workers must be a positive integer, got {int(workers)}"
+        )
+    return int(workers)
 
 
 class PopulationEvaluator:
     """Maps a ``(B, n)`` population to ``(B,)`` objective values.
 
     Use as a context manager (or call :meth:`close`) when ``workers``
-    is given, so the process pool is shut down deterministically.
+    is given, so the process pool is shut down deterministically; a
+    ``__del__`` safety net reclaims the pool if an optimizer dies
+    mid-run without closing.
+
+    Parameters
+    ----------
+    objective, objective_batch, workers:
+        Dispatch inputs (see module docstring).
+    generation_timeout:
+        Wall-clock budget in seconds for one population evaluation on
+        the process-pool path.  Candidates still pending at the
+        deadline are scored ``+inf`` (category ``"timeout"``) and the
+        pool is rebuilt, abandoning the hung workers.
+    max_pool_rebuilds:
+        Pool rebuilds (after ``BrokenProcessPool`` or a timeout) before
+        the evaluator gives up on multiprocessing and runs the serial
+        loop for the rest of the run.
+    backoff_base, backoff_cap:
+        Exponential backoff (seconds) between pool rebuilds:
+        ``min(cap, base * 2**k)`` after the k-th rebuild.
+    health:
+        Shared :class:`RunHealth` to record failures into; a private
+        one is created when not given (exposed as ``.health``).
     """
 
     def __init__(self, objective: Callable[[np.ndarray], float],
                  objective_batch: Optional[Callable] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 generation_timeout: Optional[float] = None,
+                 max_pool_rebuilds: int = 3,
+                 backoff_base: float = 0.1,
+                 backoff_cap: float = 2.0,
+                 health: Optional[RunHealth] = None):
+        workers = validate_workers(workers)
+        if generation_timeout is not None and generation_timeout <= 0:
+            raise ValueError(
+                f"generation_timeout must be positive, "
+                f"got {generation_timeout}"
+            )
         self._objective = objective
         self._batch = objective_batch
-        self._pool = None
+        self._workers = workers
+        self.generation_timeout = generation_timeout
+        self.max_pool_rebuilds = int(max_pool_rebuilds)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.health = health if health is not None else RunHealth()
+        self._pool: Optional[ProcessPoolExecutor] = None
         if objective_batch is None and workers is not None and workers > 1:
-            self._pool = ProcessPoolExecutor(max_workers=int(workers))
+            self._pool = ProcessPoolExecutor(max_workers=workers)
 
+    # -- dispatch -----------------------------------------------------------
     def __call__(self, population: np.ndarray) -> np.ndarray:
         population = np.atleast_2d(np.asarray(population, dtype=float))
-        n = population.shape[0]
         if self._batch is not None:
+            return self._batch_eval(population)
+        if self._pool is not None:
+            return self._pool_eval(population)
+        return self._serial_eval(population)
+
+    def _serial_eval(self, population: np.ndarray) -> np.ndarray:
+        return np.array(
+            [guarded_call(self._objective, x, self.health)
+             for x in population],
+            dtype=float,
+        )
+
+    def _batch_eval(self, population: np.ndarray) -> np.ndarray:
+        n = population.shape[0]
+        try:
             values = np.asarray(self._batch(population),
                                 dtype=float).reshape(-1)
-            if values.shape[0] != n:
-                raise ValueError(
-                    f"objective_batch returned {values.shape[0]} values "
-                    f"for a population of {n}"
-                )
-            return values
-        if self._pool is not None:
-            return np.fromiter(
-                self._pool.map(self._objective, population),
-                dtype=float, count=n,
+        except Exception:  # noqa: BLE001 - degrade, don't abort
+            # The serial re-evaluation records the per-candidate
+            # failures, so the batch-level error only counts as a retry.
+            self.health.retries += 1
+            return self._serial_eval(population)
+        if values.shape[0] != n:
+            raise ValueError(
+                f"objective_batch returned {values.shape[0]} values "
+                f"for a population of {n}"
             )
-        return np.array([self._objective(x) for x in population],
-                        dtype=float)
+        bad = ~np.isfinite(values)
+        if np.any(bad):
+            self.health.record(CATEGORY_NON_FINITE, int(np.sum(bad)))
+            values = np.where(bad, np.inf, values)
+        return values
 
+    # -- process-pool path --------------------------------------------------
+    def _pool_eval(self, population: np.ndarray) -> np.ndarray:
+        while self._pool is not None:
+            try:
+                return self._pool_eval_once(population)
+            except BrokenProcessPool:
+                if self.health.pool_rebuilds >= self.max_pool_rebuilds:
+                    self._abandon_pool()
+                    break
+                self._rebuild_pool()
+        # Permanent (or configured-off) serial fallback.
+        return self._serial_eval(population)
+
+    def _pool_eval_once(self, population: np.ndarray) -> np.ndarray:
+        futures = [self._pool.submit(self._objective, x)
+                   for x in population]
+        deadline = None
+        if self.generation_timeout is not None:
+            deadline = time.monotonic() + self.generation_timeout
+        values = np.empty(len(futures), dtype=float)
+        timed_out = False
+        for i, future in enumerate(futures):
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                value = float(future.result(timeout=remaining))
+            except BrokenProcessPool:
+                raise
+            except concurrent.futures.TimeoutError:
+                future.cancel()
+                self.health.record(CATEGORY_TIMEOUT)
+                timed_out = True
+                values[i] = np.inf
+                continue
+            except Exception as exc:  # noqa: BLE001 - absorb per candidate
+                self.health.record(classify_exception(exc))
+                values[i] = np.inf
+                continue
+            if not np.isfinite(value):
+                self.health.record(CATEGORY_NON_FINITE)
+                values[i] = np.inf
+            else:
+                values[i] = value
+        if timed_out:
+            # Hung workers poison every later generation; swap the pool.
+            if self.health.pool_rebuilds >= self.max_pool_rebuilds:
+                self._abandon_pool()
+            else:
+                self._rebuild_pool()
+        return values
+
+    def _rebuild_pool(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        delay = min(self.backoff_cap,
+                    self.backoff_base * 2.0 ** self.health.pool_rebuilds)
+        self.health.pool_rebuilds += 1
+        self.health.retries += 1
+        if delay > 0:
+            time.sleep(delay)
+        self._pool = ProcessPoolExecutor(max_workers=self._workers)
+
+    def _abandon_pool(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self.health.serial_fallback = True
+
+    # -- lifecycle ----------------------------------------------------------
     def close(self):
         if self._pool is not None:
             self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self):
+        # Safety net for optimizers that die mid-run; don't wait for
+        # stragglers during interpreter teardown.
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
             self._pool = None
 
     def __enter__(self) -> "PopulationEvaluator":

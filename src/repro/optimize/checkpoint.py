@@ -1,0 +1,164 @@
+"""Checkpoint/resume support for long optimization runs.
+
+A production LNA optimization sweeps thousands of MNA solves over
+minutes to hours; losing the whole run to a crash, an OOM kill, or a
+pre-empted worker node is not acceptable at that scale.  The optimizers
+in :mod:`repro.optimize` therefore accept an injectable
+:class:`CheckpointStore` and periodically persist their *complete*
+algorithm state — population, fitness, RNG bit-generator state,
+best-so-far, evaluation counters, and run-health telemetry.
+
+Resume is **deterministic**: restoring a checkpoint replays the exact
+RNG trajectory, so an interrupted-and-resumed run finishes bit-for-bit
+identical to an uninterrupted one (enforced by
+``tests/test_checkpoint.py``).
+
+Two stores ship here:
+
+* :class:`MemoryCheckpointStore` — in-process, for tests and
+  supervisor processes that own the optimizer loop;
+* :class:`FileCheckpointStore` — pickle on disk with atomic
+  write-then-rename, for crash recovery across process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "FileCheckpointStore",
+    "resume_or_none",
+]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint exists but cannot be used (corrupt or mismatched)."""
+
+
+@dataclass
+class Checkpoint:
+    """One snapshot of optimizer state.
+
+    ``algorithm`` guards against resuming a DE checkpoint in PSO;
+    ``iteration`` is the last *completed* generation; ``rng_state`` is
+    the ``numpy`` bit-generator state dict (``None`` for deterministic
+    stages); ``payload`` carries the algorithm-specific arrays.
+    """
+
+    algorithm: str
+    iteration: int
+    rng_state: Optional[dict]
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class CheckpointStore:
+    """Interface the optimizers write to; subclass to customize."""
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        raise NotImplementedError
+
+    def load(self) -> Optional[Checkpoint]:
+        """The latest checkpoint, or ``None`` when nothing was saved."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop the stored checkpoint (called on successful completion)."""
+        raise NotImplementedError
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """Keeps the latest checkpoint in process memory."""
+
+    def __init__(self):
+        self._checkpoint: Optional[Checkpoint] = None
+        self.n_saves = 0
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        self._checkpoint = checkpoint
+        self.n_saves += 1
+
+    def load(self) -> Optional[Checkpoint]:
+        return self._checkpoint
+
+    def clear(self) -> None:
+        self._checkpoint = None
+
+
+class FileCheckpointStore(CheckpointStore):
+    """Pickles the latest checkpoint to *path*, atomically.
+
+    The snapshot is written to a temporary file in the same directory
+    and renamed over the target, so a crash mid-write can never leave a
+    truncated checkpoint — the previous complete one survives.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(checkpoint, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def load(self) -> Optional[Checkpoint]:
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with open(self.path, "rb") as handle:
+                checkpoint = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, OSError) as exc:
+            raise CheckpointError(
+                f"checkpoint file {self.path!r} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(checkpoint, Checkpoint):
+            raise CheckpointError(
+                f"checkpoint file {self.path!r} does not contain a "
+                f"Checkpoint (got {type(checkpoint).__name__})"
+            )
+        return checkpoint
+
+    def clear(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+def resume_or_none(store: Optional[CheckpointStore],
+                   algorithm: str) -> Optional[Checkpoint]:
+    """Load *store*'s checkpoint, validating the algorithm tag.
+
+    Helper shared by the optimizers; returns ``None`` when there is no
+    store or no saved state, raises :class:`CheckpointError` when the
+    stored checkpoint belongs to a different algorithm.
+    """
+    if store is None:
+        return None
+    checkpoint = store.load()
+    if checkpoint is None:
+        return None
+    if checkpoint.algorithm != algorithm:
+        raise CheckpointError(
+            f"checkpoint was written by {checkpoint.algorithm!r}, "
+            f"cannot resume {algorithm!r} from it"
+        )
+    return checkpoint

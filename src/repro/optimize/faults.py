@@ -1,0 +1,240 @@
+"""Failure taxonomy, run-health telemetry, and the fault-injection harness.
+
+Population-based optimization of the LNA sweeps candidates into regions
+where the circuit model legitimately breaks down: singular MNA matrices
+(degenerate element values), non-convergent DC bias, NaN noise figures.
+The runtime's contract is that *the optimizer absorbs these failures* —
+a bad candidate costs one penalty evaluation, never the whole run.
+
+This module is the shared vocabulary of that contract:
+
+* :class:`EvaluationFailure` — the structured record one failed
+  candidate evaluation produces (category, message, design vector);
+* :class:`RunHealth` — per-run counters (failures by category, retries,
+  pool rebuilds, engine fallbacks) surfaced on every optimizer result
+  and rendered by :func:`repro.core.report.format_run_health`;
+* :func:`classify_exception` / :func:`guarded_call` — the one place
+  that decides which exceptions are *evaluation* failures (absorbed)
+  versus programming errors (propagated);
+* :class:`FaultInjector` — a seeded test harness that makes any
+  objective raise, hang, or return NaN with set probabilities, used by
+  the fault-tolerance test suite to verify the absorption guarantees.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.analysis.dc import DcConvergenceError
+
+__all__ = [
+    "InjectedFault",
+    "EvaluationFailure",
+    "RunHealth",
+    "FaultInjector",
+    "FAILURE_EXCEPTIONS",
+    "classify_exception",
+    "guarded_call",
+]
+
+#: Exception types that mean "this candidate cannot be evaluated", as
+#: opposed to programming errors.  ``ValueError`` is included because
+#: the MNA solvers report singular topologies through it.
+FAILURE_EXCEPTIONS = (
+    DcConvergenceError,
+    np.linalg.LinAlgError,
+    ValueError,
+    FloatingPointError,
+    ZeroDivisionError,
+    OverflowError,
+)
+
+#: Canonical failure categories (keys of :attr:`RunHealth.failures`).
+CATEGORY_DC = "dc_convergence"
+CATEGORY_SINGULAR = "singular"
+CATEGORY_NON_FINITE = "non_finite"
+CATEGORY_EXCEPTION = "exception"
+CATEGORY_TIMEOUT = "timeout"
+CATEGORY_BAD_BIAS = "bad_bias"
+
+
+class InjectedFault(RuntimeError):
+    """The artificial failure raised by :class:`FaultInjector`."""
+
+
+@dataclass(frozen=True)
+class EvaluationFailure:
+    """One candidate evaluation that could not produce a finite result."""
+
+    category: str
+    message: str
+    x: Optional[np.ndarray] = None
+
+    def __str__(self) -> str:
+        return f"[{self.category}] {self.message}"
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Map an absorbed exception to its failure category."""
+    if isinstance(exc, DcConvergenceError):
+        return CATEGORY_DC
+    if isinstance(exc, np.linalg.LinAlgError):
+        return CATEGORY_SINGULAR
+    if "singular" in str(exc).lower():
+        return CATEGORY_SINGULAR
+    return CATEGORY_EXCEPTION
+
+
+@dataclass
+class RunHealth:
+    """Failure/retry/fallback telemetry of one optimization run.
+
+    Attached to every optimizer result (``result.health``); counters
+    are cumulative over the run, survive checkpoint/resume, and are
+    rendered by :func:`repro.core.report.format_run_health`.
+    """
+
+    failures: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    pool_rebuilds: int = 0
+    engine_fallbacks: int = 0
+    serial_fallback: bool = False
+    checkpoints_written: int = 0
+    resumed_at: Optional[int] = None
+
+    def record(self, category: str, n: int = 1):
+        """Count *n* failures of *category*."""
+        self.failures[category] = self.failures.get(category, 0) + int(n)
+
+    @property
+    def n_failures(self) -> int:
+        """Total failed candidate evaluations, all categories."""
+        return int(sum(self.failures.values()))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict for logging / table rows."""
+        flat: Dict[str, object] = {
+            f"failures.{k}": v for k, v in sorted(self.failures.items())
+        }
+        flat.update(
+            n_failures=self.n_failures,
+            retries=self.retries,
+            pool_rebuilds=self.pool_rebuilds,
+            engine_fallbacks=self.engine_fallbacks,
+            serial_fallback=self.serial_fallback,
+            checkpoints_written=self.checkpoints_written,
+        )
+        return flat
+
+    def merge(self, other: "RunHealth"):
+        """Fold another health record into this one (counters add)."""
+        for category, count in other.failures.items():
+            self.record(category, count)
+        self.retries += other.retries
+        self.pool_rebuilds += other.pool_rebuilds
+        self.engine_fallbacks += other.engine_fallbacks
+        self.serial_fallback = self.serial_fallback or other.serial_fallback
+        self.checkpoints_written += other.checkpoints_written
+
+    # -- checkpoint support -------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Serializable snapshot for checkpoint payloads."""
+        return {
+            "failures": dict(self.failures),
+            "retries": self.retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "engine_fallbacks": self.engine_fallbacks,
+            "serial_fallback": self.serial_fallback,
+            "checkpoints_written": self.checkpoints_written,
+        }
+
+    def restore(self, state: Dict[str, object]):
+        """Load a snapshot produced by :meth:`state`."""
+        self.failures = dict(state["failures"])
+        self.retries = int(state["retries"])
+        self.pool_rebuilds = int(state["pool_rebuilds"])
+        self.engine_fallbacks = int(state["engine_fallbacks"])
+        self.serial_fallback = bool(state["serial_fallback"])
+        self.checkpoints_written = int(state["checkpoints_written"])
+
+
+def guarded_call(objective: Callable[[np.ndarray], float], x: np.ndarray,
+                 health: RunHealth) -> float:
+    """Evaluate a scalar objective, absorbing candidate failures.
+
+    Exceptions in :data:`FAILURE_EXCEPTIONS` (plus any other
+    ``Exception`` — stochastic objectives can fail in arbitrary ways)
+    and non-finite return values are recorded in *health* and mapped to
+    ``+inf``, which every optimizer treats as "worse than anything
+    finite".  ``KeyboardInterrupt``/``SystemExit`` propagate so runs
+    stay interruptible.
+    """
+    try:
+        value = float(objective(x))
+    except Exception as exc:  # noqa: BLE001 - absorption is the contract
+        health.record(classify_exception(exc))
+        return float("inf")
+    if not np.isfinite(value):
+        health.record(CATEGORY_NON_FINITE)
+        return float("inf")
+    return value
+
+
+class FaultInjector:
+    """Wrap an objective so it fails with seeded probabilities.
+
+    Test harness for the fault-tolerant runtime: each call draws one
+    uniform variate and either raises :class:`InjectedFault`
+    (probability ``p_raise``), returns ``nan_value`` (``p_nan``),
+    sleeps for ``hang_seconds`` before answering (``p_hang``), or
+    delegates to the wrapped objective.  Injection counts are kept per
+    kind so tests can assert that an optimizer's
+    :class:`RunHealth` counters match exactly what was injected.
+    """
+
+    def __init__(self, objective: Callable[[np.ndarray], float],
+                 p_raise: float = 0.0, p_nan: float = 0.0,
+                 p_hang: float = 0.0, hang_seconds: float = 60.0,
+                 nan_value=float("nan"), seed: Optional[int] = 0):
+        for name, p in (("p_raise", p_raise), ("p_nan", p_nan),
+                        ("p_hang", p_hang)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if p_raise + p_nan + p_hang > 1.0:
+            raise ValueError("injection probabilities must sum to <= 1")
+        self._objective = objective
+        self.p_raise = float(p_raise)
+        self.p_nan = float(p_nan)
+        self.p_hang = float(p_hang)
+        self.hang_seconds = float(hang_seconds)
+        self.nan_value = nan_value
+        self._rng = np.random.default_rng(seed)
+        self.n_calls = 0
+        self.n_raised = 0
+        self.n_nan = 0
+        self.n_hung = 0
+
+    @property
+    def n_injected(self) -> int:
+        """Total injected faults of any kind."""
+        return self.n_raised + self.n_nan + self.n_hung
+
+    def __call__(self, x):
+        self.n_calls += 1
+        u = float(self._rng.random())
+        if u < self.p_raise:
+            self.n_raised += 1
+            raise InjectedFault(
+                f"injected evaluation failure (call {self.n_calls})"
+            )
+        if u < self.p_raise + self.p_nan:
+            self.n_nan += 1
+            return self.nan_value
+        if u < self.p_raise + self.p_nan + self.p_hang:
+            self.n_hung += 1
+            time.sleep(self.hang_seconds)
+        return self._objective(x)

@@ -44,7 +44,14 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 from scipy import optimize as sp_optimize
 
-from repro.optimize.metaheuristics import latin_hypercube
+from repro.optimize.checkpoint import CheckpointStore, resume_or_none
+from repro.optimize.faults import (
+    CATEGORY_NON_FINITE,
+    FAILURE_EXCEPTIONS,
+    RunHealth,
+    classify_exception,
+)
+from repro.optimize.metaheuristics import _save_checkpoint, latin_hypercube
 
 __all__ = [
     "MultiObjectiveProblem",
@@ -52,6 +59,11 @@ __all__ = [
     "goal_attainment_standard",
     "goal_attainment_improved",
 ]
+
+#: Finite objective vector assigned to failed evaluations inside the
+#: SLSQP solve — ``inf``/``nan`` would break the line search, a large
+#: finite value just makes the point maximally unattractive.
+PENALTY_OBJECTIVE = 1.0e9
 
 
 @dataclass
@@ -109,6 +121,7 @@ class GoalAttainmentResult:
     constraint_violation: float
     message: str = ""
     history: List[float] = field(default_factory=list)
+    health: RunHealth = field(default_factory=RunHealth)
 
     def attained(self, tolerance: float = 1e-6) -> bool:
         """True when every goal is met (gamma <= tolerance)."""
@@ -116,10 +129,18 @@ class GoalAttainmentResult:
 
 
 class _CountedObjectives:
-    """Memoizing evaluation counter shared by all constraint callbacks."""
+    """Memoizing evaluation counter shared by all constraint callbacks.
 
-    def __init__(self, problem: MultiObjectiveProblem):
+    Failure-isolated: an evaluation that raises one of
+    :data:`FAILURE_EXCEPTIONS` or returns non-finite entries yields the
+    finite :data:`PENALTY_OBJECTIVE` vector (recorded in ``health``)
+    instead of sinking the surrounding SLSQP solve.
+    """
+
+    def __init__(self, problem: MultiObjectiveProblem,
+                 health: Optional[RunHealth] = None):
         self._problem = problem
+        self.health = health if health is not None else RunHealth()
         self.nfev = 0
         self._last_key = None
         self._last_value = None
@@ -127,17 +148,41 @@ class _CountedObjectives:
     def __call__(self, x: np.ndarray) -> np.ndarray:
         key = x.tobytes()
         if key != self._last_key:
-            self._last_value = np.asarray(
-                self._problem.objectives(x), dtype=float
-            )
-            if self._last_value.shape != (self._problem.n_objectives,):
-                raise ValueError(
-                    f"objectives returned shape {self._last_value.shape}, "
-                    f"expected ({self._problem.n_objectives},)"
-                )
+            n_obj = self._problem.n_objectives
+            try:
+                value = np.asarray(self._problem.objectives(x), dtype=float)
+            except FAILURE_EXCEPTIONS as exc:
+                self.health.record(classify_exception(exc))
+                value = np.full(n_obj, PENALTY_OBJECTIVE)
+            else:
+                if value.shape != (n_obj,):
+                    raise ValueError(
+                        f"objectives returned shape {value.shape}, "
+                        f"expected ({n_obj},)"
+                    )
+                bad = ~np.isfinite(value)
+                if np.any(bad):
+                    self.health.record(CATEGORY_NON_FINITE)
+                    value = np.where(bad, PENALTY_OBJECTIVE, value)
+            self._last_value = value
             self._last_key = key
             self.nfev += 1
         return self._last_value
+
+    # -- checkpoint support -------------------------------------------------
+    def state(self):
+        """Snapshot (count + memo) so a resumed run counts identically."""
+        return {
+            "nfev": self.nfev,
+            "last_key": self._last_key,
+            "last_value": None if self._last_value is None
+            else np.array(self._last_value),
+        }
+
+    def restore(self, state):
+        self.nfev = int(state["nfev"])
+        self._last_key = state["last_key"]
+        self._last_value = state["last_value"]
 
 
 def _solve_gembicki_nlp(problem: MultiObjectiveProblem, goals, weights,
@@ -202,7 +247,7 @@ def _package(problem, counter, x, goals, weights, success, message,
         goals=np.asarray(goals, dtype=float),
         weights=np.asarray(weights, dtype=float), nfev=counter.nfev,
         success=success, constraint_violation=violation, message=message,
-        history=history,
+        history=history, health=counter.health,
     )
 
 
@@ -249,8 +294,16 @@ def goal_attainment_improved(
     tighten_fraction: float = 0.04,
     seed: Optional[int] = 0,
     max_iterations: int = 200,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    resume: bool = True,
 ) -> GoalAttainmentResult:
-    """The paper-style improved goal attainment (see module docstring)."""
+    """The paper-style improved goal attainment (see module docstring).
+
+    With a ``checkpoint_store`` the run snapshots its state after the
+    probe stage, after every NLP start, and after every tightening
+    round (the counter memo rides along, so a resumed run reports the
+    same ``nfev`` as an uninterrupted one).
+    """
     goals = np.asarray(goals, dtype=float)
     if goals.shape != (problem.n_objectives,):
         raise ValueError(
@@ -258,62 +311,116 @@ def goal_attainment_improved(
             f"got {goals.shape}"
         )
     rng = np.random.default_rng(seed)
-    counter = _CountedObjectives(problem)
+    health = RunHealth()
+    counter = _CountedObjectives(problem, health)
+    algorithm = "goal_attainment_improved"
 
-    # --- stage 1: probe the objective ranges on an LHS sample -----------
-    probes = latin_hypercube(n_probe, problem.lower, problem.upper, rng)
-    if problem.objectives_batch is not None:
-        # Population-level evaluation: one batched model solve for the
-        # whole sample, counted exactly like the per-point loop.
-        probe_values = np.asarray(
-            problem.objectives_batch(probes), dtype=float
-        )
-        counter.nfev += len(probes)
+    def save(stage_count, start_index, tighten_index, starts, ranges,
+             weights, best, history):
+        if checkpoint_store is None:
+            return
+        _save_checkpoint(checkpoint_store, algorithm, stage_count, rng,
+                         health, {
+                             "start_index": start_index,
+                             "tighten_index": tighten_index,
+                             "starts": [np.array(s) for s in starts],
+                             "ranges": np.array(ranges),
+                             "weights": np.array(weights),
+                             "best": best,
+                             "history": list(history),
+                             "counter": counter.state(),
+                         })
+
+    checkpoint = resume_or_none(checkpoint_store, algorithm) \
+        if resume else None
+    if checkpoint is not None:
+        payload = checkpoint.payload
+        rng.bit_generator.state = checkpoint.rng_state
+        health.restore(payload["health"])
+        health.resumed_at = int(checkpoint.iteration)
+        counter.restore(payload["counter"])
+        starts = [np.asarray(s, dtype=float) for s in payload["starts"]]
+        ranges = np.asarray(payload["ranges"], dtype=float)
+        weights = np.asarray(payload["weights"], dtype=float)
+        best = payload["best"]
+        history = list(payload["history"])
+        start_index = int(payload["start_index"])
+        tighten_index = int(payload["tighten_index"])
     else:
-        probe_values = np.array([counter(p) for p in probes])
-    if problem.constraints is not None:
-        if problem.constraints_batch is not None:
-            feas = np.all(
-                np.asarray(problem.constraints_batch(probes)) <= 0.0, axis=1
-            )
+        # --- stage 1: probe the objective ranges on an LHS sample -------
+        probes = latin_hypercube(n_probe, problem.lower, problem.upper,
+                                 rng)
+        if problem.objectives_batch is not None:
+            # Population-level evaluation: one batched model solve for
+            # the whole sample, counted exactly like the per-point loop.
+            try:
+                probe_values = np.asarray(
+                    problem.objectives_batch(probes), dtype=float
+                )
+                counter.nfev += len(probes)
+            except FAILURE_EXCEPTIONS:
+                health.retries += 1
+                probe_values = np.array([counter(p) for p in probes])
         else:
-            feas = np.array([
-                np.all(np.asarray(problem.constraints(p)) <= 0.0)
-                for p in probes
-            ])
-    else:
-        feas = np.ones(len(probes), dtype=bool)
-    ranges = np.maximum(
-        probe_values.max(axis=0) - probe_values.min(axis=0), 1e-9
-    )
-    if weights is None:
-        weights = ranges.copy()
-    weights = np.asarray(weights, dtype=float)
+            probe_values = np.array([counter(p) for p in probes])
+        bad = ~np.all(np.isfinite(probe_values), axis=1)
+        if np.any(bad):
+            health.record(CATEGORY_NON_FINITE, int(np.sum(bad)))
+            probe_values[bad] = PENALTY_OBJECTIVE
+        if problem.constraints is not None:
+            if problem.constraints_batch is not None:
+                feas = np.all(
+                    np.asarray(problem.constraints_batch(probes)) <= 0.0,
+                    axis=1,
+                )
+            else:
+                feas = np.array([
+                    np.all(np.asarray(problem.constraints(p)) <= 0.0)
+                    for p in probes
+                ])
+        else:
+            feas = np.ones(len(probes), dtype=bool)
+        # Failed probes would inflate the ranges (and hence the
+        # auto-scaled weights) by the penalty magnitude; scale from the
+        # healthy probes only.
+        healthy = probe_values[~bad] if np.any(~bad) else probe_values
+        ranges = np.maximum(
+            healthy.max(axis=0) - healthy.min(axis=0), 1e-9
+        )
+        if weights is None:
+            weights = ranges.copy()
+        weights = np.asarray(weights, dtype=float)
+
+        # --- stage 2 setup: order the starts by probe attainment --------
+        attainment = np.max((probe_values - goals) / weights, axis=1)
+        attainment = np.where(feas, attainment, attainment + 1e6)
+        order = np.argsort(attainment)
+        starts = [probes[i] for i in order[:n_starts]]
+        best = None
+        history = []
+        start_index = 0
+        tighten_index = 0
+        save(0, start_index, tighten_index, starts, ranges, weights,
+             best, history)
 
     # --- stage 2: multi-start from the best probes -----------------------
-    attainment = np.max((probe_values - goals) / weights, axis=1)
-    attainment = np.where(feas, attainment, attainment + 1e6)
-    order = np.argsort(attainment)
-    starts = [probes[i] for i in order[:n_starts]]
-
-    best = None
-    history: List[float] = []
-    for x0 in starts:
+    for k in range(start_index, len(starts)):
         x_final, gamma, success, message = _solve_gembicki_nlp(
-            problem, goals, weights, x0, counter, max_iterations
+            problem, goals, weights, starts[k], counter, max_iterations
         )
         candidate = _package(problem, counter, x_final, goals, weights,
                              success, message, history=[])
         history.append(candidate.gamma)
         if _better(candidate, best):
             best = candidate
+        save(k + 1, k + 1, tighten_index, starts, ranges, weights,
+             best, history)
 
     if best is None:  # pragma: no cover - n_starts >= 1 always yields one
         raise RuntimeError("no goal-attainment start succeeded")
 
     # --- stage 3: goal tightening onto the Pareto surface ----------------
-    current_goals = goals.copy()
-    for _ in range(tighten_rounds):
+    for round_index in range(tighten_index, tighten_rounds):
         if best.constraint_violation > 1e-6:
             break
         current_goals = best.objectives - tighten_fraction * ranges
@@ -327,12 +434,16 @@ def goal_attainment_improved(
             break
         if np.all(candidate.objectives <= best.objectives + 1e-12):
             best = candidate
+            save(len(starts) + round_index + 1, len(starts),
+                 round_index + 1, starts, ranges, weights, best, history)
         else:
             break
 
     # Report gamma against the *original* goals for comparability.
     final = _package(problem, counter, best.x, goals, weights,
                      best.success, best.message, history)
+    if checkpoint_store is not None:
+        checkpoint_store.clear()
     return final
 
 

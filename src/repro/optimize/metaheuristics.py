@@ -14,6 +14,17 @@ so the extraction pipeline can swap them freely:
 All operate on box bounds, are fully deterministic given a seed, and
 count function evaluations honestly (the experiment tables report
 ``nfev``).
+
+The runtime is **fault tolerant**: a candidate whose evaluation
+raises, hangs past the pool timeout, or returns a non-finite value is
+scored ``+inf`` (never selected as best, never poisoning ``argmin``)
+and counted on ``result.health`` — the run itself cannot be aborted by
+a bad candidate.  DE and PSO additionally support deterministic
+checkpoint/resume through an injectable
+:class:`~repro.optimize.checkpoint.CheckpointStore`: an interrupted
+run resumed from its last checkpoint finishes bit-for-bit identical to
+an uninterrupted one, because the full population, counters, and RNG
+bit-generator state are restored.
 """
 
 from __future__ import annotations
@@ -24,6 +35,13 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.optimize.batching import PopulationEvaluator
+from repro.optimize.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+    resume_or_none,
+)
+from repro.optimize.faults import RunHealth, guarded_call
 
 __all__ = [
     "OptimizationResult",
@@ -45,6 +63,7 @@ class OptimizationResult:
     converged: bool
     history: List[float] = field(default_factory=list)
     message: str = ""
+    health: RunHealth = field(default_factory=RunHealth)
 
 
 def _check_bounds(lower, upper):
@@ -52,6 +71,11 @@ def _check_bounds(lower, upper):
     upper = np.asarray(upper, dtype=float)
     if lower.shape != upper.shape or lower.ndim != 1:
         raise ValueError("bounds must be two 1-D arrays of equal length")
+    if not (np.all(np.isfinite(lower)) and np.all(np.isfinite(upper))):
+        raise ValueError(
+            "bounds must be finite (no nan/inf): got lower="
+            f"{lower.tolist()}, upper={upper.tolist()}"
+        )
     if np.any(lower >= upper):
         raise ValueError("every lower bound must be below its upper bound")
     return lower, upper
@@ -70,6 +94,20 @@ def latin_hypercube(n_samples: int, lower, upper,
     return lower + samples * (upper - lower)
 
 
+def _save_checkpoint(store: CheckpointStore, algorithm: str, iteration: int,
+                     rng: np.random.Generator, health: RunHealth,
+                     payload: dict):
+    health.checkpoints_written += 1
+    payload = dict(payload)
+    payload["health"] = health.state()
+    store.save(Checkpoint(
+        algorithm=algorithm,
+        iteration=iteration,
+        rng_state=rng.bit_generator.state,
+        payload=payload,
+    ))
+
+
 def differential_evolution(
     objective: Callable[[np.ndarray], float],
     lower,
@@ -83,6 +121,10 @@ def differential_evolution(
     initial: Optional[np.ndarray] = None,
     objective_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     workers: Optional[int] = None,
+    generation_timeout: Optional[float] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    checkpoint_every: int = 10,
+    resume: bool = True,
 ) -> OptimizationResult:
     """DE/rand/1/bin with mutation dither and bounce-back bound repair.
 
@@ -94,82 +136,137 @@ def differential_evolution(
     trajectories differ from the sequential path (convergence behaviour
     is equivalent; the RNG consumption is identical).  Without either
     argument the original sequential path runs unchanged.
+
+    With ``checkpoint_store`` given, the complete generation state is
+    saved every ``checkpoint_every`` generations and (when ``resume``)
+    restored on the next call, replaying the exact RNG trajectory; the
+    checkpoint is cleared on successful completion.
     """
     lower, upper = _check_bounds(lower, upper)
     rng = np.random.default_rng(seed)
     dim = lower.size
     pop_size = max(int(population_size), 4)
+    health = RunHealth()
     evaluator = None
     if objective_batch is not None or workers is not None:
-        evaluator = PopulationEvaluator(objective, objective_batch, workers)
+        evaluator = PopulationEvaluator(
+            objective, objective_batch, workers,
+            generation_timeout=generation_timeout, health=health,
+        )
 
-    population = latin_hypercube(pop_size, lower, upper, rng)
-    if initial is not None:
-        population[0] = np.clip(np.asarray(initial, dtype=float), lower, upper)
-    if evaluator is not None:
-        fitness = evaluator(population)
-    else:
-        fitness = np.array([objective(ind) for ind in population])
-    nfev = pop_size
-    history = [float(np.min(fitness))]
+    try:
+        checkpoint = (resume_or_none(checkpoint_store,
+                                     "differential_evolution")
+                      if resume else None)
+        if checkpoint is not None:
+            payload = checkpoint.payload
+            population = np.array(payload["population"], dtype=float)
+            if population.shape != (pop_size, dim):
+                raise CheckpointError(
+                    f"checkpoint population shape {population.shape} does "
+                    f"not match the requested run ({pop_size}, {dim})"
+                )
+            fitness = np.array(payload["fitness"], dtype=float)
+            history = list(payload["history"])
+            nfev = int(payload["nfev"])
+            health.restore(payload["health"])
+            rng.bit_generator.state = checkpoint.rng_state
+            start_iteration = int(checkpoint.iteration)
+            health.resumed_at = start_iteration
+        else:
+            population = latin_hypercube(pop_size, lower, upper, rng)
+            if initial is not None:
+                population[0] = np.clip(np.asarray(initial, dtype=float),
+                                        lower, upper)
+            if evaluator is not None:
+                fitness = evaluator(population)
+            else:
+                fitness = np.array([
+                    guarded_call(objective, ind, health)
+                    for ind in population
+                ])
+            nfev = pop_size
+            history = [float(np.min(fitness))]
+            start_iteration = 0
 
-    for iteration in range(1, max_iterations + 1):
-        f_scale = rng.uniform(*mutation)
-        trials = np.empty_like(population) if evaluator is not None else None
-        for i in range(pop_size):
-            candidates = rng.choice(pop_size, size=3, replace=False)
-            # Re-draw until all three donors differ from the target index.
-            while i in candidates:
+        for iteration in range(start_iteration + 1, max_iterations + 1):
+            f_scale = rng.uniform(*mutation)
+            trials = np.empty_like(population) if evaluator is not None \
+                else None
+            for i in range(pop_size):
                 candidates = rng.choice(pop_size, size=3, replace=False)
-            a, b, c = population[candidates]
-            mutant = a + f_scale * (b - c)
-            # Bounce-back repair keeps the mutant inside the box without
-            # piling probability mass on the bounds.
-            below = mutant < lower
-            above = mutant > upper
-            mutant[below] = lower[below] + rng.random(np.sum(below)) * (
-                population[i][below] - lower[below]
-            )
-            mutant[above] = upper[above] - rng.random(np.sum(above)) * (
-                upper[above] - population[i][above]
-            )
-            cross = rng.random(dim) < crossover_rate
-            cross[rng.integers(dim)] = True
-            trial = np.where(cross, mutant, population[i])
+                # Re-draw until all three donors differ from the target
+                # index.
+                while i in candidates:
+                    candidates = rng.choice(pop_size, size=3, replace=False)
+                a, b, c = population[candidates]
+                mutant = a + f_scale * (b - c)
+                # Bounce-back repair keeps the mutant inside the box
+                # without piling probability mass on the bounds.
+                below = mutant < lower
+                above = mutant > upper
+                mutant[below] = lower[below] + rng.random(np.sum(below)) * (
+                    population[i][below] - lower[below]
+                )
+                mutant[above] = upper[above] - rng.random(np.sum(above)) * (
+                    upper[above] - population[i][above]
+                )
+                cross = rng.random(dim) < crossover_rate
+                cross[rng.integers(dim)] = True
+                trial = np.where(cross, mutant, population[i])
+                if evaluator is not None:
+                    trials[i] = trial
+                    continue
+                f_trial = guarded_call(objective, trial, health)
+                nfev += 1
+                if f_trial <= fitness[i]:
+                    population[i] = trial
+                    fitness[i] = f_trial
             if evaluator is not None:
-                trials[i] = trial
-                continue
-            f_trial = objective(trial)
-            nfev += 1
-            if f_trial <= fitness[i]:
-                population[i] = trial
-                fitness[i] = f_trial
+                f_trials = evaluator(trials)
+                nfev += pop_size
+                accept = f_trials <= fitness
+                population[accept] = trials[accept]
+                fitness[accept] = f_trials[accept]
+            best = float(np.min(fitness))
+            history.append(best)
+            worst = float(np.max(fitness))
+            # All-penalty populations have worst == best == inf; treat
+            # the spread as open so the run keeps searching.
+            spread = worst - best if np.isfinite(worst) else np.inf
+            if spread < tolerance * (1.0 + abs(best)):
+                if checkpoint_store is not None:
+                    checkpoint_store.clear()
+                best_idx = int(np.argmin(fitness))
+                return OptimizationResult(
+                    x=population[best_idx].copy(), fun=best, nfev=nfev,
+                    n_iterations=iteration, converged=True, history=history,
+                    message="population collapsed within tolerance",
+                    health=health,
+                )
+            if (checkpoint_store is not None
+                    and iteration % max(int(checkpoint_every), 1) == 0
+                    and iteration < max_iterations):
+                _save_checkpoint(
+                    checkpoint_store, "differential_evolution", iteration,
+                    rng, health,
+                    {"population": population.copy(),
+                     "fitness": fitness.copy(),
+                     "history": list(history),
+                     "nfev": int(nfev)},
+                )
+        if checkpoint_store is not None:
+            checkpoint_store.clear()
+        best_idx = int(np.argmin(fitness))
+        return OptimizationResult(
+            x=population[best_idx].copy(), fun=float(fitness[best_idx]),
+            nfev=nfev, n_iterations=max_iterations, converged=False,
+            history=history, message="iteration limit reached",
+            health=health,
+        )
+    finally:
         if evaluator is not None:
-            f_trials = evaluator(trials)
-            nfev += pop_size
-            accept = f_trials <= fitness
-            population[accept] = trials[accept]
-            fitness[accept] = f_trials[accept]
-        best = float(np.min(fitness))
-        history.append(best)
-        spread = float(np.max(fitness) - best)
-        if spread < tolerance * (1.0 + abs(best)):
-            if evaluator is not None:
-                evaluator.close()
-            best_idx = int(np.argmin(fitness))
-            return OptimizationResult(
-                x=population[best_idx].copy(), fun=best, nfev=nfev,
-                n_iterations=iteration, converged=True, history=history,
-                message="population collapsed within tolerance",
-            )
-    if evaluator is not None:
-        evaluator.close()
-    best_idx = int(np.argmin(fitness))
-    return OptimizationResult(
-        x=population[best_idx].copy(), fun=float(fitness[best_idx]),
-        nfev=nfev, n_iterations=max_iterations, converged=False,
-        history=history, message="iteration limit reached",
-    )
+            evaluator.close()
 
 
 def particle_swarm(
@@ -185,6 +282,10 @@ def particle_swarm(
     seed: Optional[int] = None,
     objective_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     workers: Optional[int] = None,
+    generation_timeout: Optional[float] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    checkpoint_every: int = 10,
+    resume: bool = True,
 ) -> OptimizationResult:
     """Global-best PSO with velocity clamping at half the box width.
 
@@ -194,74 +295,130 @@ def particle_swarm(
     of an iteration are fixed before any evaluation, and the
     personal/global-best updates consume the values in the same order
     as the sequential loop.
+
+    Checkpoint/resume follows the same contract as
+    :func:`differential_evolution` (deterministic, bit-for-bit).
     """
     lower, upper = _check_bounds(lower, upper)
     rng = np.random.default_rng(seed)
     dim = lower.size
     span = upper - lower
     v_max = 0.5 * span
+    health = RunHealth()
     evaluator = None
     if objective_batch is not None or workers is not None:
-        evaluator = PopulationEvaluator(objective, objective_batch, workers)
-
-    positions = latin_hypercube(n_particles, lower, upper, rng)
-    velocities = rng.uniform(-0.1, 0.1, size=(n_particles, dim)) * span
-    if evaluator is not None:
-        fitness = evaluator(positions)
-    else:
-        fitness = np.array([objective(p) for p in positions])
-    nfev = n_particles
-    personal_best = positions.copy()
-    personal_fitness = fitness.copy()
-    g_idx = int(np.argmin(fitness))
-    global_best = positions[g_idx].copy()
-    global_fitness = float(fitness[g_idx])
-    history = [global_fitness]
-    stale = 0
-
-    for iteration in range(1, max_iterations + 1):
-        r1 = rng.random((n_particles, dim))
-        r2 = rng.random((n_particles, dim))
-        velocities = (
-            inertia * velocities
-            + cognitive * r1 * (personal_best - positions)
-            + social * r2 * (global_best - positions)
+        evaluator = PopulationEvaluator(
+            objective, objective_batch, workers,
+            generation_timeout=generation_timeout, health=health,
         )
-        velocities = np.clip(velocities, -v_max, v_max)
-        positions = np.clip(positions + velocities, lower, upper)
-        values = evaluator(positions) if evaluator is not None else None
-        improved_any = False
-        for i in range(n_particles):
-            value = values[i] if values is not None else objective(
-                positions[i]
-            )
-            nfev += 1
-            if value < personal_fitness[i]:
-                personal_fitness[i] = value
-                personal_best[i] = positions[i].copy()
-                if value < global_fitness:
-                    global_fitness = float(value)
-                    global_best = positions[i].copy()
-                    improved_any = True
-        history.append(global_fitness)
-        stale = 0 if improved_any else stale + 1
-        if stale >= 30 and np.std(personal_fitness) < tolerance * (
-            1.0 + abs(global_fitness)
-        ):
+
+    try:
+        checkpoint = (resume_or_none(checkpoint_store, "particle_swarm")
+                      if resume else None)
+        if checkpoint is not None:
+            payload = checkpoint.payload
+            positions = np.array(payload["positions"], dtype=float)
+            if positions.shape != (n_particles, dim):
+                raise CheckpointError(
+                    f"checkpoint swarm shape {positions.shape} does not "
+                    f"match the requested run ({n_particles}, {dim})"
+                )
+            velocities = np.array(payload["velocities"], dtype=float)
+            personal_best = np.array(payload["personal_best"], dtype=float)
+            personal_fitness = np.array(payload["personal_fitness"],
+                                        dtype=float)
+            global_best = np.array(payload["global_best"], dtype=float)
+            global_fitness = float(payload["global_fitness"])
+            history = list(payload["history"])
+            stale = int(payload["stale"])
+            nfev = int(payload["nfev"])
+            health.restore(payload["health"])
+            rng.bit_generator.state = checkpoint.rng_state
+            start_iteration = int(checkpoint.iteration)
+            health.resumed_at = start_iteration
+        else:
+            positions = latin_hypercube(n_particles, lower, upper, rng)
+            velocities = rng.uniform(-0.1, 0.1,
+                                     size=(n_particles, dim)) * span
             if evaluator is not None:
-                evaluator.close()
-            return OptimizationResult(
-                x=global_best, fun=global_fitness, nfev=nfev,
-                n_iterations=iteration, converged=True, history=history,
-                message="swarm stagnated within tolerance",
+                fitness = evaluator(positions)
+            else:
+                fitness = np.array([
+                    guarded_call(objective, p, health) for p in positions
+                ])
+            nfev = n_particles
+            personal_best = positions.copy()
+            personal_fitness = fitness.copy()
+            g_idx = int(np.argmin(fitness))
+            global_best = positions[g_idx].copy()
+            global_fitness = float(fitness[g_idx])
+            history = [global_fitness]
+            stale = 0
+            start_iteration = 0
+
+        for iteration in range(start_iteration + 1, max_iterations + 1):
+            r1 = rng.random((n_particles, dim))
+            r2 = rng.random((n_particles, dim))
+            velocities = (
+                inertia * velocities
+                + cognitive * r1 * (personal_best - positions)
+                + social * r2 * (global_best - positions)
             )
-    if evaluator is not None:
-        evaluator.close()
-    return OptimizationResult(
-        x=global_best, fun=global_fitness, nfev=nfev,
-        n_iterations=max_iterations, converged=False, history=history,
-        message="iteration limit reached",
-    )
+            velocities = np.clip(velocities, -v_max, v_max)
+            positions = np.clip(positions + velocities, lower, upper)
+            values = evaluator(positions) if evaluator is not None else None
+            improved_any = False
+            for i in range(n_particles):
+                value = values[i] if values is not None else guarded_call(
+                    objective, positions[i], health
+                )
+                nfev += 1
+                if value < personal_fitness[i]:
+                    personal_fitness[i] = value
+                    personal_best[i] = positions[i].copy()
+                    if value < global_fitness:
+                        global_fitness = float(value)
+                        global_best = positions[i].copy()
+                        improved_any = True
+            history.append(global_fitness)
+            stale = 0 if improved_any else stale + 1
+            if stale >= 30 and np.std(personal_fitness) < tolerance * (
+                1.0 + abs(global_fitness)
+            ):
+                if checkpoint_store is not None:
+                    checkpoint_store.clear()
+                return OptimizationResult(
+                    x=global_best, fun=global_fitness, nfev=nfev,
+                    n_iterations=iteration, converged=True, history=history,
+                    message="swarm stagnated within tolerance",
+                    health=health,
+                )
+            if (checkpoint_store is not None
+                    and iteration % max(int(checkpoint_every), 1) == 0
+                    and iteration < max_iterations):
+                _save_checkpoint(
+                    checkpoint_store, "particle_swarm", iteration, rng,
+                    health,
+                    {"positions": positions.copy(),
+                     "velocities": velocities.copy(),
+                     "personal_best": personal_best.copy(),
+                     "personal_fitness": personal_fitness.copy(),
+                     "global_best": global_best.copy(),
+                     "global_fitness": float(global_fitness),
+                     "history": list(history),
+                     "stale": int(stale),
+                     "nfev": int(nfev)},
+                )
+        if checkpoint_store is not None:
+            checkpoint_store.clear()
+        return OptimizationResult(
+            x=global_best, fun=global_fitness, nfev=nfev,
+            n_iterations=max_iterations, converged=False, history=history,
+            message="iteration limit reached", health=health,
+        )
+    finally:
+        if evaluator is not None:
+            evaluator.close()
 
 
 def simulated_annealing(
@@ -274,17 +431,23 @@ def simulated_annealing(
     seed: Optional[int] = None,
     initial: Optional[np.ndarray] = None,
 ) -> OptimizationResult:
-    """Gaussian-move SA with geometric cooling and adaptive step size."""
+    """Gaussian-move SA with geometric cooling and adaptive step size.
+
+    NaN-safe: a proposal whose evaluation fails or is non-finite scores
+    ``+inf`` — it can only be accepted while the current point is also
+    ``+inf``, and it can never displace the best-so-far.
+    """
     lower, upper = _check_bounds(lower, upper)
     rng = np.random.default_rng(seed)
     span = upper - lower
+    health = RunHealth()
 
     current = (
         np.clip(np.asarray(initial, dtype=float), lower, upper)
         if initial is not None
         else lower + rng.random(lower.size) * span
     )
-    f_current = objective(current)
+    f_current = guarded_call(objective, current, health)
     nfev = 1
     best = current.copy()
     f_best = f_current
@@ -296,12 +459,19 @@ def simulated_annealing(
     for iteration in range(1, max_iterations + 1):
         proposal = current + rng.standard_normal(lower.size) * step * span
         proposal = np.clip(proposal, lower, upper)
-        f_proposal = objective(proposal)
+        f_proposal = guarded_call(objective, proposal, health)
         nfev += 1
         delta = f_proposal - f_current
-        if delta <= 0 or rng.random() < np.exp(
-            -delta / max(temperature, 1e-300)
-        ):
+        # inf - inf is nan: when the current point is failed, accept any
+        # proposal so the walk can escape the failed region; a failed
+        # proposal against a finite current point is always rejected.
+        if not np.isfinite(delta):
+            accept = not np.isfinite(f_current)
+        else:
+            accept = delta <= 0 or rng.random() < np.exp(
+                -delta / max(temperature, 1e-300)
+            )
+        if accept:
             current, f_current = proposal, f_proposal
             accepted += 1
             if f_current < f_best:
@@ -319,4 +489,5 @@ def simulated_annealing(
     return OptimizationResult(
         x=best, fun=float(f_best), nfev=nfev, n_iterations=max_iterations,
         converged=True, history=history, message="annealing schedule complete",
+        health=health,
     )

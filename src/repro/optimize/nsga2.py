@@ -17,15 +17,31 @@ scratch and deterministic under a seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
+from repro.optimize.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    resume_or_none,
+)
+from repro.optimize.faults import (
+    CATEGORY_NON_FINITE,
+    RunHealth,
+    classify_exception,
+)
 from repro.optimize.goal_attainment import MultiObjectiveProblem
-from repro.optimize.metaheuristics import latin_hypercube
+from repro.optimize.metaheuristics import _save_checkpoint, latin_hypercube
 
 __all__ = ["Nsga2Result", "nsga2"]
+
+#: Finite objective/violation assigned to failed candidates.  NSGA-II's
+#: crowding distance normalizes by the objective spread, so ``inf``
+#: would poison the whole front — a large finite figure keeps failed
+#: candidates strictly dominated instead.
+PENALTY_OBJECTIVE = 1.0e9
 
 
 @dataclass
@@ -37,6 +53,7 @@ class Nsga2Result:
     violations: np.ndarray   # (m,) max constraint violation (0 = feasible)
     nfev: int
     n_generations: int
+    health: RunHealth = field(default_factory=RunHealth)
 
     @property
     def feasible_front(self) -> np.ndarray:
@@ -52,26 +69,58 @@ def nsga2(
     crossover_eta: float = 15.0,
     mutation_eta: float = 20.0,
     seed: Optional[int] = 0,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    checkpoint_every: int = 10,
+    resume: bool = True,
 ) -> Nsga2Result:
-    """Run NSGA-II on *problem* and return the final first front."""
+    """Run NSGA-II on *problem* and return the final first front.
+
+    With a ``checkpoint_store`` the complete generation state
+    (population, objectives, violations, RNG state, health counters)
+    is persisted every ``checkpoint_every`` generations; a rerun with
+    the same store resumes from the last snapshot and finishes
+    bit-for-bit identical to an uninterrupted run.
+    """
     if population_size % 2:
         population_size += 1  # pairing requires an even population
     rng = np.random.default_rng(seed)
     dim = problem.lower.size
-    span = problem.upper - problem.lower
+    health = RunHealth()
+    algorithm = "nsga2"
 
-    population = latin_hypercube(population_size, problem.lower,
-                                 problem.upper, rng)
-    objectives, violations = _evaluate(problem, population)
-    nfev = population_size
+    checkpoint = resume_or_none(checkpoint_store, algorithm) \
+        if resume else None
+    if checkpoint is not None:
+        payload = checkpoint.payload
+        population = np.array(payload["population"], dtype=float)
+        if population.shape != (population_size, dim):
+            raise CheckpointError(
+                f"checkpoint population has shape {population.shape}, "
+                f"expected {(population_size, dim)} — was the run "
+                f"configured differently?"
+            )
+        objectives = np.array(payload["objectives"], dtype=float)
+        violations = np.array(payload["violations"], dtype=float)
+        nfev = int(payload["nfev"])
+        health.restore(payload["health"])
+        rng.bit_generator.state = checkpoint.rng_state
+        start_generation = int(checkpoint.iteration)
+        health.resumed_at = start_generation
+    else:
+        population = latin_hypercube(population_size, problem.lower,
+                                     problem.upper, rng)
+        objectives, violations = _evaluate(problem, population, health)
+        nfev = population_size
+        start_generation = 0
 
-    for __ in range(n_generations):
+    for generation in range(start_generation + 1, n_generations + 1):
         parents = _tournament(population, objectives, violations, rng)
         children = _sbx_crossover(parents, problem.lower, problem.upper,
                                   crossover_probability, crossover_eta, rng)
         children = _polynomial_mutation(children, problem.lower,
                                         problem.upper, mutation_eta, rng)
-        child_objectives, child_violations = _evaluate(problem, children)
+        child_objectives, child_violations = _evaluate(problem, children,
+                                                       health)
         nfev += len(children)
 
         population = np.vstack([population, children])
@@ -83,14 +132,28 @@ def nsga2(
         objectives = objectives[keep]
         violations = violations[keep]
 
+        if (checkpoint_store is not None
+                and generation % max(int(checkpoint_every), 1) == 0
+                and generation < n_generations):
+            _save_checkpoint(checkpoint_store, algorithm, generation, rng,
+                             health, {
+                                 "population": population.copy(),
+                                 "objectives": objectives.copy(),
+                                 "violations": violations.copy(),
+                                 "nfev": nfev,
+                             })
+
     fronts = _nondominated_sort(objectives, violations)
     first = np.asarray(fronts[0], dtype=int)
+    if checkpoint_store is not None:
+        checkpoint_store.clear()
     return Nsga2Result(
         x=population[first],
         objectives=objectives[first],
         violations=violations[first],
         nfev=nfev,
         n_generations=n_generations,
+        health=health,
     )
 
 
@@ -98,25 +161,77 @@ def nsga2(
 # building blocks
 # ----------------------------------------------------------------------
 
-def _evaluate(problem, population):
+def _evaluate(problem, population, health=None):
+    if health is None:
+        health = RunHealth()
+    n = len(population)
+
+    objectives = None
     if getattr(problem, "objectives_batch", None) is not None:
         # Population-level evaluation: one batched model solve for the
         # whole generation (value-identical to the per-individual loop).
-        objectives = np.asarray(problem.objectives_batch(population),
-                                dtype=float)
-    else:
-        objectives = np.array([problem.objectives(x) for x in population])
+        try:
+            objectives = np.asarray(problem.objectives_batch(population),
+                                    dtype=float)
+            if objectives.shape[0] != n:
+                raise ValueError(
+                    f"objectives_batch returned {objectives.shape[0]} "
+                    f"rows for a population of {n}"
+                )
+        except Exception:  # noqa: BLE001 - degrade to the scalar loop
+            health.retries += 1
+            objectives = None
+    if objectives is None:
+        objectives = np.empty((n, problem.n_objectives), dtype=float)
+        for i, x in enumerate(population):
+            try:
+                objectives[i] = np.asarray(problem.objectives(x),
+                                           dtype=float)
+            except Exception as exc:  # noqa: BLE001 - absorb per candidate
+                health.record(classify_exception(exc))
+                objectives[i] = PENALTY_OBJECTIVE
+    bad = ~np.all(np.isfinite(objectives), axis=1)
+    if np.any(bad):
+        # Finite penalty, not inf: crowding distances must stay finite.
+        health.record(CATEGORY_NON_FINITE, int(np.sum(bad)))
+        objectives[bad] = PENALTY_OBJECTIVE
+
     if problem.constraints is None:
-        violations = np.zeros(len(population))
-    elif getattr(problem, "constraints_batch", None) is not None:
-        g = np.asarray(problem.constraints_batch(population), dtype=float)
-        violations = np.max(np.maximum(g, 0.0), axis=1, initial=0.0)
-    else:
-        violations = np.array([
-            float(np.max(np.maximum(problem.constraints(x), 0.0),
-                         initial=0.0))
-            for x in population
-        ])
+        violations = np.zeros(n)
+        violations[bad] = PENALTY_OBJECTIVE  # failed => never "feasible"
+        return objectives, violations
+
+    g = None
+    if getattr(problem, "constraints_batch", None) is not None:
+        try:
+            g = np.asarray(problem.constraints_batch(population),
+                           dtype=float)
+            if g.shape[0] != n:
+                raise ValueError(
+                    f"constraints_batch returned {g.shape[0]} rows "
+                    f"for a population of {n}"
+                )
+        except Exception:  # noqa: BLE001 - degrade to the scalar loop
+            health.retries += 1
+            g = None
+    if g is None:
+        rows: List[Optional[np.ndarray]] = []
+        for x in population:
+            try:
+                rows.append(np.asarray(problem.constraints(x),
+                                       dtype=float).reshape(-1))
+            except Exception:  # noqa: BLE001 - absorb per candidate
+                # The objective pass is the canonical failure counter;
+                # a failed constraint row just forfeits feasibility.
+                rows.append(None)
+        width = max((r.size for r in rows if r is not None), default=1)
+        g = np.full((n, width), PENALTY_OBJECTIVE, dtype=float)
+        for i, r in enumerate(rows):
+            if r is not None:
+                g[i] = r
+    g = np.where(np.isfinite(g), g, PENALTY_OBJECTIVE)
+    violations = np.max(np.maximum(g, 0.0), axis=1, initial=0.0)
+    violations[bad] = np.maximum(violations[bad], PENALTY_OBJECTIVE)
     return objectives, violations
 
 

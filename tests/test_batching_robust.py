@@ -1,0 +1,200 @@
+"""Process-pool hardening in :class:`PopulationEvaluator`.
+
+Worker crashes, hangs, and batch-objective errors must cost penalty
+fitness and a health counter tick, never the run: a crashed pool is
+rebuilt with backoff, a hung generation times out with ``+inf`` rows,
+and after ``max_pool_rebuilds`` the evaluator falls back to the serial
+loop for good.
+"""
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.optimize import PopulationEvaluator, validate_workers
+from repro.optimize.faults import (
+    CATEGORY_EXCEPTION,
+    CATEGORY_NON_FINITE,
+    CATEGORY_TIMEOUT,
+    RunHealth,
+)
+
+
+# Worker objectives must be module-level functions so they pickle.
+
+def _sphere(x):
+    return float(np.sum(np.asarray(x) ** 2))
+
+
+def _crash_in_worker(x):
+    # Only die inside a pool worker; the serial fallback path calls
+    # the same objective from the parent and must succeed.
+    if multiprocessing.parent_process() is not None:
+        os._exit(17)
+    return _sphere(x)
+
+
+def _hang_in_worker(x):
+    if multiprocessing.parent_process() is not None and x[0] > 0.5:
+        time.sleep(30.0)
+    return _sphere(x)
+
+
+def _raise_for_negative(x):
+    if x[0] < 0:
+        raise RuntimeError("bad candidate")
+    return _sphere(x)
+
+
+def _nan_for_negative(x):
+    if x[0] < 0:
+        return float("nan")
+    return _sphere(x)
+
+
+# ----------------------------------------------------------------------
+# validate_workers
+# ----------------------------------------------------------------------
+
+def test_validate_workers_accepts_none_and_positive_ints():
+    assert validate_workers(None) is None
+    assert validate_workers(1) == 1
+    assert validate_workers(np.int64(4)) == 4
+
+
+@pytest.mark.parametrize("bad", [True, False, 2.0, "3", [2]])
+def test_validate_workers_rejects_non_integers(bad):
+    with pytest.raises(TypeError):
+        validate_workers(bad)
+
+
+@pytest.mark.parametrize("bad", [0, -1, -100])
+def test_validate_workers_rejects_non_positive(bad):
+    with pytest.raises(ValueError):
+        validate_workers(bad)
+
+
+def test_evaluator_validates_generation_timeout():
+    with pytest.raises(ValueError):
+        PopulationEvaluator(_sphere, generation_timeout=0.0)
+
+
+# ----------------------------------------------------------------------
+# serial and batch paths
+# ----------------------------------------------------------------------
+
+def test_serial_path_isolates_raising_and_nan_candidates():
+    evaluator = PopulationEvaluator(_raise_for_negative)
+    pop = np.array([[1.0, 1.0], [-1.0, 0.0], [2.0, 0.0]])
+    values = evaluator(pop)
+    assert values.tolist() == [2.0, np.inf, 4.0]
+    assert evaluator.health.failures == {CATEGORY_EXCEPTION: 1}
+
+
+def test_batch_exception_falls_back_to_serial_and_counts_retry():
+    def bad_batch(pop):
+        raise np.linalg.LinAlgError("Singular matrix")
+
+    evaluator = PopulationEvaluator(_sphere, objective_batch=bad_batch)
+    values = evaluator(np.array([[1.0, 0.0], [2.0, 0.0]]))
+    assert values.tolist() == [1.0, 4.0]
+    assert evaluator.health.retries == 1
+    assert evaluator.health.n_failures == 0
+
+
+def test_batch_non_finite_rows_become_inf():
+    def nan_batch(pop):
+        values = np.sum(pop ** 2, axis=1)
+        values[1] = np.nan
+        return values
+
+    evaluator = PopulationEvaluator(_sphere, objective_batch=nan_batch)
+    values = evaluator(np.ones((3, 2)))
+    assert values[1] == np.inf
+    assert evaluator.health.failures == {CATEGORY_NON_FINITE: 1}
+
+
+def test_batch_wrong_length_is_a_programming_error():
+    evaluator = PopulationEvaluator(
+        _sphere, objective_batch=lambda pop: np.zeros(5)
+    )
+    with pytest.raises(ValueError):
+        evaluator(np.ones((3, 2)))
+
+
+# ----------------------------------------------------------------------
+# process-pool degradation
+# ----------------------------------------------------------------------
+
+def test_pool_evaluates_and_closes_cleanly():
+    with PopulationEvaluator(_sphere, workers=2) as evaluator:
+        values = evaluator(np.array([[1.0, 0.0], [2.0, 0.0], [0.0, 3.0]]))
+        assert values.tolist() == [1.0, 4.0, 9.0]
+    assert evaluator._pool is None  # closed by the context manager
+
+
+def test_pool_isolates_worker_exceptions_and_nans():
+    with PopulationEvaluator(_raise_for_negative, workers=2) as evaluator:
+        values = evaluator(np.array([[1.0, 0.0], [-1.0, 0.0]]))
+        assert values.tolist() == [1.0, np.inf]
+        assert evaluator.health.failures == {CATEGORY_EXCEPTION: 1}
+    with PopulationEvaluator(_nan_for_negative, workers=2) as evaluator:
+        values = evaluator(np.array([[1.0, 0.0], [-1.0, 0.0]]))
+        assert values.tolist() == [1.0, np.inf]
+        assert evaluator.health.failures == {CATEGORY_NON_FINITE: 1}
+
+
+def test_broken_pool_rebuilds_then_falls_back_to_serial():
+    with PopulationEvaluator(_crash_in_worker, workers=2,
+                             max_pool_rebuilds=1,
+                             backoff_base=0.01) as evaluator:
+        pop = np.array([[1.0, 0.0], [2.0, 0.0]])
+        values = evaluator(pop)
+        # Workers kept dying, so the answer came from the serial loop.
+        assert values.tolist() == [1.0, 4.0]
+        assert evaluator.health.pool_rebuilds == 1
+        assert evaluator.health.serial_fallback
+        assert evaluator._pool is None
+        # Later generations go straight to the serial loop.
+        assert evaluator(pop).tolist() == [1.0, 4.0]
+
+
+def test_generation_timeout_penalizes_hung_candidates():
+    with PopulationEvaluator(_hang_in_worker, workers=2,
+                             generation_timeout=0.5,
+                             max_pool_rebuilds=1,
+                             backoff_base=0.01) as evaluator:
+        pop = np.array([[0.0, 1.0], [1.0, 1.0]])
+        values = evaluator(pop)
+        assert values[0] == 1.0
+        assert values[1] == np.inf
+        assert evaluator.health.failures.get(CATEGORY_TIMEOUT, 0) >= 1
+        assert evaluator.health.pool_rebuilds >= 1
+
+
+def test_del_reclaims_pool_without_close():
+    evaluator = PopulationEvaluator(_sphere, workers=2)
+    pool = evaluator._pool
+    assert pool is not None
+    evaluator.__del__()
+    assert evaluator._pool is None
+    # The executor is genuinely shut down, not leaked.
+    with pytest.raises(RuntimeError):
+        pool.submit(_sphere, np.zeros(2))
+
+
+def test_shared_health_accumulates_across_evaluators():
+    health = RunHealth()
+    PopulationEvaluator(_raise_for_negative, health=health)(
+        np.array([[-1.0, 0.0]])
+    )
+    PopulationEvaluator(_nan_for_negative, health=health)(
+        np.array([[-1.0, 0.0]])
+    )
+    assert health.failures == {
+        CATEGORY_EXCEPTION: 1,
+        CATEGORY_NON_FINITE: 1,
+    }

@@ -143,3 +143,32 @@ class TestSimulatedAnnealing:
         b = simulated_annealing(rosenbrock, *BOUNDS_2D, seed=9,
                                 max_iterations=500)
         np.testing.assert_array_equal(a.x, b.x)
+
+
+class TestArgumentValidation:
+    def test_non_finite_bounds_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            differential_evolution(sphere, np.array([-1.0, np.nan]),
+                                   np.array([1.0, 1.0]), seed=0)
+        with pytest.raises(ValueError, match="finite"):
+            particle_swarm(sphere, np.array([-1.0, -1.0]),
+                           np.array([1.0, np.inf]), seed=0)
+        with pytest.raises(ValueError, match="finite"):
+            simulated_annealing(sphere, np.array([-np.inf, -1.0]),
+                                np.array([1.0, 1.0]), seed=0)
+
+    def test_mismatched_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            differential_evolution(sphere, np.zeros(2), np.ones(3), seed=0)
+
+    @pytest.mark.parametrize("bad_workers", [0, -2])
+    def test_non_positive_workers_rejected(self, bad_workers):
+        with pytest.raises(ValueError, match="workers"):
+            differential_evolution(sphere, *BOUNDS_2D, seed=0,
+                                   workers=bad_workers)
+
+    @pytest.mark.parametrize("bad_workers", [1.5, True, "2"])
+    def test_non_integer_workers_rejected(self, bad_workers):
+        with pytest.raises(TypeError, match="workers"):
+            particle_swarm(sphere, *BOUNDS_2D, seed=0,
+                           workers=bad_workers)
