@@ -36,6 +36,8 @@ from repro.analysis.acsolver import (
     _collect_noise_sources,
 )
 from repro.analysis.netlist import Circuit
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracer as _obs_tracer
 from repro.rf import conversions as cv
 from repro.rf.frequency import FrequencyGrid
 
@@ -231,47 +233,56 @@ def solve_tensor_batch_isolated(
         )
     n_batch, n_freq = y_batch.shape[:2]
     n_ports = np.asarray(port_rows, dtype=int).size
-    try:
-        s, cy, transfers = solve_tensor_batch(
-            y_batch.copy(), port_rows, z0, noise_sources, probe_rows
-        )
-    except (ValueError, np.linalg.LinAlgError):
-        pass  # fall through to the per-row path below
-    else:
-        failed = ~_finite_rows(s, cy, transfers)
-        if np.any(failed):
-            s[failed] = 0.0
-            cy[failed] = 0.0
-            if transfers is not None:
-                transfers[failed] = 0.0
-        return s, cy, transfers, failed
-
-    s = np.zeros((n_batch, n_freq, n_ports, n_ports), dtype=complex)
-    cy = np.zeros_like(s)
-    transfers = None
-    if len(probe_rows):
-        transfers = np.zeros((n_batch, n_freq, len(probe_rows), n_ports),
-                             dtype=complex)
-    failed = np.zeros(n_batch, dtype=bool)
-    for i in range(n_batch):
-        row_sources = [_noise_source_row(src, i, n_batch)
-                       for src in noise_sources]
+    with _obs_tracer.span("mna.solve_tensor_batch_isolated",
+                          batch=n_batch, n_freq=n_freq):
         try:
-            s_i, cy_i, tr_i = solve_tensor_batch(
-                y_batch[i:i + 1].copy(), port_rows, z0, row_sources,
-                probe_rows,
+            s, cy, transfers = solve_tensor_batch(
+                y_batch.copy(), port_rows, z0, noise_sources, probe_rows
             )
         except (ValueError, np.linalg.LinAlgError):
-            failed[i] = True
-            continue
-        if not _finite_rows(s_i, cy_i, tr_i)[0]:
-            failed[i] = True
-            continue
-        s[i] = s_i[0]
-        cy[i] = cy_i[0]
-        if transfers is not None and tr_i is not None:
-            transfers[i] = tr_i[0]
-    return s, cy, transfers, failed
+            pass  # fall through to the per-row path below
+        else:
+            failed = ~_finite_rows(s, cy, transfers)
+            if np.any(failed):
+                _obs_metrics.inc("mna.failed_rows", int(np.sum(failed)))
+                s[failed] = 0.0
+                cy[failed] = 0.0
+                if transfers is not None:
+                    transfers[failed] = 0.0
+            return s, cy, transfers, failed
+
+        # Full-batch factorization failed outright: re-solve each row on
+        # its own so one degenerate candidate cannot sink the rest.
+        _obs_metrics.inc("mna.batch_refactorizations")
+        s = np.zeros((n_batch, n_freq, n_ports, n_ports), dtype=complex)
+        cy = np.zeros_like(s)
+        transfers = None
+        if len(probe_rows):
+            transfers = np.zeros(
+                (n_batch, n_freq, len(probe_rows), n_ports), dtype=complex
+            )
+        failed = np.zeros(n_batch, dtype=bool)
+        for i in range(n_batch):
+            row_sources = [_noise_source_row(src, i, n_batch)
+                           for src in noise_sources]
+            try:
+                s_i, cy_i, tr_i = solve_tensor_batch(
+                    y_batch[i:i + 1].copy(), port_rows, z0, row_sources,
+                    probe_rows,
+                )
+            except (ValueError, np.linalg.LinAlgError):
+                failed[i] = True
+                continue
+            if not _finite_rows(s_i, cy_i, tr_i)[0]:
+                failed[i] = True
+                continue
+            s[i] = s_i[0]
+            cy[i] = cy_i[0]
+            if transfers is not None and tr_i is not None:
+                transfers[i] = tr_i[0]
+        if np.any(failed):
+            _obs_metrics.inc("mna.failed_rows", int(np.sum(failed)))
+        return s, cy, transfers, failed
 
 
 def solve_ac_batch(circuits: Sequence[Circuit], frequency: FrequencyGrid,

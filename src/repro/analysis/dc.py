@@ -18,6 +18,9 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracer as _obs_tracer
+
 __all__ = ["DcCircuit", "DcSolution", "DcConvergenceError"]
 
 _GROUND = ("0", "gnd", "GND")
@@ -117,6 +120,13 @@ class DcCircuit:
     def solve(self, max_iterations: int = 200,
               tolerance: float = 1e-10) -> DcSolution:
         """Find the DC operating point; raises on non-convergence."""
+        with _obs_tracer.span("dc.solve", circuit=self.name):
+            solution = self._solve(max_iterations, tolerance)
+        _obs_metrics.inc("dc.solves")
+        _obs_metrics.observe("dc.newton_iterations", solution.iterations)
+        return solution
+
+    def _solve(self, max_iterations: int, tolerance: float) -> DcSolution:
         n = len(self._nodes)
         m = len(self._vsources)
         x = np.zeros(n + m)
@@ -131,6 +141,7 @@ class DcCircuit:
             try:
                 delta = np.linalg.solve(jacobian, -residual)
             except np.linalg.LinAlgError as exc:
+                _obs_metrics.inc("dc.singular_jacobians")
                 raise DcConvergenceError(
                     f"singular DC Jacobian in {self.name!r}: {exc}"
                 ) from None
@@ -140,6 +151,7 @@ class DcCircuit:
             x = x + delta
             if np.max(np.abs(delta)) < tolerance:
                 return self._package(x, iteration)
+        _obs_metrics.inc("dc.non_convergent")
         raise DcConvergenceError(
             f"DC analysis of {self.name!r} did not converge in "
             f"{max_iterations} iterations"

@@ -65,6 +65,8 @@ from repro.core.amplifier import (
     DesignVariables,
 )
 from repro.core.bands import design_grid, stability_grid
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracer as _obs_tracer
 from repro.optimize.faults import (
     CATEGORY_BAD_BIAS,
     CATEGORY_NON_FINITE,
@@ -479,8 +481,13 @@ class CompiledTemplate:
         guard) for u in unit_x]`` to ~1e-10.
         """
         unit_x = np.atleast_2d(np.asarray(unit_x, dtype=float))
-        s, cy_band, ids = self.solve_batch(self._to_physical(unit_x))
-        return self._figures(s, cy_band, ids)
+        with _obs_tracer.span("engine.performance_batch",
+                              batch=unit_x.shape[0]):
+            s, cy_band, ids = self.solve_batch(self._to_physical(unit_x))
+            figures = self._figures(s, cy_band, ids)
+        _obs_metrics.inc("engine.batch_solves")
+        _obs_metrics.inc("engine.candidates", unit_x.shape[0])
+        return figures
 
     def _figures(self, s: np.ndarray, cy_band: np.ndarray,
                  ids: np.ndarray) -> BatchPerformance:
@@ -549,6 +556,19 @@ class CompiledTemplate:
         of rows the scalar fallback recovered.
         """
         unit_x = np.atleast_2d(np.asarray(unit_x, dtype=float))
+        with _obs_tracer.span("engine.performance_batch_isolated",
+                              batch=unit_x.shape[0]):
+            batch, failures, n_fallbacks = self._batch_isolated(unit_x)
+        _obs_metrics.inc("engine.batch_solves")
+        _obs_metrics.inc("engine.candidates", unit_x.shape[0])
+        if n_fallbacks:
+            _obs_metrics.inc("engine.scalar_fallbacks", n_fallbacks)
+        n_penalties = sum(1 for f in failures if f is not None)
+        if n_penalties:
+            _obs_metrics.inc("engine.penalty_rows", n_penalties)
+        return batch, failures, n_fallbacks
+
+    def _batch_isolated(self, unit_x: np.ndarray):
         x_physical = self._to_physical(unit_x)
         n_batch = x_physical.shape[0]
         failures: List[Optional[EvaluationFailure]] = [None] * n_batch

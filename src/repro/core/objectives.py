@@ -22,12 +22,16 @@ comparable.
 
 from __future__ import annotations
 
+import hashlib
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
+
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracer as _obs_tracer
 
 from repro.core.amplifier import (
     AmplifierPerformance,
@@ -51,6 +55,38 @@ from repro.optimize.goal_attainment import MultiObjectiveProblem
 from repro.rf.frequency import FrequencyGrid
 
 __all__ = ["DesignSpec", "LnaEvaluator", "build_lna_problem"]
+
+
+def _stable_describe(obj, depth: int = 4) -> str:
+    """Deterministic structural description of *obj* for fingerprinting.
+
+    Recurses through numbers, strings, arrays, sequences, mappings and
+    plain-attribute objects; anything deeper (or opaque) contributes
+    only its type name, never its memory address.
+    """
+    if isinstance(obj, (bool, int, float, complex, str, type(None))):
+        return repr(obj)
+    if isinstance(obj, np.ndarray):
+        digest = hashlib.sha1(
+            np.ascontiguousarray(obj).tobytes()
+        ).hexdigest()
+        return f"ndarray{obj.shape}{obj.dtype}:{digest}"
+    if isinstance(obj, (list, tuple)):
+        inner = ",".join(_stable_describe(v, depth - 1) for v in obj)
+        return f"[{inner}]"
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: str(kv[0]))
+        inner = ",".join(
+            f"{key!s}={_stable_describe(value, depth - 1)}"
+            for key, value in items
+        )
+        return f"{{{inner}}}"
+    if depth <= 0:
+        return type(obj).__name__
+    attrs = getattr(obj, "__dict__", None)
+    if attrs:
+        return f"{type(obj).__name__}{_stable_describe(attrs, depth - 1)}"
+    return type(obj).__name__
 
 
 @dataclass(frozen=True)
@@ -78,7 +114,12 @@ class LnaEvaluator:
     x) cost one evaluation, and lets the multi-stage improved
     goal-attainment flow revisit earlier iterates for free.  Keys
     quantize the unit vector to 12 decimals — far below the ~1.5e-8
-    finite-difference step, so distinct probe points never collide.
+    finite-difference step, so distinct probe points never collide —
+    normalize ``-0.0`` to ``+0.0`` (their byte patterns differ), and
+    are prefixed with a fingerprint of the template + frequency grids,
+    so evaluators over different amplifiers can never serve each
+    other's stale entries (and :meth:`invalidate_cache` drops the
+    store if the template is mutated in place).
 
     By default evaluations run through the compiled batched engine
     (:class:`repro.core.engine.CompiledTemplate`), which matches the
@@ -119,6 +160,7 @@ class LnaEvaluator:
         self.cache_hits = 0
         self.cache_size = int(cache_size)
         self._cache: "OrderedDict[bytes, AmplifierPerformance]" = OrderedDict()
+        self._fingerprint = self._compute_fingerprint()
         self._compiled: Optional[CompiledTemplate] = None
         if engine == "compiled":
             try:
@@ -141,9 +183,29 @@ class LnaEvaluator:
         """The evaluation path in use: ``"compiled"`` or ``"scalar"``."""
         return "compiled" if self._compiled is not None else "scalar"
 
-    @staticmethod
-    def _key(unit_x: np.ndarray) -> bytes:
-        return np.round(np.asarray(unit_x, dtype=float), 12).tobytes()
+    def _compute_fingerprint(self) -> bytes:
+        """Hash of the template + grids that parameterize every solve."""
+        description = _stable_describe({
+            "template": self.template,
+            "band_grid": self.band_grid,
+            "guard_grid": self.guard_grid,
+        })
+        return hashlib.sha1(description.encode("utf-8")).digest()
+
+    def invalidate_cache(self) -> None:
+        """Drop cached results and re-fingerprint the template.
+
+        Call after mutating the template (or its device) in place so
+        stale figures of merit cannot be served for the new circuit.
+        """
+        self._cache.clear()
+        self._fingerprint = self._compute_fingerprint()
+
+    def _key(self, unit_x: np.ndarray) -> bytes:
+        quantized = np.round(np.asarray(unit_x, dtype=float), 12)
+        # -0.0 and +0.0 compare equal but differ bytewise; fold them.
+        quantized = quantized + 0.0
+        return self._fingerprint + quantized.tobytes()
 
     def _remember(self, key: bytes, perf: AmplifierPerformance):
         self._cache[key] = perf
@@ -155,6 +217,7 @@ class LnaEvaluator:
         if cached is not None:
             self._cache.move_to_end(key)
             self.cache_hits += 1
+            _obs_metrics.inc("evaluator.cache_hits")
         return cached
 
     def _solve_one(self, unit_x: np.ndarray) -> AmplifierPerformance:
@@ -197,9 +260,16 @@ class LnaEvaluator:
         cached = self._lookup(key)
         if cached is not None:
             return cached
+        _obs_metrics.inc("evaluator.cache_misses")
+        with _obs_tracer.span("evaluator.performance"):
+            return self._performance_miss(key, unit_x)
+
+    def _performance_miss(self, key: bytes,
+                          unit_x: np.ndarray) -> AmplifierPerformance:
         if self.on_failure == "raise":
             perf = self._solve_one(unit_x)
             self.n_solves += 1
+            _obs_metrics.inc("evaluator.solves")
             self._remember(key, perf)
             return perf
         if self._compiled is not None:
@@ -207,6 +277,7 @@ class LnaEvaluator:
                 self._compiled.performance_batch_isolated(unit_x[None, :])
             )
             self.n_solves += 1
+            _obs_metrics.inc("evaluator.solves")
             self.health.engine_fallbacks += n_fallbacks
             if failures[0] is not None:
                 return self._penalty(failures[0])
@@ -214,6 +285,7 @@ class LnaEvaluator:
         else:
             perf = self._solve_one_guarded(unit_x)
             self.n_solves += 1
+            _obs_metrics.inc("evaluator.solves")
             if perf.is_failure:
                 return perf
         self._remember(key, perf)
@@ -240,39 +312,43 @@ class LnaEvaluator:
                 miss_rows.setdefault(key, []).append(i)
         if miss_rows:
             first_rows = [rows[0] for rows in miss_rows.values()]
-            if self.on_failure == "raise":
-                if self._compiled is not None:
-                    batch = self._compiled.performance_batch(
-                        unit_x[first_rows]
-                    )
-                    solved = [batch.candidate(k)
-                              for k in range(len(first_rows))]
-                else:
-                    solved = [self._solve_one(unit_x[i])
-                              for i in first_rows]
-            elif self._compiled is not None:
-                batch, failures, n_fallbacks = (
-                    self._compiled.performance_batch_isolated(
-                        unit_x[first_rows]
-                    )
-                )
-                self.health.engine_fallbacks += n_fallbacks
-                solved = []
-                for k in range(len(first_rows)):
-                    if failures[k] is not None:
-                        solved.append(self._penalty(failures[k]))
-                    else:
-                        solved.append(batch.candidate(k))
-            else:
-                solved = [self._solve_one_guarded(unit_x[i])
-                          for i in first_rows]
+            _obs_metrics.inc("evaluator.cache_misses", len(first_rows))
+            with _obs_tracer.span("evaluator.performance_batch",
+                                  batch=len(unit_x),
+                                  misses=len(first_rows)):
+                solved = self._solve_misses(unit_x, first_rows)
             for (key, rows), perf in zip(miss_rows.items(), solved):
                 self.n_solves += 1
+                _obs_metrics.inc("evaluator.solves")
                 if not perf.is_failure:
                     self._remember(key, perf)
                 for i in rows:
                     results[i] = perf
         return results
+
+    def _solve_misses(self, unit_x: np.ndarray,
+                      first_rows: List[int]) -> List[AmplifierPerformance]:
+        """Solve the de-duplicated cache misses of a batch call."""
+        if self.on_failure == "raise":
+            if self._compiled is not None:
+                batch = self._compiled.performance_batch(unit_x[first_rows])
+                return [batch.candidate(k) for k in range(len(first_rows))]
+            return [self._solve_one(unit_x[i]) for i in first_rows]
+        if self._compiled is not None:
+            batch, failures, n_fallbacks = (
+                self._compiled.performance_batch_isolated(
+                    unit_x[first_rows]
+                )
+            )
+            self.health.engine_fallbacks += n_fallbacks
+            solved = []
+            for k in range(len(first_rows)):
+                if failures[k] is not None:
+                    solved.append(self._penalty(failures[k]))
+                else:
+                    solved.append(batch.candidate(k))
+            return solved
+        return [self._solve_one_guarded(unit_x[i]) for i in first_rows]
 
 
 def build_lna_problem(template: AmplifierTemplate,

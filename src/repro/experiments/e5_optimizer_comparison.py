@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.design import DEFAULT_GOALS, DesignFlow
 from repro.core.report import format_table
 from repro.experiments.common import reference_device
+from repro.obs import tracer as _obs_tracer
 
 __all__ = ["E5Result", "run", "format_report"]
 
@@ -52,21 +53,25 @@ def run(seed: int = 0, goals=DEFAULT_GOALS,
             "nfev": int(result.nfev),
         })
 
-    device = reference_device()
+    with _obs_tracer.span("e5.run"):
+        device = reference_device()
 
-    flow = DesignFlow(device.small_signal, engine=engine)
-    record("improved goal attainment", flow,
-           flow.run_improved(goals=goals, seed=seed, n_probe=40,
-                             n_starts=3, tighten_rounds=2))
+        with _obs_tracer.span("e5.improved_goal_attainment"):
+            flow = DesignFlow(device.small_signal, engine=engine)
+            record("improved goal attainment", flow,
+                   flow.run_improved(goals=goals, seed=seed, n_probe=40,
+                                     n_starts=3, tighten_rounds=2))
 
-    flow = DesignFlow(device.small_signal, engine=engine)
-    record("standard goal attainment", flow,
-           flow.run_standard(goals=goals))
+        with _obs_tracer.span("e5.standard_goal_attainment"):
+            flow = DesignFlow(device.small_signal, engine=engine)
+            record("standard goal attainment", flow,
+                   flow.run_standard(goals=goals))
 
-    flow = DesignFlow(device.small_signal, engine=engine)
-    record("weighted sum", flow,
-           flow.run_weighted_sum(weights=(1.0, 0.1), seed=seed,
-                                 n_starts=4))
+        with _obs_tracer.span("e5.weighted_sum"):
+            flow = DesignFlow(device.small_signal, engine=engine)
+            record("weighted sum", flow,
+                   flow.run_weighted_sum(weights=(1.0, 0.1), seed=seed,
+                                         n_starts=4))
     return E5Result(rows=rows, goals=goals)
 
 

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.design import DesignFlow
 from repro.core.report import format_series
 from repro.experiments.common import reference_device
+from repro.obs import tracer as _obs_tracer
 from repro.optimize.pareto import hypervolume_2d, pareto_filter
 
 __all__ = ["E6Result", "run", "format_report"]
@@ -36,31 +37,35 @@ class E6Result:
 def run(n_points: int = 5, seed: int = 0,
         engine: str = "compiled") -> E6Result:
     """Trace the front with both methods."""
-    device = reference_device()
-    nf_goals = np.linspace(0.50, 0.85, n_points)
-    gt_goals = np.linspace(18.0, 12.0, n_points)
+    with _obs_tracer.span("e6.run", n_points=n_points):
+        device = reference_device()
+        nf_goals = np.linspace(0.50, 0.85, n_points)
+        gt_goals = np.linspace(18.0, 12.0, n_points)
 
-    goal_points = []
-    for nf_goal, gt_goal in zip(nf_goals, gt_goals):
-        flow = DesignFlow(device.small_signal, engine=engine)
-        result = flow.run_improved(
-            goals=np.array([nf_goal, -gt_goal]), seed=seed,
-            n_probe=32, n_starts=2, tighten_rounds=1,
+        goal_points = []
+        for k, (nf_goal, gt_goal) in enumerate(zip(nf_goals, gt_goals)):
+            with _obs_tracer.span("e6.goal_point", index=k,
+                                  nf_goal=float(nf_goal)):
+                flow = DesignFlow(device.small_signal, engine=engine)
+                result = flow.run_improved(
+                    goals=np.array([nf_goal, -gt_goal]), seed=seed,
+                    n_probe=32, n_starts=2, tighten_rounds=1,
+                )
+            if result.constraint_violation <= 1e-6:
+                goal_points.append(result.objectives)
+        goal_points = np.asarray(goal_points)
+
+        wsum_points = []
+        for k, w_nf in enumerate(np.linspace(0.1, 4.0, n_points)):
+            with _obs_tracer.span("e6.wsum_point", index=k):
+                flow = DesignFlow(device.small_signal, engine=engine)
+                result = flow.run_weighted_sum(weights=(w_nf, 0.2),
+                                               seed=seed, n_starts=3)
+            if result.constraint_violation <= 1e-6:
+                wsum_points.append(result.objectives)
+        wsum_points = (
+            np.asarray(wsum_points) if wsum_points else np.empty((0, 2))
         )
-        if result.constraint_violation <= 1e-6:
-            goal_points.append(result.objectives)
-    goal_points = np.asarray(goal_points)
-
-    wsum_points = []
-    for w_nf in np.linspace(0.1, 4.0, n_points):
-        flow = DesignFlow(device.small_signal, engine=engine)
-        result = flow.run_weighted_sum(weights=(w_nf, 0.2), seed=seed,
-                                       n_starts=3)
-        if result.constraint_violation <= 1e-6:
-            wsum_points.append(result.objectives)
-    wsum_points = (
-        np.asarray(wsum_points) if wsum_points else np.empty((0, 2))
-    )
 
     front = goal_points[pareto_filter(goal_points)]
     front = front[np.argsort(front[:, 0])]

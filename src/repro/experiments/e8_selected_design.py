@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.core.design import FinalDesign
 from repro.core.report import format_table
 from repro.experiments.common import selected_design
+from repro.obs import tracer as _obs_tracer
 
 __all__ = ["E8Result", "run", "format_report"]
 
@@ -25,7 +26,8 @@ class E8Result:
 
 def run(profile: str = "full", engine: str = "compiled") -> E8Result:
     """Fetch (or compute) the cached selected design."""
-    return E8Result(design=selected_design(profile, engine))
+    with _obs_tracer.span("e8.run", profile=profile):
+        return E8Result(design=selected_design(profile, engine))
 
 
 def format_report(result: E8Result) -> str:

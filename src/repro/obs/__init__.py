@@ -1,0 +1,124 @@
+"""repro.obs — lightweight, zero-dependency observability.
+
+Three pieces, threaded through the whole stack:
+
+* :mod:`repro.obs.tracer` — nested spans with a context-manager and
+  decorator API, monotonic-clock timing, per-worker buffers merged by
+  :class:`~repro.optimize.batching.PopulationEvaluator`.  Enabled by
+  ``REPRO_TRACE=1`` or programmatically; free when disabled.
+* :mod:`repro.obs.metrics` — a counter/gauge/histogram registry that
+  absorbs the :class:`~repro.optimize.faults.RunHealth` counters and
+  extends them with solver-call, cache hit/miss, and
+  batch-vs-scalar-fallback totals; exported as JSON or a
+  :func:`format_metrics` table.
+* :mod:`repro.obs.telemetry` — the per-generation ``on_generation``
+  callback protocol every population optimizer emits, persisted inside
+  checkpoints so resumed runs keep a contiguous convergence trace.
+
+Quick profiling of any callable::
+
+    from repro import obs
+    result, tracer = obs.profile_run(my_run)   # prints the span summary
+
+or for a whole experiment, set ``REPRO_TRACE=1`` and call
+:func:`export_observability` afterwards to drop ``trace.json`` +
+``metrics.json`` next to the run's other artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional, Tuple
+
+from repro.obs.metrics import (
+    Metrics,
+    format_metrics,
+    get_metrics,
+    inc,
+    observe,
+    set_metrics,
+)
+from repro.obs.telemetry import (
+    GenerationRecord,
+    TelemetryRecorder,
+    format_telemetry,
+    population_stats,
+)
+from repro.obs.tracer import (
+    TRACE_ENV,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    trace_enabled_by_env,
+    traced,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "traced",
+    "trace_enabled_by_env",
+    "Metrics",
+    "format_metrics",
+    "get_metrics",
+    "set_metrics",
+    "inc",
+    "observe",
+    "GenerationRecord",
+    "TelemetryRecorder",
+    "format_telemetry",
+    "population_stats",
+    "profile_run",
+    "export_observability",
+]
+
+
+def profile_run(fn: Callable, *args, stream=None,
+                min_fraction: float = 0.005, **kwargs) -> Tuple:
+    """Run *fn* under a fresh enabled tracer and dump the span summary.
+
+    The global tracer is swapped for a clean, enabled one for the
+    duration of the call (so the instrumented components record into
+    it) and restored afterwards.  The flamegraph-style summary is
+    printed to *stream* (default stdout).  Returns
+    ``(result, tracer)`` so callers can post-process or export the
+    spans.
+    """
+    tracer = Tracer(enabled=True)
+    previous = set_tracer(tracer)
+    start = time.monotonic()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        set_tracer(previous)
+    wall = time.monotonic() - start
+    summary = tracer.format_spans(min_fraction=min_fraction)
+    text = (f"profile_run: {getattr(fn, '__qualname__', fn)!s} "
+            f"took {wall:.3f}s wall\n{summary}")
+    print(text, file=stream)
+    return result, tracer
+
+
+def export_observability(directory: str,
+                         tracer: Optional[Tracer] = None,
+                         metrics: Optional[Metrics] = None,
+                         prefix: str = "") -> Tuple[str, str]:
+    """Write ``<prefix>trace.json`` + ``<prefix>metrics.json``.
+
+    Defaults to the global tracer/registry; returns the two paths.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    metrics = metrics if metrics is not None else get_metrics()
+    os.makedirs(directory, exist_ok=True)
+    trace_path = os.path.join(directory, f"{prefix}trace.json")
+    metrics_path = os.path.join(directory, f"{prefix}metrics.json")
+    tracer.to_json(trace_path)
+    metrics.to_json(metrics_path)
+    return trace_path, metrics_path

@@ -1,0 +1,228 @@
+"""Counter/gauge/histogram registry for optimization runs.
+
+:class:`Metrics` is the quantitative half of the observability layer
+(the :mod:`tracer <repro.obs.tracer>` is the temporal half): components
+push named counters as they work — MNA solver calls, evaluator cache
+hits and misses, batch-vs-scalar engine fallbacks — and a finished run
+exports one JSON document plus a human-readable table
+(:func:`format_metrics`).
+
+The registry also **absorbs** the per-run
+:class:`~repro.optimize.faults.RunHealth` records the fault-tolerant
+runtime already keeps: :meth:`Metrics.absorb_run_health` snapshots the
+health counters under a ``health.`` prefix by *assignment* (not
+addition), so absorbing the same record twice — or a merged hierarchy
+of records — can never double count.
+
+Everything here is dependency-free and cheap enough to leave enabled:
+a counter bump is a lock acquire plus two dict operations, orders of
+magnitude below the millisecond-scale solves it annotates.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Metrics",
+    "format_metrics",
+    "get_metrics",
+    "set_metrics",
+    "inc",
+    "observe",
+]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already sorted list."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return float(sorted_values[rank])
+
+
+class Metrics:
+    """A thread-safe registry of counters, gauges, and histograms.
+
+    * counters — monotonically increasing totals (:meth:`inc`);
+    * gauges — last-write-wins point-in-time values (:meth:`gauge`);
+    * histograms — raw observation lists summarized at export time
+      (:meth:`observe`): count / mean / min / p50 / p90 / max.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+
+    # -- recording ----------------------------------------------------------
+    def inc(self, name: str, n: float = 1) -> None:
+        """Add *n* to counter *name* (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def set_counter(self, name: str, value: float) -> None:
+        """Overwrite counter *name* (idempotent absorption paths)."""
+        with self._lock:
+            self._counters[name] = value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the current value of gauge *name*."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one observation to histogram *name*."""
+        with self._lock:
+            self._histograms.setdefault(name, []).append(float(value))
+
+    # -- access -------------------------------------------------------------
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def histogram_summary(self, name: str) -> Dict[str, float]:
+        with self._lock:
+            values = sorted(self._histograms.get(name, []))
+        if not values:
+            return {"count": 0}
+        return {
+            "count": len(values),
+            "mean": float(sum(values) / len(values)),
+            "min": values[0],
+            "p50": _percentile(values, 0.50),
+            "p90": _percentile(values, 0.90),
+            "max": values[-1],
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- composition --------------------------------------------------------
+    def absorb_run_health(self, health, prefix: str = "health") -> None:
+        """Snapshot a :class:`RunHealth` record under ``<prefix>.``.
+
+        Counters are written by **assignment**, so re-absorbing the
+        same (or an updated) record replaces rather than accumulates —
+        the health record itself stays the single source of truth for
+        failure totals, and pool-rebuild retries cannot double count
+        through this path.  Duck-typed so :mod:`repro.obs` keeps zero
+        package dependencies.
+        """
+        for category, count in health.failures.items():
+            self.set_counter(f"{prefix}.failures.{category}", count)
+        self.set_counter(f"{prefix}.n_failures", health.n_failures)
+        self.set_counter(f"{prefix}.retries", health.retries)
+        self.set_counter(f"{prefix}.pool_rebuilds", health.pool_rebuilds)
+        self.set_counter(f"{prefix}.engine_fallbacks",
+                         health.engine_fallbacks)
+        self.set_counter(f"{prefix}.serial_fallback",
+                         int(health.serial_fallback))
+        self.set_counter(f"{prefix}.checkpoints_written",
+                         health.checkpoints_written)
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry in (counters add, gauges last-write)."""
+        for name, value in other.counters().items():
+            self.inc(name, value)
+        for name, value in other.gauges().items():
+            self.gauge(name, value)
+        with other._lock:
+            histograms = {k: list(v) for k, v in other._histograms.items()}
+        with self._lock:
+            for name, values in histograms.items():
+                self._histograms.setdefault(name, []).extend(values)
+
+    # -- export -------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            histogram_names = list(self._histograms)
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": {
+                name: self.histogram_summary(name)
+                for name in histogram_names
+            },
+        }
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """Serialize the registry to JSON; optionally write to *path*."""
+        text = json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+
+def format_metrics(metrics: Metrics, title: str = "Metrics") -> str:
+    """Render a registry as aligned plain-text tables."""
+    exported = metrics.as_dict()
+    lines: List[str] = [title] if title else []
+    rows = [(name, value) for name, value in
+            sorted(exported["counters"].items())]
+    rows += [(name, value) for name, value in
+             sorted(exported["gauges"].items())]
+    if rows:
+        width = max(len(name) for name, _ in rows)
+        for name, value in rows:
+            rendered = (f"{value:g}" if isinstance(value, float)
+                        else str(value))
+            lines.append(f"  {name:<{width}}  {rendered}")
+    histograms = exported["histograms"]
+    if histograms:
+        lines.append("  -- histograms (count / mean / p50 / p90 / max) --")
+        width = max(len(name) for name in histograms)
+        for name in sorted(histograms):
+            summary = histograms[name]
+            if not summary.get("count"):
+                lines.append(f"  {name:<{width}}  (empty)")
+                continue
+            lines.append(
+                f"  {name:<{width}}  {summary['count']:d} / "
+                f"{summary['mean']:.3g} / {summary['p50']:.3g} / "
+                f"{summary['p90']:.3g} / {summary['max']:.3g}"
+            )
+    if len(lines) <= (1 if title else 0):
+        lines.append("  (no metrics recorded)")
+    return "\n".join(lines)
+
+
+_global_metrics = Metrics()
+
+
+def get_metrics() -> Metrics:
+    """The process-wide registry the instrumented components push to."""
+    return _global_metrics
+
+
+def set_metrics(metrics: Metrics) -> Metrics:
+    """Swap the global registry (returns the previous one)."""
+    global _global_metrics
+    previous, _global_metrics = _global_metrics, metrics
+    return previous
+
+
+def inc(name: str, n: float = 1) -> None:
+    """Bump a counter on the global registry."""
+    _global_metrics.inc(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the global registry."""
+    _global_metrics.observe(name, value)

@@ -1,0 +1,184 @@
+"""Per-generation optimizer telemetry (the ``on_generation`` protocol).
+
+Pareto-sizing workflows diagnose optimizer behaviour from per-iteration
+convergence traces — best/mean objective, constraint violation,
+population spread, wall clock.  Every population optimizer in
+:mod:`repro.optimize` (DE, PSO, NSGA-II, and the staged improved
+goal-attainment flow) accepts an ``on_generation`` callback and invokes
+it once per completed generation (or stage) with a
+:class:`GenerationRecord`.
+
+Any callable works as a sink; :class:`TelemetryRecorder` is the
+standard one.  It accumulates records, renders a convergence table
+(:func:`format_telemetry`), exports JSON, and — because it implements
+``state()``/``restore()`` — rides inside optimizer checkpoints: a run
+resumed from its last checkpoint continues the trace **contiguously**
+(no gaps, no duplicated generations), which
+:meth:`TelemetryRecorder.is_contiguous` verifies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from math import isfinite, nan
+from typing import Dict, List, Optional
+
+__all__ = [
+    "GenerationRecord",
+    "TelemetryRecorder",
+    "population_stats",
+    "format_telemetry",
+]
+
+
+@dataclass
+class GenerationRecord:
+    """One generation's (or stage's) convergence snapshot.
+
+    ``best``/``mean``/``spread`` summarize the population fitness
+    (finite members only; all-failed populations report ``inf``/``nan``);
+    ``violation`` is the smallest maximum-constraint-violation in the
+    population (0 when a feasible candidate exists, ``nan`` for
+    unconstrained problems); ``n_failures`` is the cumulative failed
+    evaluation count at the end of the generation; ``wall_time_s`` is
+    the wall clock the generation consumed.
+    """
+
+    algorithm: str
+    generation: int
+    nfev: int
+    best: float
+    mean: float
+    spread: float
+    wall_time_s: float
+    n_failures: int = 0
+    violation: float = nan
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "generation": self.generation,
+            "nfev": self.nfev,
+            "best": self.best,
+            "mean": self.mean,
+            "spread": self.spread,
+            "wall_time_s": self.wall_time_s,
+            "n_failures": self.n_failures,
+            "violation": self.violation,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GenerationRecord":
+        return cls(
+            algorithm=str(data["algorithm"]),
+            generation=int(data["generation"]),
+            nfev=int(data["nfev"]),
+            best=float(data["best"]),
+            mean=float(data["mean"]),
+            spread=float(data["spread"]),
+            wall_time_s=float(data["wall_time_s"]),
+            n_failures=int(data.get("n_failures", 0)),
+            violation=float(data.get("violation", nan)),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+def population_stats(fitness) -> tuple:
+    """``(best, mean, spread)`` of a fitness vector, penalty-aware.
+
+    Failed candidates carry ``inf`` fitness; they are excluded from the
+    statistics so one penalty cannot wipe out the convergence trace.
+    An all-failed population reports ``(inf, inf, 0.0)``.
+    """
+    finite = [float(v) for v in fitness if isfinite(float(v))]
+    if not finite:
+        return float("inf"), float("inf"), 0.0
+    best = min(finite)
+    return best, sum(finite) / len(finite), max(finite) - best
+
+
+class TelemetryRecorder:
+    """Accumulates :class:`GenerationRecord` objects from a run.
+
+    Pass an instance as an optimizer's ``on_generation``; after the run
+    (or across checkpoint/resume cycles) the ``records`` list holds the
+    full convergence trace in generation order.
+    """
+
+    def __init__(self):
+        self.records: List[GenerationRecord] = []
+
+    def __call__(self, record: GenerationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def generations(self, algorithm: Optional[str] = None) -> List[int]:
+        """Generation indices, optionally filtered by algorithm."""
+        return [r.generation for r in self.records
+                if algorithm is None or r.algorithm == algorithm]
+
+    def is_contiguous(self) -> bool:
+        """Whether each algorithm's trace has no gaps or duplicates."""
+        by_algorithm: Dict[str, List[int]] = {}
+        for record in self.records:
+            by_algorithm.setdefault(record.algorithm, []).append(
+                record.generation
+            )
+        for generations in by_algorithm.values():
+            expected = list(range(generations[0],
+                                  generations[0] + len(generations)))
+            if generations != expected:
+                return False
+        return True
+
+    # -- checkpoint support -------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Serializable snapshot for optimizer checkpoint payloads."""
+        return {"records": [r.as_dict() for r in self.records]}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Replace the trace with a checkpoint snapshot.
+
+        The snapshot was taken when the checkpoint was written, so any
+        records emitted after that generation (by the interrupted run)
+        are dropped — the resumed run re-emits them, keeping the trace
+        contiguous and identical to an uninterrupted run's.
+        """
+        self.records = [GenerationRecord.from_dict(r)
+                        for r in state["records"]]
+
+    # -- export -------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {"records": [r.as_dict() for r in self.records]}
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        text = json.dumps(self.as_dict(), indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+
+def format_telemetry(recorder: TelemetryRecorder,
+                     title: str = "Convergence trace") -> str:
+    """Render a recorder's trace as an aligned plain-text table."""
+    if not recorder.records:
+        return f"{title}\n  (no generations recorded)"
+    lines = [
+        title,
+        f"  {'gen':>5} {'nfev':>8} {'best':>12} {'mean':>12} "
+        f"{'spread':>10} {'viol':>9} {'fails':>6} {'wall [s]':>9}",
+    ]
+    for r in recorder.records:
+        violation = f"{r.violation:.2e}" if isfinite(r.violation) else "-"
+        lines.append(
+            f"  {r.generation:>5d} {r.nfev:>8d} {r.best:>12.5g} "
+            f"{r.mean:>12.5g} {r.spread:>10.4g} {violation:>9} "
+            f"{r.n_failures:>6d} {r.wall_time_s:>9.3f}"
+        )
+    return "\n".join(lines)

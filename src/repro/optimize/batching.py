@@ -37,6 +37,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracer as _obs_tracer
 from repro.optimize.faults import (
     CATEGORY_NON_FINITE,
     CATEGORY_TIMEOUT,
@@ -46,6 +48,25 @@ from repro.optimize.faults import (
 )
 
 __all__ = ["PopulationEvaluator", "validate_workers"]
+
+
+def _traced_objective(objective, x):
+    """Pool target that captures the worker's spans alongside the value.
+
+    Runs *objective* under a fresh enabled tracer swapped into the
+    worker's global slot (so instrumented components inside the
+    objective record into it too) and returns ``(value, spans)`` for
+    the parent to :meth:`~repro.obs.tracer.Tracer.merge`.  Must stay a
+    module-level function — pool targets are pickled.
+    """
+    worker_tracer = _obs_tracer.Tracer(enabled=True)
+    previous = _obs_tracer.set_tracer(worker_tracer)
+    try:
+        with worker_tracer.span("worker.objective"):
+            value = objective(x)
+    finally:
+        _obs_tracer.set_tracer(previous)
+    return value, worker_tracer.drain()
 
 
 def validate_workers(workers: Optional[int]) -> Optional[int]:
@@ -130,10 +151,22 @@ class PopulationEvaluator:
     def __call__(self, population: np.ndarray) -> np.ndarray:
         population = np.atleast_2d(np.asarray(population, dtype=float))
         if self._batch is not None:
-            return self._batch_eval(population)
-        if self._pool is not None:
-            return self._pool_eval(population)
-        return self._serial_eval(population)
+            mode = "batch"
+        elif self._pool is not None:
+            mode = "pool"
+        else:
+            mode = "serial"
+        with _obs_tracer.span("batching.generation",
+                              batch=population.shape[0], mode=mode):
+            if mode == "batch":
+                values = self._batch_eval(population)
+            elif mode == "pool":
+                values = self._pool_eval(population)
+            else:
+                values = self._serial_eval(population)
+        _obs_metrics.inc("batching.generations")
+        _obs_metrics.inc(f"batching.generations_{mode}")
+        return values
 
     def _serial_eval(self, population: np.ndarray) -> np.ndarray:
         return np.array(
@@ -177,36 +210,58 @@ class PopulationEvaluator:
         return self._serial_eval(population)
 
     def _pool_eval_once(self, population: np.ndarray) -> np.ndarray:
-        futures = [self._pool.submit(self._objective, x)
-                   for x in population]
+        tracer = _obs_tracer.get_tracer()
+        tracing = tracer.enabled
+        if tracing:
+            futures = [self._pool.submit(_traced_objective,
+                                         self._objective, x)
+                       for x in population]
+            stack = tracer._stack()
+            parent_id = stack[-1] if stack else None
+        else:
+            futures = [self._pool.submit(self._objective, x)
+                       for x in population]
         deadline = None
         if self.generation_timeout is not None:
             deadline = time.monotonic() + self.generation_timeout
         values = np.empty(len(futures), dtype=float)
         timed_out = False
+        # Per-candidate failures go into a generation-local record and
+        # are folded into self.health only when this generation returns
+        # values.  A BrokenProcessPool mid-collection aborts the whole
+        # generation and the caller re-runs it on a fresh pool — merging
+        # eagerly would double-count the candidates already collected.
+        generation_health = RunHealth()
         for i, future in enumerate(futures):
             remaining = None
             if deadline is not None:
                 remaining = max(0.0, deadline - time.monotonic())
             try:
-                value = float(future.result(timeout=remaining))
+                result = future.result(timeout=remaining)
+                if tracing:
+                    value, worker_spans = result
+                    tracer.merge(worker_spans, parent_id=parent_id)
+                    value = float(value)
+                else:
+                    value = float(result)
             except BrokenProcessPool:
                 raise
             except concurrent.futures.TimeoutError:
                 future.cancel()
-                self.health.record(CATEGORY_TIMEOUT)
+                generation_health.record(CATEGORY_TIMEOUT)
                 timed_out = True
                 values[i] = np.inf
                 continue
             except Exception as exc:  # noqa: BLE001 - absorb per candidate
-                self.health.record(classify_exception(exc))
+                generation_health.record(classify_exception(exc))
                 values[i] = np.inf
                 continue
             if not np.isfinite(value):
-                self.health.record(CATEGORY_NON_FINITE)
+                generation_health.record(CATEGORY_NON_FINITE)
                 values[i] = np.inf
             else:
                 values[i] = value
+        self.health.merge(generation_health)
         if timed_out:
             # Hung workers poison every later generation; swap the pool.
             if self.health.pool_rebuilds >= self.max_pool_rebuilds:

@@ -38,12 +38,15 @@ compares them fairly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 from scipy import optimize as sp_optimize
 
+from repro.obs import tracer as _obs_tracer
+from repro.obs.telemetry import GenerationRecord
 from repro.optimize.checkpoint import CheckpointStore, resume_or_none
 from repro.optimize.faults import (
     CATEGORY_NON_FINITE,
@@ -51,7 +54,11 @@ from repro.optimize.faults import (
     RunHealth,
     classify_exception,
 )
-from repro.optimize.metaheuristics import _save_checkpoint, latin_hypercube
+from repro.optimize.metaheuristics import (
+    _restore_telemetry,
+    _save_checkpoint,
+    latin_hypercube,
+)
 
 __all__ = [
     "MultiObjectiveProblem",
@@ -296,6 +303,7 @@ def goal_attainment_improved(
     max_iterations: int = 200,
     checkpoint_store: Optional[CheckpointStore] = None,
     resume: bool = True,
+    on_generation: Optional[Callable[[GenerationRecord], None]] = None,
 ) -> GoalAttainmentResult:
     """The paper-style improved goal attainment (see module docstring).
 
@@ -303,6 +311,12 @@ def goal_attainment_improved(
     probe stage, after every NLP start, and after every tightening
     round (the counter memo rides along, so a resumed run reports the
     same ``nfev`` as an uninterrupted one).
+
+    ``on_generation`` receives one
+    :class:`~repro.obs.telemetry.GenerationRecord` per completed stage
+    — the probe is generation 0, NLP start *k* is generation ``k + 1``,
+    tightening round *r* is generation ``n_starts + r + 1`` — and rides
+    inside checkpoints when it exposes ``state()``/``restore()``.
     """
     goals = np.asarray(goals, dtype=float)
     if goals.shape != (problem.n_objectives,):
@@ -329,7 +343,24 @@ def goal_attainment_improved(
                              "best": best,
                              "history": list(history),
                              "counter": counter.state(),
-                         })
+                         }, on_generation=on_generation)
+
+    def emit(stage, generation, gamma, violation, wall_time_s,
+             mean=None, spread=0.0):
+        if on_generation is None:
+            return
+        on_generation(GenerationRecord(
+            algorithm=algorithm,
+            generation=int(generation),
+            nfev=counter.nfev,
+            best=float(gamma),
+            mean=float(gamma if mean is None else mean),
+            spread=float(spread),
+            wall_time_s=float(wall_time_s),
+            n_failures=health.n_failures,
+            violation=float(violation),
+            extra={"stage": stage},
+        ))
 
     checkpoint = resume_or_none(checkpoint_store, algorithm) \
         if resume else None
@@ -339,6 +370,7 @@ def goal_attainment_improved(
         health.restore(payload["health"])
         health.resumed_at = int(checkpoint.iteration)
         counter.restore(payload["counter"])
+        _restore_telemetry(on_generation, payload)
         starts = [np.asarray(s, dtype=float) for s in payload["starts"]]
         ranges = np.asarray(payload["ranges"], dtype=float)
         weights = np.asarray(payload["weights"], dtype=float)
@@ -348,21 +380,24 @@ def goal_attainment_improved(
         tighten_index = int(payload["tighten_index"])
     else:
         # --- stage 1: probe the objective ranges on an LHS sample -------
+        probe_start = time.monotonic()
         probes = latin_hypercube(n_probe, problem.lower, problem.upper,
                                  rng)
-        if problem.objectives_batch is not None:
-            # Population-level evaluation: one batched model solve for
-            # the whole sample, counted exactly like the per-point loop.
-            try:
-                probe_values = np.asarray(
-                    problem.objectives_batch(probes), dtype=float
-                )
-                counter.nfev += len(probes)
-            except FAILURE_EXCEPTIONS:
-                health.retries += 1
+        with _obs_tracer.span("goal_attainment.probe", n_probe=n_probe):
+            if problem.objectives_batch is not None:
+                # Population-level evaluation: one batched model solve
+                # for the whole sample, counted exactly like the
+                # per-point loop.
+                try:
+                    probe_values = np.asarray(
+                        problem.objectives_batch(probes), dtype=float
+                    )
+                    counter.nfev += len(probes)
+                except FAILURE_EXCEPTIONS:
+                    health.retries += 1
+                    probe_values = np.array([counter(p) for p in probes])
+            else:
                 probe_values = np.array([counter(p) for p in probes])
-        else:
-            probe_values = np.array([counter(p) for p in probes])
         bad = ~np.all(np.isfinite(probe_values), axis=1)
         if np.any(bad):
             health.record(CATEGORY_NON_FINITE, int(np.sum(bad)))
@@ -400,19 +435,32 @@ def goal_attainment_improved(
         history = []
         start_index = 0
         tighten_index = 0
+        finite_attainment = attainment[np.isfinite(attainment)]
+        if finite_attainment.size:
+            emit("probe", 0, float(np.min(finite_attainment)),
+                 float("nan"), time.monotonic() - probe_start,
+                 mean=float(np.mean(finite_attainment)),
+                 spread=float(np.ptp(finite_attainment)))
+        else:
+            emit("probe", 0, float("inf"), float("nan"),
+                 time.monotonic() - probe_start, mean=float("inf"))
         save(0, start_index, tighten_index, starts, ranges, weights,
              best, history)
 
     # --- stage 2: multi-start from the best probes -----------------------
     for k in range(start_index, len(starts)):
-        x_final, gamma, success, message = _solve_gembicki_nlp(
-            problem, goals, weights, starts[k], counter, max_iterations
-        )
+        stage_start = time.monotonic()
+        with _obs_tracer.span("goal_attainment.nlp_start", start=k):
+            x_final, gamma, success, message = _solve_gembicki_nlp(
+                problem, goals, weights, starts[k], counter, max_iterations
+            )
         candidate = _package(problem, counter, x_final, goals, weights,
                              success, message, history=[])
         history.append(candidate.gamma)
         if _better(candidate, best):
             best = candidate
+        emit("nlp_start", k + 1, best.gamma, best.constraint_violation,
+             time.monotonic() - stage_start)
         save(k + 1, k + 1, tighten_index, starts, ranges, weights,
              best, history)
 
@@ -423,10 +471,14 @@ def goal_attainment_improved(
     for round_index in range(tighten_index, tighten_rounds):
         if best.constraint_violation > 1e-6:
             break
+        stage_start = time.monotonic()
         current_goals = best.objectives - tighten_fraction * ranges
-        x_final, gamma, success, message = _solve_gembicki_nlp(
-            problem, current_goals, weights, best.x, counter, max_iterations
-        )
+        with _obs_tracer.span("goal_attainment.tighten",
+                              round=round_index):
+            x_final, gamma, success, message = _solve_gembicki_nlp(
+                problem, current_goals, weights, best.x, counter,
+                max_iterations
+            )
         candidate = _package(problem, counter, x_final, current_goals,
                              weights, success, message, history=[])
         history.append(candidate.gamma)
@@ -434,6 +486,9 @@ def goal_attainment_improved(
             break
         if np.all(candidate.objectives <= best.objectives + 1e-12):
             best = candidate
+            emit("tighten", len(starts) + round_index + 1, best.gamma,
+                 best.constraint_violation,
+                 time.monotonic() - stage_start)
             save(len(starts) + round_index + 1, len(starts),
                  round_index + 1, starts, ranges, weights, best, history)
         else:

@@ -29,11 +29,13 @@ bit-generator state are restored.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.obs.telemetry import GenerationRecord, population_stats
 from repro.optimize.batching import PopulationEvaluator
 from repro.optimize.checkpoint import (
     Checkpoint,
@@ -96,15 +98,53 @@ def latin_hypercube(n_samples: int, lower, upper,
 
 def _save_checkpoint(store: CheckpointStore, algorithm: str, iteration: int,
                      rng: np.random.Generator, health: RunHealth,
-                     payload: dict):
+                     payload: dict, on_generation=None):
     health.checkpoints_written += 1
     payload = dict(payload)
     payload["health"] = health.state()
+    state_fn = getattr(on_generation, "state", None)
+    if callable(state_fn):
+        payload["telemetry"] = state_fn()
     store.save(Checkpoint(
         algorithm=algorithm,
         iteration=iteration,
         rng_state=rng.bit_generator.state,
         payload=payload,
+    ))
+
+
+def _restore_telemetry(on_generation, payload: dict):
+    """Rewind a telemetry sink to a checkpoint's snapshot (if it can).
+
+    Records emitted after the checkpoint by the interrupted run are
+    dropped and re-emitted by the resumed run, so the final trace is
+    contiguous and identical to an uninterrupted run's.
+    """
+    restore_fn = getattr(on_generation, "restore", None)
+    state = payload.get("telemetry")
+    if callable(restore_fn) and state is not None:
+        restore_fn(state)
+
+
+def _emit_generation(on_generation, algorithm: str, generation: int,
+                     nfev: int, fitness, health: RunHealth,
+                     wall_time_s: float, violation: float = float("nan"),
+                     extra: Optional[dict] = None):
+    """Invoke an ``on_generation`` sink with one convergence snapshot."""
+    if on_generation is None:
+        return
+    best, mean, spread = population_stats(fitness)
+    on_generation(GenerationRecord(
+        algorithm=algorithm,
+        generation=generation,
+        nfev=int(nfev),
+        best=best,
+        mean=mean,
+        spread=spread,
+        wall_time_s=float(wall_time_s),
+        n_failures=health.n_failures,
+        violation=violation,
+        extra=dict(extra or {}),
     ))
 
 
@@ -125,6 +165,7 @@ def differential_evolution(
     checkpoint_store: Optional[CheckpointStore] = None,
     checkpoint_every: int = 10,
     resume: bool = True,
+    on_generation: Optional[Callable[[GenerationRecord], None]] = None,
 ) -> OptimizationResult:
     """DE/rand/1/bin with mutation dither and bounce-back bound repair.
 
@@ -141,6 +182,13 @@ def differential_evolution(
     saved every ``checkpoint_every`` generations and (when ``resume``)
     restored on the next call, replaying the exact RNG trajectory; the
     checkpoint is cleared on successful completion.
+
+    ``on_generation`` (any callable, typically a
+    :class:`~repro.obs.telemetry.TelemetryRecorder`) receives one
+    :class:`~repro.obs.telemetry.GenerationRecord` per generation —
+    including generation 0 right after initialization.  Sinks exposing
+    ``state()``/``restore()`` ride inside checkpoints, so resumed runs
+    continue the trace contiguously.
     """
     lower, upper = _check_bounds(lower, upper)
     rng = np.random.default_rng(seed)
@@ -170,10 +218,12 @@ def differential_evolution(
             history = list(payload["history"])
             nfev = int(payload["nfev"])
             health.restore(payload["health"])
+            _restore_telemetry(on_generation, payload)
             rng.bit_generator.state = checkpoint.rng_state
             start_iteration = int(checkpoint.iteration)
             health.resumed_at = start_iteration
         else:
+            init_start = time.monotonic()
             population = latin_hypercube(pop_size, lower, upper, rng)
             if initial is not None:
                 population[0] = np.clip(np.asarray(initial, dtype=float),
@@ -188,8 +238,12 @@ def differential_evolution(
             nfev = pop_size
             history = [float(np.min(fitness))]
             start_iteration = 0
+            _emit_generation(on_generation, "differential_evolution", 0,
+                             nfev, fitness, health,
+                             time.monotonic() - init_start)
 
         for iteration in range(start_iteration + 1, max_iterations + 1):
+            generation_start = time.monotonic()
             f_scale = rng.uniform(*mutation)
             trials = np.empty_like(population) if evaluator is not None \
                 else None
@@ -230,6 +284,9 @@ def differential_evolution(
                 fitness[accept] = f_trials[accept]
             best = float(np.min(fitness))
             history.append(best)
+            _emit_generation(on_generation, "differential_evolution",
+                             iteration, nfev, fitness, health,
+                             time.monotonic() - generation_start)
             worst = float(np.max(fitness))
             # All-penalty populations have worst == best == inf; treat
             # the spread as open so the run keeps searching.
@@ -254,6 +311,7 @@ def differential_evolution(
                      "fitness": fitness.copy(),
                      "history": list(history),
                      "nfev": int(nfev)},
+                    on_generation=on_generation,
                 )
         if checkpoint_store is not None:
             checkpoint_store.clear()
@@ -286,6 +344,7 @@ def particle_swarm(
     checkpoint_store: Optional[CheckpointStore] = None,
     checkpoint_every: int = 10,
     resume: bool = True,
+    on_generation: Optional[Callable[[GenerationRecord], None]] = None,
 ) -> OptimizationResult:
     """Global-best PSO with velocity clamping at half the box width.
 
@@ -296,8 +355,9 @@ def particle_swarm(
     personal/global-best updates consume the values in the same order
     as the sequential loop.
 
-    Checkpoint/resume follows the same contract as
-    :func:`differential_evolution` (deterministic, bit-for-bit).
+    Checkpoint/resume and ``on_generation`` telemetry follow the same
+    contract as :func:`differential_evolution` (deterministic,
+    bit-for-bit; contiguous traces across resume).
     """
     lower, upper = _check_bounds(lower, upper)
     rng = np.random.default_rng(seed)
@@ -333,10 +393,12 @@ def particle_swarm(
             stale = int(payload["stale"])
             nfev = int(payload["nfev"])
             health.restore(payload["health"])
+            _restore_telemetry(on_generation, payload)
             rng.bit_generator.state = checkpoint.rng_state
             start_iteration = int(checkpoint.iteration)
             health.resumed_at = start_iteration
         else:
+            init_start = time.monotonic()
             positions = latin_hypercube(n_particles, lower, upper, rng)
             velocities = rng.uniform(-0.1, 0.1,
                                      size=(n_particles, dim)) * span
@@ -355,8 +417,12 @@ def particle_swarm(
             history = [global_fitness]
             stale = 0
             start_iteration = 0
+            _emit_generation(on_generation, "particle_swarm", 0, nfev,
+                             fitness, health,
+                             time.monotonic() - init_start)
 
         for iteration in range(start_iteration + 1, max_iterations + 1):
+            generation_start = time.monotonic()
             r1 = rng.random((n_particles, dim))
             r2 = rng.random((n_particles, dim))
             velocities = (
@@ -381,6 +447,9 @@ def particle_swarm(
                         global_best = positions[i].copy()
                         improved_any = True
             history.append(global_fitness)
+            _emit_generation(on_generation, "particle_swarm", iteration,
+                             nfev, personal_fitness, health,
+                             time.monotonic() - generation_start)
             stale = 0 if improved_any else stale + 1
             if stale >= 30 and np.std(personal_fitness) < tolerance * (
                 1.0 + abs(global_fitness)
@@ -408,6 +477,7 @@ def particle_swarm(
                      "history": list(history),
                      "stale": int(stale),
                      "nfev": int(nfev)},
+                    on_generation=on_generation,
                 )
         if checkpoint_store is not None:
             checkpoint_store.clear()

@@ -17,11 +17,13 @@ scratch and deterministic under a seed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.obs.telemetry import GenerationRecord, population_stats
 from repro.optimize.checkpoint import (
     CheckpointError,
     CheckpointStore,
@@ -33,7 +35,12 @@ from repro.optimize.faults import (
     classify_exception,
 )
 from repro.optimize.goal_attainment import MultiObjectiveProblem
-from repro.optimize.metaheuristics import _save_checkpoint, latin_hypercube
+from repro.optimize.metaheuristics import (
+    _emit_generation,
+    _restore_telemetry,
+    _save_checkpoint,
+    latin_hypercube,
+)
 
 __all__ = ["Nsga2Result", "nsga2"]
 
@@ -61,6 +68,37 @@ class Nsga2Result:
         return self.objectives[self.violations <= 1e-9]
 
 
+def _emit_nsga2_generation(on_generation, generation: int, nfev: int,
+                           objectives: np.ndarray, violations: np.ndarray,
+                           health: RunHealth, wall_time_s: float):
+    """One telemetry record per NSGA-II generation.
+
+    ``best``/``mean``/``spread`` summarize the first objective (for the
+    LNA problem: NFmax); per-objective minima and the feasible count
+    ride in ``extra`` so the record still describes the whole front.
+    """
+    if on_generation is None:
+        return
+    best, mean, spread = population_stats(objectives[:, 0])
+    extra = {
+        f"min_f{k}": float(np.min(objectives[:, k]))
+        for k in range(objectives.shape[1])
+    }
+    extra["n_feasible"] = int(np.sum(violations <= 1e-9))
+    on_generation(GenerationRecord(
+        algorithm="nsga2",
+        generation=generation,
+        nfev=int(nfev),
+        best=best,
+        mean=mean,
+        spread=spread,
+        wall_time_s=float(wall_time_s),
+        n_failures=health.n_failures,
+        violation=float(np.min(violations)),
+        extra=extra,
+    ))
+
+
 def nsga2(
     problem: MultiObjectiveProblem,
     population_size: int = 40,
@@ -72,6 +110,7 @@ def nsga2(
     checkpoint_store: Optional[CheckpointStore] = None,
     checkpoint_every: int = 10,
     resume: bool = True,
+    on_generation: Optional[Callable[[GenerationRecord], None]] = None,
 ) -> Nsga2Result:
     """Run NSGA-II on *problem* and return the final first front.
 
@@ -80,6 +119,12 @@ def nsga2(
     is persisted every ``checkpoint_every`` generations; a rerun with
     the same store resumes from the last snapshot and finishes
     bit-for-bit identical to an uninterrupted run.
+
+    ``on_generation`` receives one
+    :class:`~repro.obs.telemetry.GenerationRecord` per generation
+    (including generation 0) and rides inside checkpoints when it
+    exposes ``state()``/``restore()``, like the single-objective
+    optimizers.
     """
     if population_size % 2:
         population_size += 1  # pairing requires an even population
@@ -103,17 +148,23 @@ def nsga2(
         violations = np.array(payload["violations"], dtype=float)
         nfev = int(payload["nfev"])
         health.restore(payload["health"])
+        _restore_telemetry(on_generation, payload)
         rng.bit_generator.state = checkpoint.rng_state
         start_generation = int(checkpoint.iteration)
         health.resumed_at = start_generation
     else:
+        init_start = time.monotonic()
         population = latin_hypercube(population_size, problem.lower,
                                      problem.upper, rng)
         objectives, violations = _evaluate(problem, population, health)
         nfev = population_size
         start_generation = 0
+        _emit_nsga2_generation(on_generation, 0, nfev, objectives,
+                               violations, health,
+                               time.monotonic() - init_start)
 
     for generation in range(start_generation + 1, n_generations + 1):
+        generation_start = time.monotonic()
         parents = _tournament(population, objectives, violations, rng)
         children = _sbx_crossover(parents, problem.lower, problem.upper,
                                   crossover_probability, crossover_eta, rng)
@@ -131,6 +182,9 @@ def nsga2(
         population = population[keep]
         objectives = objectives[keep]
         violations = violations[keep]
+        _emit_nsga2_generation(on_generation, generation, nfev, objectives,
+                               violations, health,
+                               time.monotonic() - generation_start)
 
         if (checkpoint_store is not None
                 and generation % max(int(checkpoint_every), 1) == 0
@@ -141,7 +195,7 @@ def nsga2(
                                  "objectives": objectives.copy(),
                                  "violations": violations.copy(),
                                  "nfev": nfev,
-                             })
+                             }, on_generation=on_generation)
 
     fronts = _nondominated_sort(objectives, violations)
     first = np.asarray(fronts[0], dtype=int)

@@ -54,17 +54,31 @@ def noise_circle(fmin: float, rn: float, gamma_opt: complex,
         Optimum source reflection coefficient.
     nf_target_db:
         Requested noise figure [dB]; must be >= NFmin.
+
+    Degenerate inputs stay finite: a target at NFmin (within rounding)
+    collapses to the point circle at ``gamma_opt`` whatever ``rn``, and
+    a vanishing noise resistance is clamped so the circle fills the
+    chart instead of dividing by zero.
     """
     f_target = 10.0 ** (nf_target_db / 10.0)
-    if f_target < fmin - 1e-12:
+    nfmin_db = 10.0 * np.log10(fmin)
+    # Compare in dB — the caller's unit — so the tolerance means the
+    # same thing at every NFmin and the error message is consistent.
+    if nf_target_db < nfmin_db - 1e-9:
         raise ValueError(
             f"target NF {nf_target_db:.3f} dB is below NFmin "
-            f"{10 * np.log10(fmin):.3f} dB"
+            f"{nfmin_db:.3f} dB"
         )
-    rn_normalized = rn / z0
-    n_param = (
-        (f_target - fmin) * np.abs(1.0 + gamma_opt) ** 2 / (4.0 * rn_normalized)
-    )
+    excess = f_target - fmin
+    if excess <= 0.0:
+        # Target at NFmin: only Γopt achieves it — a point circle, even
+        # when rn == 0 would make the general formula 0/0.
+        return SmithCircle(complex(gamma_opt), 0.0, float(nf_target_db))
+    # rn -> 0 means NF barely depends on the source match; the circle
+    # limit is the whole chart.  Clamp the denominator so it stays a
+    # finite (huge) circle rather than inf/nan.
+    rn_normalized = max(rn / z0, 1e-30)
+    n_param = excess * np.abs(1.0 + gamma_opt) ** 2 / (4.0 * rn_normalized)
     center = gamma_opt / (1.0 + n_param)
     radius = np.sqrt(
         max(n_param * (n_param + 1.0 - np.abs(gamma_opt) ** 2), 0.0)

@@ -70,8 +70,29 @@ def read_touchstone(source) -> TouchstoneData:
     if not rows:
         raise ValueError("no data rows found in touchstone input")
 
-    s_rows = [r for r in rows if len(r) == 9]
-    noise_rows = [r for r in rows if len(r) == 5]
+    # Classify positionally: the v1 .s2p layout is one block of
+    # 9-column S rows optionally followed by one block of 5-column
+    # noise rows.  Anything else (odd column counts, S rows after the
+    # noise block began) is a malformed file — raise instead of
+    # silently dropping or mis-assigning the row.
+    s_rows = []
+    noise_rows = []
+    for row_number, row in enumerate(rows, start=1):
+        if len(row) == 9 and not noise_rows:
+            s_rows.append(row)
+        elif len(row) == 5:
+            noise_rows.append(row)
+        elif len(row) == 9:
+            raise ValueError(
+                f"data row {row_number}: 9-column S-parameter row after "
+                f"the noise block started"
+            )
+        else:
+            raise ValueError(
+                f"data row {row_number}: expected 9 columns "
+                f"(S-parameters) or 5 columns (noise parameters), "
+                f"got {len(row)}"
+            )
     if not s_rows:
         raise ValueError("no 9-column S-parameter rows found")
 
@@ -101,29 +122,51 @@ def read_touchstone(source) -> TouchstoneData:
     return TouchstoneData(network=network, noise=noise)
 
 
-def write_touchstone(data: TouchstoneData, destination=None) -> str:
-    """Serialize to .s2p text (GHz / S / RI).  Returns the text.
+def write_touchstone(data: TouchstoneData, destination=None,
+                     data_format: str = "RI") -> str:
+    """Serialize to .s2p text (GHz / S / *data_format*).  Returns the text.
 
+    ``data_format`` is one of ``"RI"``, ``"MA"``, ``"DB"``.  Values are
+    written with 17 significant digits, so a write→read round trip
+    reproduces the S-parameters to double-precision rounding in every
+    format (the DB path goes through one ``log10``/``exp10`` pair).
     When *destination* is a path or file object the text is also
     written there.
     """
+    data_format = data_format.upper()
+    if data_format not in ("RI", "MA", "DB"):
+        raise ValueError(
+            f"unknown touchstone data format {data_format!r}; "
+            f"use 'RI', 'MA', or 'DB'"
+        )
     network = data.network
-    lines = ["! generated by repro.rf.touchstone", f"# GHz S RI R {network.z0:g}"]
+    lines = ["! generated by repro.rf.touchstone",
+             f"# GHz S {data_format} R {network.z0:g}"]
     s = network.s
     for idx, f in enumerate(network.frequency.f_hz):
         values = []
         for i, j in [(0, 0), (1, 0), (0, 1), (1, 1)]:
-            values.append(f"{s[idx, i, j].real:.9e} {s[idx, i, j].imag:.9e}")
-        lines.append(f"{f / 1e9:.9f} " + " ".join(values))
+            value = s[idx, i, j]
+            if data_format == "RI":
+                a, b = value.real, value.imag
+            else:
+                magnitude = np.abs(value)
+                b = np.angle(value, deg=True)
+                if data_format == "MA":
+                    a = magnitude
+                else:  # DB; clamp so a true zero stays finite
+                    a = 20.0 * np.log10(max(magnitude, 1e-300))
+            values.append(f"{a:.17e} {b:.17e}")
+        lines.append(f"{f / 1e9:.17e} " + " ".join(values))
     if data.noise is not None:
         lines.append("! noise parameters")
         gamma_opt = data.noise.gamma_opt(network.z0)
         for idx, f in enumerate(network.frequency.f_hz):
             lines.append(
-                f"{f / 1e9:.9f} {data.noise.nfmin_db[idx]:.6f} "
-                f"{np.abs(gamma_opt[idx]):.6f} "
-                f"{np.angle(gamma_opt[idx], deg=True):.4f} "
-                f"{data.noise.rn[idx] / network.z0:.6f}"
+                f"{f / 1e9:.17e} {data.noise.nfmin_db[idx]:.17e} "
+                f"{np.abs(gamma_opt[idx]):.17e} "
+                f"{np.angle(gamma_opt[idx], deg=True):.17e} "
+                f"{data.noise.rn[idx] / network.z0:.17e}"
             )
     text = "\n".join(lines) + "\n"
     if destination is not None:

@@ -120,6 +120,43 @@ class TestLnaEvaluatorCache:
         with pytest.raises(ValueError):
             LnaEvaluator(template, engine="quantum")
 
+    def test_cache_key_includes_template_fingerprint(self, template):
+        """Regression: two evaluators with different problems must not
+        produce colliding cache keys for the same design vector."""
+        from repro.core.bands import design_grid, stability_grid
+
+        a = LnaEvaluator(template, engine="scalar")
+        b = LnaEvaluator(template, band_grid=design_grid(9),
+                         guard_grid=stability_grid(12), engine="scalar")
+        x = np.full(len(DesignVariables.NAMES), 0.4)
+        assert a._key(x) != b._key(x)
+        # Same configuration -> same key (the fingerprint is stable).
+        c = LnaEvaluator(template, engine="scalar")
+        assert a._key(x) == c._key(x)
+
+    def test_cache_key_folds_negative_zero(self, template):
+        evaluator = LnaEvaluator(template, engine="scalar")
+        x = np.full(len(DesignVariables.NAMES), 0.25)
+        x_neg = x.copy()
+        x_neg[0] = -0.0
+        x_pos = x.copy()
+        x_pos[0] = 0.0
+        # -0.0 == 0.0 numerically; the key must agree too.
+        assert evaluator._key(x_neg) == evaluator._key(x_pos)
+
+    def test_invalidate_cache_clears_and_refingerprints(self, template):
+        evaluator = LnaEvaluator(template)
+        x = np.full(len(DesignVariables.NAMES), 0.45)
+        evaluator.performance(x)
+        assert evaluator.n_solves == 1
+        old_key = evaluator._key(x)
+        evaluator.invalidate_cache()
+        # The store is empty again: the same point solves afresh.
+        evaluator.performance(x)
+        assert evaluator.n_solves == 2
+        # Unchanged configuration keeps the same fingerprint.
+        assert evaluator._key(x) == old_key
+
 
 class TestBatchObjectiveProtocol:
     def test_problem_carries_batch_callables(self, template):

@@ -136,6 +136,48 @@ class TestNoiseCircles:
         with pytest.raises(ValueError):
             noise_circle(1.5, 10.0, 0.3 + 0j, nf_target_db=1.0)
 
+    def test_below_nfmin_message_reports_both_values_in_db(self):
+        fmin = 1.5
+        with pytest.raises(ValueError) as excinfo:
+            noise_circle(fmin, 10.0, 0.3 + 0j, nf_target_db=1.0)
+        message = str(excinfo.value)
+        assert "1.000 dB" in message
+        assert f"{10 * np.log10(fmin):.3f} dB" in message
+
+    def test_zero_rn_at_nfmin_is_point_circle(self):
+        """Regression: rn -> 0 with the target at NFmin used to divide
+        by zero; it must collapse to the point circle at gamma_opt."""
+        fmin, gamma_opt = 1.3, 0.4 + 0.2j
+        circle = noise_circle(fmin, 0.0, gamma_opt,
+                              nf_target_db=10 * np.log10(fmin))
+        assert np.isfinite(circle.radius)
+        assert circle.center == pytest.approx(gamma_opt, rel=1e-12)
+        assert circle.radius == 0.0
+
+    def test_zero_rn_above_nfmin_stays_finite(self):
+        """rn -> 0 means NF barely depends on the match: the circle is
+        huge but must stay finite (no inf/nan center or radius)."""
+        circle = noise_circle(1.3, 0.0, 0.4 + 0.2j, nf_target_db=2.0)
+        assert np.isfinite(circle.radius)
+        assert np.isfinite(circle.center.real)
+        assert np.isfinite(circle.center.imag)
+        # Degenerate limit: the circle converges on the unit circle —
+        # every passive source match achieves the target.
+        assert circle.radius == pytest.approx(1.0, abs=1e-9)
+        assert abs(circle.center) == pytest.approx(0.0, abs=1e-9)
+        for probe in (0.0, 0.5 + 0.5j, -0.9j):
+            assert circle.contains(probe)
+
+    def test_target_just_below_nfmin_within_rounding_accepted(self):
+        """The dB-domain tolerance: a target equal to NFmin up to
+        floating-point rounding is the point circle, not an error."""
+        fmin, gamma_opt = 1.3, 0.35 - 0.15j
+        nfmin_db = 10 * np.log10(fmin)
+        circle = noise_circle(fmin, 8.0, gamma_opt,
+                              nf_target_db=nfmin_db - 1e-12)
+        assert circle.radius == 0.0
+        assert circle.center == pytest.approx(gamma_opt, rel=1e-9)
+
 
 class TestGainCircles:
     def test_points_on_circle_achieve_target_gain(self):

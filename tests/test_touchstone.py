@@ -108,6 +108,88 @@ class TestFormats:
         with pytest.raises(ValueError):
             read_touchstone("# GHz S RI R 50\n1.0 0 0 1\n")
 
+    @pytest.mark.parametrize("data_format", ["RI", "MA", "DB"])
+    def test_all_formats_round_trip_bit_close(self, fg, data_format):
+        network = transmission_line(fg, 65.0, 0.1 + 0.9j)
+        text = write_touchstone(TouchstoneData(network=network),
+                                data_format=data_format)
+        assert f"# GHz S {data_format} R 50" in text
+        parsed = read_touchstone(text)
+        # 17 significant digits: the round trip is double-precision
+        # clean, not just eyeball-close.
+        np.testing.assert_allclose(parsed.network.s, network.s,
+                                   rtol=1e-13, atol=1e-15)
+        np.testing.assert_allclose(parsed.network.frequency.f_hz,
+                                   fg.f_hz, rtol=1e-14)
+
+    def test_db_write_handles_exact_zero_entry(self, fg):
+        network = attenuator(fg, 3.0)
+        s = network.s.copy()
+        s[:, 0, 0] = 0.0  # |S11| = 0 would be -inf dB unclamped
+        zeroed = type(network)(network.frequency, s, z0=network.z0)
+        text = write_touchstone(TouchstoneData(network=zeroed),
+                                data_format="DB")
+        parsed = read_touchstone(text)
+        assert np.all(np.abs(parsed.network.s[:, 0, 0]) < 1e-200)
+
+    def test_unknown_write_format_rejected(self, fg):
+        network = attenuator(fg, 3.0)
+        with pytest.raises(ValueError):
+            write_touchstone(TouchstoneData(network=network),
+                             data_format="XY")
+
+    def test_noise_frequencies_use_header_unit_scale(self):
+        """Regression: a MHz-unit file's noise block must be read in
+        MHz too, not assumed to be GHz."""
+        text = (
+            "# MHz S RI R 50\n"
+            "1000 0 0 1 0 1 0 0 0\n"
+            "2000 0 0 1 0 1 0 0 0\n"
+            "! noise parameters\n"
+            "1000 0.5 0.3 20 0.15\n"
+            "2000 1.0 0.2 60 0.22\n"
+        )
+        parsed = read_touchstone(text)
+        np.testing.assert_allclose(parsed.network.frequency.f_hz,
+                                   [1e9, 2e9])
+        assert parsed.noise is not None
+        # On-grid noise rows: read verbatim, no resampling distortion.
+        np.testing.assert_allclose(parsed.noise.nfmin_db, [0.5, 1.0])
+        np.testing.assert_allclose(parsed.noise.rn, [7.5, 11.0])
+
+    def test_trailing_noise_block_with_fewer_rows_is_resampled(self, fg):
+        """A short noise block must not be dropped or mis-assigned."""
+        network = attenuator(fg, 3.0)
+        body = write_touchstone(TouchstoneData(network=network))
+        # Three noise rows against a five-point S grid.
+        body += "1.0 0.5 0.3 20 0.15\n1.5 0.7 0.25 40 0.18\n"
+        body += "2.0 1.0 0.2 60 0.22\n"
+        parsed = read_touchstone(body)
+        assert parsed.noise is not None
+        assert len(parsed.noise) == len(fg)
+        assert parsed.noise.nfmin_db[0] == pytest.approx(0.5, abs=1e-6)
+        assert parsed.noise.nfmin_db[2] == pytest.approx(0.7, abs=1e-6)
+        assert parsed.noise.nfmin_db[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_s_row_after_noise_block_rejected(self):
+        text = (
+            "# GHz S RI R 50\n"
+            "1.0 0 0 1 0 1 0 0 0\n"
+            "1.0 0.5 0.3 20 0.15\n"
+            "2.0 0 0 1 0 1 0 0 0\n"
+        )
+        with pytest.raises(ValueError, match="after the noise block"):
+            read_touchstone(text)
+
+    def test_odd_column_count_rejected_with_row_number(self):
+        text = (
+            "# GHz S RI R 50\n"
+            "1.0 0 0 1 0 1 0 0 0\n"
+            "2.0 0 0 1 0 1 0\n"
+        )
+        with pytest.raises(ValueError, match="row 2"):
+            read_touchstone(text)
+
     def test_noise_on_other_grid_is_resampled(self, fg):
         network = attenuator(fg, 3.0)
         body = write_touchstone(TouchstoneData(network=network))
