@@ -29,6 +29,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis.conditioning import equilibrated_solve, observe_condition
 from repro.analysis.netlist import (
     Capacitor,
     Circuit,
@@ -39,6 +40,8 @@ from repro.analysis.netlist import (
     Vccs,
     YBlock,
 )
+from repro.guards import modes as _guard_modes
+from repro.obs import metrics as _obs_metrics
 from repro.rf import conversions as cv
 from repro.rf.frequency import FrequencyGrid
 from repro.rf.noise import NoisyTwoPort, ca_from_cy
@@ -147,15 +150,31 @@ def solve_ac(circuit: Circuit, frequency: FrequencyGrid,
             rhs[:, col] = vec
             col += 1
 
+    if _guard_modes.enabled():
+        # One sampled conditioning estimate per solve (mid-band matrix)
+        # feeds the per-run histogram at negligible cost.
+        observe_condition(y_full[n_freq // 2], "mna")
+    rhs_full = np.broadcast_to(rhs, (n_freq,) + rhs.shape)
     try:
-        solution = np.linalg.solve(
-            y_full, np.broadcast_to(rhs, (n_freq,) + rhs.shape)
-        )
+        solution = np.linalg.solve(y_full, rhs_full)
     except np.linalg.LinAlgError as exc:
-        raise ValueError(
-            "singular circuit (floating node or degenerate element): "
-            f"{exc}"
-        ) from None
+        # Conditioning escalation: equilibrate + refine before giving
+        # up.  Only reached when the plain factorization already
+        # failed, so healthy solves stay bit-for-bit unchanged.
+        solution = None
+        if _guard_modes.enabled():
+            try:
+                candidate = equilibrated_solve(y_full, rhs_full)
+            except np.linalg.LinAlgError:
+                candidate = None
+            if candidate is not None and np.all(np.isfinite(candidate)):
+                solution = candidate
+                _obs_metrics.inc("mna.equilibrated_rescues")
+        if solution is None:
+            raise ValueError(
+                "singular circuit (floating node or degenerate element): "
+                f"{exc}"
+            ) from None
 
     v_ports = solution[:, port_rows, :]
     z_loaded = v_ports[:, :, :n_ports]

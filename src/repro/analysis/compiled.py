@@ -35,7 +35,9 @@ from repro.analysis.acsolver import (
     _assemble_tensor,
     _collect_noise_sources,
 )
+from repro.analysis.conditioning import equilibrated_solve, observe_condition
 from repro.analysis.netlist import Circuit
+from repro.guards import modes as _guard_modes
 from repro.obs import metrics as _obs_metrics
 from repro.obs import tracer as _obs_tracer
 from repro.rf import conversions as cv
@@ -107,6 +109,7 @@ def solve_tensor_batch(
     z0: float,
     noise_sources: Sequence[BatchNoiseSource] = (),
     probe_rows: Sequence[int] = (),
+    _solve=np.linalg.solve,
 ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
     """One batched MNA solve of ``(B, F, n, n)`` admittance tensors.
 
@@ -115,7 +118,9 @@ def solve_tensor_batch(
     shapes ``(B, F, p, p)``, ``(B, F, p, p)`` and
     ``(B, F, n_probes, p)`` (transfers are ``None`` when no probe rows
     are requested).  Raises ``ValueError`` on singular topology, like
-    the scalar solver.
+    the scalar solver.  ``_solve`` is the linear-solver hook the
+    conditioning escalation swaps for
+    :func:`repro.analysis.conditioning.equilibrated_solve`.
     """
     if y_batch.ndim != 4 or y_batch.shape[-1] != y_batch.shape[-2]:
         raise ValueError(
@@ -138,7 +143,7 @@ def solve_tensor_batch(
         col += src.width
 
     try:
-        solution = np.linalg.solve(
+        solution = _solve(
             y_batch,
             np.broadcast_to(rhs, (n_batch, n_freq) + rhs.shape),
         )
@@ -206,6 +211,36 @@ def _finite_rows(*arrays: Optional[np.ndarray]) -> np.ndarray:
     return mask
 
 
+def _solve_row_equilibrated(
+    y_row: np.ndarray,
+    port_rows: np.ndarray,
+    z0: float,
+    row_sources: Sequence[BatchNoiseSource],
+    probe_rows: Sequence[int],
+):
+    """Conditioning escalation for one failed batch row.
+
+    Re-solves a single ``(1, F, n, n)`` slice through the
+    equilibrated-and-refined solver.  Returns ``(s, cy, transfers)``
+    on success, ``None`` when the row is beyond rescue.  Only called
+    on rows the plain factorization already failed, so healthy rows
+    keep their bit-for-bit results.
+    """
+    if not _guard_modes.enabled():
+        return None
+    try:
+        s_i, cy_i, tr_i = solve_tensor_batch(
+            y_row.copy(), port_rows, z0, row_sources, probe_rows,
+            _solve=equilibrated_solve,
+        )
+    except (ValueError, np.linalg.LinAlgError):
+        return None
+    if not _finite_rows(s_i, cy_i, tr_i)[0]:
+        return None
+    _obs_metrics.inc("mna.equilibrated_rescues")
+    return s_i, cy_i, tr_i
+
+
 def solve_tensor_batch_isolated(
     y_batch: np.ndarray,
     port_rows: np.ndarray,
@@ -235,6 +270,14 @@ def solve_tensor_batch_isolated(
     n_ports = np.asarray(port_rows, dtype=int).size
     with _obs_tracer.span("mna.solve_tensor_batch_isolated",
                           batch=n_batch, n_freq=n_freq):
+        if _guard_modes.enabled():
+            # One sampled conditioning estimate per batch call: the
+            # mid-band matrix of the first candidate (with its port
+            # loads) stands in for the batch in the per-run histogram.
+            sample = y_batch[0, n_freq // 2].copy()
+            for row in np.asarray(port_rows, dtype=int):
+                sample[row, row] += 1.0 / z0
+            observe_condition(sample, "mna")
         try:
             s, cy, transfers = solve_tensor_batch(
                 y_batch.copy(), port_rows, z0, noise_sources, probe_rows
@@ -243,6 +286,21 @@ def solve_tensor_batch_isolated(
             pass  # fall through to the per-row path below
         else:
             failed = ~_finite_rows(s, cy, transfers)
+            for i in np.flatnonzero(failed):
+                # Escalation: equilibrated re-solve of the failing row
+                # before it is written off (healthy rows untouched).
+                row_sources = [_noise_source_row(src, i, n_batch)
+                               for src in noise_sources]
+                rescued = _solve_row_equilibrated(
+                    y_batch[i:i + 1], port_rows, z0, row_sources,
+                    probe_rows,
+                )
+                if rescued is None:
+                    continue
+                s[i], cy[i] = rescued[0][0], rescued[1][0]
+                if transfers is not None and rescued[2] is not None:
+                    transfers[i] = rescued[2][0]
+                failed[i] = False
             if np.any(failed):
                 _obs_metrics.inc("mna.failed_rows", int(np.sum(failed)))
                 s[failed] = 0.0
@@ -271,11 +329,23 @@ def solve_tensor_batch_isolated(
                     probe_rows,
                 )
             except (ValueError, np.linalg.LinAlgError):
-                failed[i] = True
-                continue
+                rescued = _solve_row_equilibrated(
+                    y_batch[i:i + 1], port_rows, z0, row_sources,
+                    probe_rows,
+                )
+                if rescued is None:
+                    failed[i] = True
+                    continue
+                s_i, cy_i, tr_i = rescued
             if not _finite_rows(s_i, cy_i, tr_i)[0]:
-                failed[i] = True
-                continue
+                rescued = _solve_row_equilibrated(
+                    y_batch[i:i + 1], port_rows, z0, row_sources,
+                    probe_rows,
+                )
+                if rescued is None:
+                    failed[i] = True
+                    continue
+                s_i, cy_i, tr_i = rescued
             s[i] = s_i[0]
             cy[i] = cy_i[0]
             if transfers is not None and tr_i is not None:

@@ -18,6 +18,8 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.analysis.conditioning import equilibrated_solve, observe_condition
+from repro.guards import modes as _guard_modes
 from repro.obs import metrics as _obs_metrics
 from repro.obs import tracer as _obs_tracer
 
@@ -138,13 +140,31 @@ class DcCircuit:
 
         for iteration in range(1, max_iterations + 1):
             jacobian, residual = self._linearize(x, n, m)
+            if iteration == 1 and _guard_modes.enabled():
+                # One conditioning sample per solve feeds the per-run
+                # histogram of Newton-Jacobian conditioning.
+                observe_condition(jacobian, "dc.jacobian")
             try:
                 delta = np.linalg.solve(jacobian, -residual)
             except np.linalg.LinAlgError as exc:
                 _obs_metrics.inc("dc.singular_jacobians")
-                raise DcConvergenceError(
-                    f"singular DC Jacobian in {self.name!r}: {exc}"
-                ) from None
+                # Conditioning escalation: equilibrate + refine before
+                # declaring the Newton step unsolvable.
+                delta = None
+                if _guard_modes.enabled():
+                    try:
+                        candidate = equilibrated_solve(jacobian, -residual)
+                    except np.linalg.LinAlgError:
+                        candidate = None
+                    if candidate is not None and np.all(
+                        np.isfinite(candidate)
+                    ):
+                        delta = candidate
+                        _obs_metrics.inc("dc.equilibrated_rescues")
+                if delta is None:
+                    raise DcConvergenceError(
+                        f"singular DC Jacobian in {self.name!r}: {exc}"
+                    ) from None
             step = np.max(np.abs(delta[:n])) if n else 0.0
             if step > _MAX_STEP_V:
                 delta = delta * (_MAX_STEP_V / step)

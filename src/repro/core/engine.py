@@ -65,10 +65,13 @@ from repro.core.amplifier import (
     DesignVariables,
 )
 from repro.core.bands import design_grid, stability_grid
+from repro.guards import contracts as _contracts
+from repro.guards import modes as _guard_modes
 from repro.obs import metrics as _obs_metrics
 from repro.obs import tracer as _obs_tracer
 from repro.optimize.faults import (
     CATEGORY_BAD_BIAS,
+    CATEGORY_CONTRACT,
     CATEGORY_NON_FINITE,
     CATEGORY_SINGULAR,
     EvaluationFailure,
@@ -487,6 +490,20 @@ class CompiledTemplate:
             figures = self._figures(s, cy_band, ids)
         _obs_metrics.inc("engine.batch_solves")
         _obs_metrics.inc("engine.candidates", unit_x.shape[0])
+        if _guard_modes.enabled():
+            # Physical-sanity contract on the reported figures.  The
+            # check is read-only: strict mode raises, warn mode counts
+            # and warns — the returned values are bit-for-bit those of
+            # the unguarded path either way.
+            bad = _contracts.noise_figure_violation_mask(figures.nf_db)
+            if np.any(bad):
+                rows = np.flatnonzero(bad)
+                _contracts.report_violation(
+                    "performance",
+                    f"candidates {rows.tolist()} report NF < 0 dB "
+                    f"(min {float(np.min(figures.nf_db[rows])):.3e} dB): "
+                    f"negative noise power is unphysical",
+                )
         return figures
 
     def _figures(self, s: np.ndarray, cy_band: np.ndarray,
@@ -639,6 +656,28 @@ class CompiledTemplate:
                 continue
             n_fallbacks += 1
             self._fill_row(batch, i, scalar)
+
+        if _guard_modes.enabled():
+            # Physical-sanity contract: a noise figure below 0 dB means
+            # the noise model produced negative noise power.  Strict
+            # mode raises; warn mode quarantines the row through the
+            # standard failure taxonomy (penalty figures), leaving
+            # healthy rows bit-for-bit untouched.
+            nf_bad = _contracts.noise_figure_violation_mask(batch.nf_db)
+            for i in np.flatnonzero(nf_bad):
+                if failures[i] is not None:
+                    continue  # already quarantined with penalty figures
+                message = (
+                    f"candidate {i} reports NF < 0 dB "
+                    f"(min {float(np.min(batch.nf_db[i])):.3e} dB): "
+                    f"negative noise power is unphysical"
+                )
+                _contracts.report_violation("performance", message)
+                failures[i] = EvaluationFailure(
+                    CATEGORY_CONTRACT, message, x=unit_x[i].copy()
+                )
+                self._fill_row(batch, i, AmplifierPerformance.penalty(
+                    self.band_grid, failures[i]))
         return batch, failures, n_fallbacks
 
     @staticmethod

@@ -11,10 +11,12 @@ eps_eff rises monotonically with frequency (Kobayashi dispersion).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.core.report import format_series
+from repro.guards import contracts as _contracts
 from repro.passives.microstrip import (
     MicrostripLine,
     MicrostripSubstrate,
@@ -41,11 +43,22 @@ class E7Result:
     line_loss_db_per_m: np.ndarray
     inductor_srf_ghz: float
     capacitor_srf_ghz: float
+    splitter_insertion_db: Optional[np.ndarray] = None
+    splitter_isolation_db: Optional[np.ndarray] = None
+    splitter_match_db: Optional[np.ndarray] = None
 
 
 def run(inductance: float = 9.1e-9, capacitance: float = 8.2e-12,
-        n_points: int = 25) -> E7Result:
-    """Sweep the element models used by the selected design."""
+        n_points: int = 25, splitter=None) -> E7Result:
+    """Sweep the element models used by the selected design.
+
+    When *splitter* (an object with a ``solve(frequency)`` method, e.g.
+    a :class:`~repro.passives.splitter.ResistiveSplitter`) is given, its
+    three-port response is swept on the same grid and checked against
+    the passive-network contract — an antenna splitter that amplifies
+    is a model bug, and this experiment is the natural boundary where a
+    user-supplied splitter enters the report pipeline.
+    """
     frequency = FrequencyGrid.logarithmic(0.1e9, 6.0e9, n_points)
     f = frequency.f_hz
     inductor = coilcraft_style_inductor(inductance)
@@ -54,6 +67,15 @@ def run(inductance: float = 9.1e-9, capacitance: float = 8.2e-12,
     line = MicrostripLine(substrate, synthesize_width(substrate, 50.0),
                           10e-3)
     alpha = line.alpha_conductor(f) + line.alpha_dielectric(f)
+    splitter_insertion = splitter_isolation = splitter_match = None
+    if splitter is not None:
+        result = splitter.solve(frequency)
+        _contracts.check_passive_network(result.s, "e7 splitter",
+                                         cy=getattr(result, "cy", None))
+        with np.errstate(divide="ignore"):
+            splitter_insertion = 20.0 * np.log10(np.abs(result.s[:, 1, 0]))
+            splitter_isolation = 20.0 * np.log10(np.abs(result.s[:, 2, 1]))
+            splitter_match = 20.0 * np.log10(np.abs(result.s[:, 0, 0]))
     return E7Result(
         frequency=frequency,
         inductor_q=inductor.q_factor(f),
@@ -65,6 +87,9 @@ def run(inductance: float = 9.1e-9, capacitance: float = 8.2e-12,
         line_loss_db_per_m=8.685889638 * alpha,
         inductor_srf_ghz=inductor.srf_hz / 1e9,
         capacitor_srf_ghz=capacitor.srf_hz / 1e9,
+        splitter_insertion_db=splitter_insertion,
+        splitter_isolation_db=splitter_isolation,
+        splitter_match_db=splitter_match,
     )
 
 
@@ -74,20 +99,29 @@ def format_report(result: E7Result) -> str:
         f"(L SRF {result.inductor_srf_ghz:.2f} GHz, "
         f"C SRF {result.capacitor_srf_ghz:.2f} GHz)"
     )
+    labels = ["Q(L)", "ESR(L) [ohm]", "Q(C)", "ESR(C) [ohm]", "eps_eff",
+              "Z0 [ohm]", "loss [dB/m]"]
+    columns = [
+        result.inductor_q,
+        result.inductor_esr,
+        result.capacitor_q,
+        result.capacitor_esr,
+        result.eps_eff,
+        result.z0_line,
+        result.line_loss_db_per_m,
+    ]
+    if result.splitter_insertion_db is not None:
+        labels += ["split S21 [dB]", "split S32 [dB]", "split S11 [dB]"]
+        columns += [
+            result.splitter_insertion_db,
+            result.splitter_isolation_db,
+            result.splitter_match_db,
+        ]
     return format_series(
         "f [GHz]",
-        ["Q(L)", "ESR(L) [ohm]", "Q(C)", "ESR(C) [ohm]", "eps_eff",
-         "Z0 [ohm]", "loss [dB/m]"],
+        labels,
         result.frequency.f_ghz,
-        [
-            result.inductor_q,
-            result.inductor_esr,
-            result.capacitor_q,
-            result.capacitor_esr,
-            result.eps_eff,
-            result.z0_line,
-            result.line_loss_db_per_m,
-        ],
+        columns,
         title=title,
         float_format="{:.3f}",
     )

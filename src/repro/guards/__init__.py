@@ -1,0 +1,75 @@
+"""Physical-invariant contracts and numerical-conditioning guards.
+
+The optimization loop only produces a meaningful NF-vs-gain trade-off
+if every intermediate artifact is physically sane: passive S-matrices
+must be passive, noise parameters consistent, MNA solves
+well-conditioned.  This package is the single place those invariants
+are written down and enforced.
+
+Three guard modes, selected by the ``REPRO_GUARDS`` environment
+variable (or :func:`set_mode` / :func:`guard_mode` at runtime):
+
+* ``strict`` — a violated contract raises :class:`ContractViolation`;
+* ``warn`` (default) — a violation emits a :class:`GuardWarning`,
+  increments the ``guards.violations`` metric, and — inside the
+  fault-isolated evaluation paths — quarantines the offending
+  candidate through the existing
+  :class:`~repro.optimize.faults.EvaluationFailure` taxonomy;
+* ``off`` — every check short-circuits to a no-op.
+
+The checks are wired at the pipeline's trust boundaries: Touchstone
+load, passive synthesis (:mod:`repro.passives`), the compiled batch
+engine (:mod:`repro.core.engine`), and optimizer-reported results.
+The numerical-conditioning half (condition estimates, equilibrated
+re-solves) lives in :mod:`repro.analysis.conditioning`.
+"""
+
+from repro.guards.contracts import (
+    ContractViolation,
+    GuardWarning,
+    check_finite,
+    check_frequency_grid,
+    check_noise_correlation,
+    check_noise_parameters,
+    check_optimization_result,
+    check_pareto_front,
+    check_passive_network,
+    check_passivity,
+    check_reciprocity,
+    check_stability_sanity,
+    noise_figure_violation_mask,
+    report_violation,
+)
+from repro.guards.modes import (
+    MODE_OFF,
+    MODE_STRICT,
+    MODE_WARN,
+    enabled,
+    get_mode,
+    guard_mode,
+    set_mode,
+)
+
+__all__ = [
+    "ContractViolation",
+    "GuardWarning",
+    "MODE_OFF",
+    "MODE_STRICT",
+    "MODE_WARN",
+    "check_finite",
+    "check_frequency_grid",
+    "check_noise_correlation",
+    "check_noise_parameters",
+    "check_optimization_result",
+    "check_pareto_front",
+    "check_passive_network",
+    "check_passivity",
+    "check_reciprocity",
+    "check_stability_sanity",
+    "enabled",
+    "get_mode",
+    "guard_mode",
+    "noise_figure_violation_mask",
+    "report_violation",
+    "set_mode",
+]

@@ -1,0 +1,350 @@
+"""The invariant contracts enforced at the pipeline's trust boundaries.
+
+Each ``check_*`` function tests one physical invariant and reports
+violations through :func:`report_violation`, which implements the
+strict/warn/off policy of :mod:`repro.guards.modes`:
+
+* **passivity** — a passive N-port cannot create power:
+  ``eigvals(I − SᴴS) ≥ −tol`` at every frequency;
+* **reciprocity** — passive networks without gyrators or active
+  devices satisfy ``S = Sᵀ``;
+* **monotone frequency grids** — positive, finite, strictly
+  increasing (``FrequencyGrid`` already enforces this at
+  construction; the check exists for raw arrays crossing a boundary);
+* **noise consistency** — ``rn ≥ 0``, ``Fmin ≥ 1`` (NFmin ≥ 0 dB),
+  ``|Γ_opt| < 1``, and noise-correlation matrices Hermitian positive
+  semidefinite;
+* **Rollett-stability sanity** — the K/|Δ| and Edwards–Sinsky μ tests
+  are equivalent characterizations of unconditional stability; a
+  disagreement means the S-data (or the stability code) is broken.
+
+All checks are read-only: enabling them can never change a numerical
+result, only raise/warn/count — the bit-for-bit guarantee the batched
+engine and benchmark suite rely on.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+import numpy as np
+
+from repro.guards.modes import MODE_STRICT, enabled, get_mode
+from repro.obs import metrics as _obs_metrics
+from repro.rf.stability import determinant, mu_source, rollett_k
+
+__all__ = [
+    "ContractViolation",
+    "GuardWarning",
+    "report_violation",
+    "check_finite",
+    "check_frequency_grid",
+    "check_passivity",
+    "check_reciprocity",
+    "check_noise_correlation",
+    "check_noise_parameters",
+    "check_stability_sanity",
+    "check_passive_network",
+    "check_optimization_result",
+    "check_pareto_front",
+    "noise_figure_violation_mask",
+]
+
+#: Default slack for contracts evaluated on solver output: double
+#: precision MNA solves of well-scaled networks keep passivity /
+#: reciprocity residuals far below this.
+DEFAULT_TOL = 1e-8
+
+
+class ContractViolation(ValueError):
+    """A physical-invariant contract failed in strict mode.
+
+    Subclasses ``ValueError`` so the optimizer fault-absorption
+    machinery (:data:`repro.optimize.faults.FAILURE_EXCEPTIONS`)
+    classifies an escaped violation as a candidate failure rather than
+    a programming error.
+    """
+
+    def __init__(self, contract: str, message: str):
+        super().__init__(f"[{contract}] {message}")
+        self.contract = contract
+
+
+class GuardWarning(UserWarning):
+    """Warn-mode report of a violated physical-invariant contract."""
+
+
+def report_violation(contract: str, message: str) -> None:
+    """Report one violated contract according to the active mode.
+
+    ``strict`` raises :class:`ContractViolation`; ``warn`` emits a
+    :class:`GuardWarning` and increments the ``guards.violations``
+    metric (plus a per-contract counter); ``off`` is a no-op.
+    """
+    if not enabled():
+        return
+    _obs_metrics.inc("guards.violations")
+    _obs_metrics.inc(f"guards.violations.{contract}")
+    if get_mode() == MODE_STRICT:
+        raise ContractViolation(contract, message)
+    warnings.warn(f"[{contract}] {message}", GuardWarning, stacklevel=3)
+
+
+# ----------------------------------------------------------------------
+# elementary checks
+# ----------------------------------------------------------------------
+
+def check_finite(values, name: str, contract: str = "finite") -> None:
+    """Every entry of *values* must be finite."""
+    if not enabled():
+        return
+    arr = np.asarray(values)
+    if not np.all(np.isfinite(arr)):
+        n_bad = int(np.sum(~np.isfinite(arr)))
+        report_violation(
+            contract,
+            f"{name}: {n_bad} of {arr.size} entries are non-finite",
+        )
+
+
+def check_frequency_grid(f_hz, name: str) -> None:
+    """Frequencies must be finite, positive, and strictly increasing."""
+    if not enabled():
+        return
+    f = np.asarray(f_hz, dtype=float).ravel()
+    if not np.all(np.isfinite(f)):
+        report_violation("frequency_grid", f"{name}: non-finite frequencies")
+        return
+    if f.size and np.min(f) <= 0:
+        report_violation(
+            "frequency_grid",
+            f"{name}: frequencies must be positive, min is {np.min(f):g} Hz",
+        )
+        return
+    if f.size > 1 and np.any(np.diff(f) <= 0):
+        report_violation(
+            "frequency_grid",
+            f"{name}: frequencies must be strictly increasing",
+        )
+
+
+def check_passivity(s, name: str, tol: float = DEFAULT_TOL) -> float:
+    """``eigvals(I − SᴴS) ≥ −tol``: a passive network cannot add power.
+
+    Returns the worst (most negative) eigenvalue found, which is also
+    handy for diagnostics; ``0.0`` when guards are off.
+    """
+    if not enabled():
+        return 0.0
+    s = np.asarray(s, dtype=complex)
+    if not np.all(np.isfinite(s)):
+        report_violation("passivity", f"{name}: non-finite S-parameters")
+        return -np.inf
+    s_h = np.conjugate(np.swapaxes(s, -1, -2))
+    gram = np.eye(s.shape[-1]) - s_h @ s
+    eigs = np.linalg.eigvalsh(gram)
+    worst = float(np.min(eigs))
+    if worst < -tol:
+        report_violation(
+            "passivity",
+            f"{name}: min eig(I - S^H S) = {worst:.3e} < -{tol:g} "
+            f"(the network creates power)",
+        )
+    return worst
+
+
+def check_reciprocity(s, name: str, tol: float = DEFAULT_TOL) -> float:
+    """``S = Sᵀ`` for passive networks without gyrators/active devices.
+
+    Returns the worst asymmetry ``max|S - Sᵀ|`` (relative to the
+    larger of 1 and ``max|S|``).
+    """
+    if not enabled():
+        return 0.0
+    s = np.asarray(s, dtype=complex)
+    asym = np.abs(s - np.swapaxes(s, -1, -2))
+    scale = max(1.0, float(np.max(np.abs(s))) if s.size else 1.0)
+    worst = float(np.max(asym)) / scale if s.size else 0.0
+    if not np.isfinite(worst) or worst > tol:
+        report_violation(
+            "reciprocity",
+            f"{name}: max |S - S^T| = {worst:.3e} > {tol:g} "
+            f"(passive network must be reciprocal)",
+        )
+    return worst
+
+
+def check_noise_correlation(cy, name: str, tol: float = DEFAULT_TOL) -> None:
+    """Noise-correlation matrices must be Hermitian positive semidefinite."""
+    if not enabled():
+        return
+    cy = np.asarray(cy, dtype=complex)
+    if not np.all(np.isfinite(cy)):
+        report_violation(
+            "noise_consistency", f"{name}: non-finite noise correlation"
+        )
+        return
+    cy_h = np.conjugate(np.swapaxes(cy, -1, -2))
+    scale = max(float(np.max(np.abs(cy))) if cy.size else 0.0, 1e-300)
+    herm_err = float(np.max(np.abs(cy - cy_h))) / scale if cy.size else 0.0
+    if herm_err > tol:
+        report_violation(
+            "noise_consistency",
+            f"{name}: correlation matrix is not Hermitian "
+            f"(relative asymmetry {herm_err:.3e})",
+        )
+        return
+    eigs = np.linalg.eigvalsh(0.5 * (cy + cy_h))
+    worst = float(np.min(eigs)) / scale
+    if worst < -tol:
+        report_violation(
+            "noise_consistency",
+            f"{name}: correlation matrix has negative eigenvalue "
+            f"(relative {worst:.3e}) — negative noise power",
+        )
+
+
+def check_noise_parameters(fmin, rn, gamma_opt, name: str,
+                           tol: float = DEFAULT_TOL) -> None:
+    """Consistency of a noise-parameter set.
+
+    ``rn ≥ 0``, ``Fmin ≥ 1`` (NFmin ≥ 0 dB), ``|Γ_opt| < 1`` (the
+    optimum source must be realizable with a passive termination), and
+    everything finite.
+    """
+    if not enabled():
+        return
+    fmin = np.asarray(fmin, dtype=float)
+    rn = np.asarray(rn, dtype=float)
+    gamma = np.asarray(gamma_opt, dtype=complex)
+    if not (np.all(np.isfinite(fmin)) and np.all(np.isfinite(rn))
+            and np.all(np.isfinite(gamma))):
+        report_violation(
+            "noise_consistency", f"{name}: non-finite noise parameters"
+        )
+        return
+    if rn.size and np.min(rn) < -tol:
+        report_violation(
+            "noise_consistency",
+            f"{name}: rn must be >= 0, min is {np.min(rn):.3e} ohm",
+        )
+    if fmin.size and np.min(fmin) < 1.0 - tol:
+        report_violation(
+            "noise_consistency",
+            f"{name}: Fmin must be >= 1 (NFmin >= 0 dB), "
+            f"min is {np.min(fmin):.6f}",
+        )
+    mag = np.abs(gamma)
+    if mag.size and np.max(mag) >= 1.0:
+        report_violation(
+            "noise_consistency",
+            f"{name}: |gamma_opt| must be < 1, max is {np.max(mag):.6f}",
+        )
+
+
+def check_stability_sanity(s, name: str, margin: float = 1e-6) -> None:
+    """Cross-check the two unconditional-stability tests on 2-port data.
+
+    Rollett's ``K > 1 and |Δ| < 1`` and Edwards–Sinsky's ``μ > 1`` are
+    equivalent; where both sit clear of their thresholds (by *margin*)
+    their verdicts must agree.  Non-finite stability figures are also
+    flagged.
+    """
+    if not enabled():
+        return
+    s = np.asarray(s, dtype=complex)
+    k = np.asarray(rollett_k(s), dtype=float)
+    mu = np.asarray(mu_source(s), dtype=float)
+    delta = np.abs(np.asarray(determinant(s), dtype=complex))
+    if not (np.all(np.isfinite(k)) and np.all(np.isfinite(mu))
+            and np.all(np.isfinite(delta))):
+        report_violation(
+            "stability_sanity", f"{name}: non-finite stability figures"
+        )
+        return
+    decisive = (np.abs(mu - 1.0) > margin) & (np.abs(k - 1.0) > margin) \
+        & (np.abs(delta - 1.0) > margin)
+    k_stable = (k > 1.0) & (delta < 1.0)
+    mu_stable = mu > 1.0
+    disagree = decisive & (k_stable != mu_stable)
+    if np.any(disagree):
+        idx = int(np.flatnonzero(disagree.ravel())[0])
+        report_violation(
+            "stability_sanity",
+            f"{name}: K/|Delta| and mu stability tests disagree "
+            f"(first at flat index {idx}: K={k.ravel()[idx]:.4f}, "
+            f"|Delta|={delta.ravel()[idx]:.4f}, mu={mu.ravel()[idx]:.4f})",
+        )
+
+
+# ----------------------------------------------------------------------
+# composite checks (one call per trust boundary)
+# ----------------------------------------------------------------------
+
+def check_passive_network(s, name: str, cy: Optional[np.ndarray] = None,
+                          reciprocal: bool = True,
+                          tol: float = DEFAULT_TOL) -> None:
+    """Full contract of a synthesized passive N-port.
+
+    Finite S, passivity, (optionally) reciprocity, and — when *cy* is
+    given — a Hermitian positive-semidefinite noise correlation.
+    One call at each passive-synthesis boundary.
+    """
+    if not enabled():
+        return
+    check_passivity(s, name, tol=tol)
+    if reciprocal:
+        check_reciprocity(s, name, tol=max(tol, 1e-7))
+    if cy is not None:
+        check_noise_correlation(cy, name, tol=max(tol, 1e-7))
+
+
+def check_optimization_result(x, fun, name: str) -> None:
+    """Sanity of an optimizer-reported best design.
+
+    The reported design vector must be finite and the objective value
+    must not be NaN (``+inf`` is legitimate — it reports a run whose
+    every candidate failed, visible in ``result.health``).
+    """
+    if not enabled():
+        return
+    x = np.asarray(x, dtype=float)
+    if not np.all(np.isfinite(x)):
+        report_violation(
+            "optimizer_result", f"{name}: best design vector is non-finite"
+        )
+    if np.isnan(fun):
+        report_violation(
+            "optimizer_result", f"{name}: best objective value is NaN"
+        )
+
+
+def check_pareto_front(x, objectives, name: str) -> None:
+    """Sanity of a reported Pareto front: finite designs, no NaN scores."""
+    if not enabled():
+        return
+    x = np.asarray(x, dtype=float)
+    objectives = np.asarray(objectives, dtype=float)
+    if not np.all(np.isfinite(x)):
+        report_violation(
+            "optimizer_result", f"{name}: front contains non-finite designs"
+        )
+    if np.any(np.isnan(objectives)):
+        report_violation(
+            "optimizer_result", f"{name}: front contains NaN objectives"
+        )
+
+
+def noise_figure_violation_mask(nf_db: np.ndarray,
+                                tol_db: float = 1e-6) -> np.ndarray:
+    """(B,) mask of batch rows whose noise figure dips below 0 dB.
+
+    A two-port driven from a room-temperature source cannot have a
+    noise factor below 1 — NF < 0 dB means the noise model produced
+    negative noise power.  Pure predicate (no reporting) so the batch
+    engine can quarantine rows itself.
+    """
+    nf_db = np.atleast_2d(np.asarray(nf_db, dtype=float))
+    low = np.where(np.isfinite(nf_db), nf_db, np.inf).min(axis=1)
+    return low < -tol_db

@@ -1,0 +1,76 @@
+"""Guard-mode resolution: ``REPRO_GUARDS=strict|warn|off``.
+
+The mode is read from the environment once at import and can be
+changed at runtime with :func:`set_mode` or scoped with the
+:func:`guard_mode` context manager (used heavily by the test suite to
+exercise both strict and warn behaviour in one process).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+
+__all__ = [
+    "MODE_STRICT",
+    "MODE_WARN",
+    "MODE_OFF",
+    "get_mode",
+    "set_mode",
+    "guard_mode",
+    "enabled",
+]
+
+MODE_STRICT = "strict"
+MODE_WARN = "warn"
+MODE_OFF = "off"
+_VALID_MODES = (MODE_STRICT, MODE_WARN, MODE_OFF)
+
+_ENV_VAR = "REPRO_GUARDS"
+
+
+def _mode_from_env() -> str:
+    raw = os.environ.get(_ENV_VAR, MODE_WARN).strip().lower()
+    if raw in _VALID_MODES:
+        return raw
+    warnings.warn(
+        f"{_ENV_VAR}={raw!r} is not one of {_VALID_MODES}; "
+        f"falling back to {MODE_WARN!r}",
+        stacklevel=2,
+    )
+    return MODE_WARN
+
+
+_mode = _mode_from_env()
+
+
+def get_mode() -> str:
+    """The active guard mode (``strict``, ``warn``, or ``off``)."""
+    return _mode
+
+
+def set_mode(mode: str) -> None:
+    """Set the guard mode for the whole process."""
+    if mode not in _VALID_MODES:
+        raise ValueError(
+            f"guard mode must be one of {_VALID_MODES}, got {mode!r}"
+        )
+    global _mode
+    _mode = mode
+
+
+@contextmanager
+def guard_mode(mode: str):
+    """Temporarily run with *mode* (restores the previous mode on exit)."""
+    previous = get_mode()
+    set_mode(mode)
+    try:
+        yield
+    finally:
+        set_mode(previous)
+
+
+def enabled() -> bool:
+    """Whether any checking happens at all (mode is not ``off``)."""
+    return _mode != MODE_OFF

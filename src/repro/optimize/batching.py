@@ -40,6 +40,8 @@ import numpy as np
 from repro.obs import metrics as _obs_metrics
 from repro.obs import tracer as _obs_tracer
 from repro.optimize.faults import (
+    BACKOFF_BASE,
+    BACKOFF_CAP,
     CATEGORY_NON_FINITE,
     CATEGORY_TIMEOUT,
     RunHealth,
@@ -126,8 +128,8 @@ class PopulationEvaluator:
                  workers: Optional[int] = None,
                  generation_timeout: Optional[float] = None,
                  max_pool_rebuilds: int = 3,
-                 backoff_base: float = 0.1,
-                 backoff_cap: float = 2.0,
+                 backoff_base: float = BACKOFF_BASE,
+                 backoff_cap: float = BACKOFF_CAP,
                  health: Optional[RunHealth] = None):
         workers = validate_workers(workers)
         if generation_timeout is not None and generation_timeout <= 0:

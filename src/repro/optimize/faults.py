@@ -39,6 +39,9 @@ __all__ = [
     "FAILURE_EXCEPTIONS",
     "classify_exception",
     "guarded_call",
+    "retry_transient",
+    "BACKOFF_BASE",
+    "BACKOFF_CAP",
 ]
 
 #: Exception types that mean "this candidate cannot be evaluated", as
@@ -60,6 +63,49 @@ CATEGORY_NON_FINITE = "non_finite"
 CATEGORY_EXCEPTION = "exception"
 CATEGORY_TIMEOUT = "timeout"
 CATEGORY_BAD_BIAS = "bad_bias"
+CATEGORY_CONTRACT = "contract"
+
+#: Exponential-backoff schedule shared by every transient-retry loop in
+#: the runtime: worker-pool rebuilds
+#: (:class:`repro.optimize.batching.PopulationEvaluator`) and checkpoint
+#: file I/O (:class:`repro.optimize.checkpoint.FileCheckpointStore`)
+#: both wait ``min(BACKOFF_CAP, BACKOFF_BASE * 2**k)`` seconds before
+#: attempt ``k + 1``.
+BACKOFF_BASE = 0.1
+BACKOFF_CAP = 2.0
+
+
+def retry_transient(fn: Callable, *args,
+                    attempts: int = 3,
+                    backoff_base: float = BACKOFF_BASE,
+                    backoff_cap: float = BACKOFF_CAP,
+                    retry_on=(OSError,),
+                    no_retry=(FileNotFoundError,),
+                    on_retry: Optional[Callable] = None,
+                    **kwargs):
+    """Call ``fn(*args, **kwargs)``, retrying transient failures.
+
+    Exceptions matching *retry_on* (default: ``OSError`` — the class
+    transient filesystem hiccups raise) are retried up to *attempts*
+    times with the shared capped exponential backoff; exceptions in
+    *no_retry* (default: ``FileNotFoundError`` — a missing file is a
+    state, not a hiccup) and everything else propagate immediately.
+    *on_retry*, when given, is called as ``on_retry(exc, attempt)``
+    before each sleep so callers can count retries in their telemetry.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    for attempt in range(attempts):
+        try:
+            return fn(*args, **kwargs)
+        except no_retry:
+            raise
+        except retry_on as exc:
+            if attempt == attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(exc, attempt)
+            time.sleep(min(backoff_cap, backoff_base * 2.0 ** attempt))
 
 
 class InjectedFault(RuntimeError):

@@ -35,6 +35,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.guards import contracts as _contracts
 from repro.obs.telemetry import GenerationRecord, population_stats
 from repro.optimize.batching import PopulationEvaluator
 from repro.optimize.checkpoint import (
@@ -66,6 +67,14 @@ class OptimizationResult:
     history: List[float] = field(default_factory=list)
     message: str = ""
     health: RunHealth = field(default_factory=RunHealth)
+
+    def __post_init__(self):
+        # Guard the trust boundary every optimizer reports through: a
+        # non-finite best design or a NaN objective must never leave a
+        # run silently (+inf is legitimate — an all-failed run).
+        _contracts.check_optimization_result(
+            self.x, self.fun, "OptimizationResult"
+        )
 
 
 def _check_bounds(lower, upper):

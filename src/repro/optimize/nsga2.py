@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.guards import contracts as _contracts
 from repro.obs.telemetry import GenerationRecord, population_stats
 from repro.optimize.checkpoint import (
     CheckpointError,
@@ -61,6 +62,11 @@ class Nsga2Result:
     nfev: int
     n_generations: int
     health: RunHealth = field(default_factory=RunHealth)
+
+    def __post_init__(self):
+        # Reported-front trust boundary: finite designs, no NaN scores.
+        _contracts.check_pareto_front(self.x, self.objectives,
+                                      "Nsga2Result")
 
     @property
     def feasible_front(self) -> np.ndarray:

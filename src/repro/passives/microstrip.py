@@ -17,6 +17,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.netlist import Circuit
+from repro.guards import contracts as _contracts
+from repro.guards import modes as _guard_modes
 from repro.rf.frequency import FrequencyGrid
 from repro.rf.twoport import TwoPort, transmission_line
 from repro.util.constants import (
@@ -190,10 +192,30 @@ class MicrostripLine:
     def as_twoport(self, frequency: FrequencyGrid, z0_ref=50.0) -> TwoPort:
         """The line as a dispersive, lossy TwoPort."""
         f = frequency.f_hz
+        gamma = self.gamma(f)
+        if _guard_modes.enabled():
+            # Dissipativity contract of the line model: attenuation
+            # must be non-negative (alpha < 0 means the loss model
+            # turned the line into an amplifier) and the quasi-TEM
+            # effective permittivity must stay physical (>= 1).
+            alpha = np.real(np.atleast_1d(gamma))
+            if not np.all(np.isfinite(gamma)) or np.min(alpha) < -1e-12:
+                _contracts.report_violation(
+                    "dissipative",
+                    f"{self.name}: attenuation alpha must be >= 0, "
+                    f"min is {float(np.min(alpha)):.3e} Np/m",
+                )
+            eps = np.atleast_1d(self.eps_eff(f))
+            if np.min(eps) < 1.0 - 1e-9:
+                _contracts.report_violation(
+                    "dissipative",
+                    f"{self.name}: eps_eff must be >= 1, "
+                    f"min is {float(np.min(eps)):.6f}",
+                )
         return transmission_line(
             frequency,
             self.z0(f),
-            self.gamma(f) * self.length,
+            gamma * self.length,
             z0=z0_ref,
             name=self.name,
         )

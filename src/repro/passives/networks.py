@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.netlist import Circuit
+from repro.guards import contracts as _contracts
 from repro.passives.microstrip import MicrostripLine
 from repro.passives.rlc import (
     coilcraft_style_inductor,
@@ -95,6 +96,9 @@ class MatchingSection:
                 stages.append(shunt_net)
         for stage in stages:
             chain = chain ** stage
+        _contracts.check_passive_network(
+            chain.network.s, f"matching section {self.name!r}"
+        )
         return chain
 
     # -- netlist path --------------------------------------------------------
@@ -168,6 +172,9 @@ class BiasFeed:
 
         z = self.shunt_impedance(frequency.f_hz)
         network = shunt_tp(frequency, z, z0=z0, name=self.name)
+        _contracts.check_passive_network(
+            network.s, f"bias feed {self.name!r}"
+        )
         return NoisyTwoPort.from_passive(network)
 
     def add_to(self, circuit: Circuit, signal_node: str,
@@ -189,7 +196,9 @@ def dc_block(frequency: FrequencyGrid, capacitance: float = 47e-12,
              z0: float = 50.0, name: str = "dcblock") -> NoisyTwoPort:
     """A series DC-blocking capacitor as a noisy two-port."""
     cap = murata_style_capacitor(capacitance, name=name)
-    return NoisyTwoPort.from_passive(cap.as_series(frequency, z0),
-                                     cap.temperature)
+    block = NoisyTwoPort.from_passive(cap.as_series(frequency, z0),
+                                      cap.temperature)
+    _contracts.check_passive_network(block.network.s, f"dc block {name!r}")
+    return block
 
 

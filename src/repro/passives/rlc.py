@@ -26,6 +26,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.netlist import Circuit
+from repro.guards import contracts as _contracts
+from repro.guards import modes as _guard_modes
 from repro.rf.frequency import FrequencyGrid
 from repro.rf.twoport import TwoPort, series_impedance, shunt_impedance
 from repro.util.constants import BOLTZMANN, T_AMBIENT
@@ -78,15 +80,38 @@ class _PassiveTwoTerminal:
         z = self.impedance(f_hz)
         return np.abs(z.imag) / np.maximum(z.real, 1e-300)
 
+    def _checked_impedance(self, f_hz) -> np.ndarray:
+        """Impedance with the dissipativity contract enforced.
+
+        A passive two-terminal component must not have negative series
+        resistance: ``Re(Z) ≥ 0`` at every frequency (a broken
+        parasitic model that crosses zero would synthesize an active
+        network and silently poison every passivity budget downstream).
+        """
+        z = self.impedance(f_hz)
+        if _guard_modes.enabled():
+            esr = np.real(np.atleast_1d(z))
+            scale = max(float(np.max(np.abs(z))), 1.0)
+            worst = float(np.min(esr))
+            if not np.all(np.isfinite(z)) or worst < -1e-9 * scale:
+                _contracts.report_violation(
+                    "dissipative",
+                    f"{self.name}: Re(Z) must be >= 0 for a passive "
+                    f"component, min is {worst:.3e} ohm",
+                )
+        return z
+
     # -- conversion to network elements -----------------------------------
     def as_series(self, frequency: FrequencyGrid, z0=50.0) -> TwoPort:
         """A series two-port on the given grid."""
-        return series_impedance(frequency, self.impedance(frequency.f_hz),
+        return series_impedance(frequency,
+                                self._checked_impedance(frequency.f_hz),
                                 z0=z0, name=f"{self.name}(series)")
 
     def as_shunt(self, frequency: FrequencyGrid, z0=50.0) -> TwoPort:
         """A shunt-to-ground two-port on the given grid."""
-        return shunt_impedance(frequency, self.impedance(frequency.f_hz),
+        return shunt_impedance(frequency,
+                               self._checked_impedance(frequency.f_hz),
                                z0=z0, name=f"{self.name}(shunt)")
 
     def add_to(self, circuit: Circuit, node_a: str, node_b: str) -> Circuit:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.analysis.acsolver import ACResult, solve_ac
 from repro.analysis.netlist import Circuit
+from repro.guards import contracts as _contracts
 from repro.passives.microstrip import (
     MicrostripLine,
     MicrostripSubstrate,
@@ -69,7 +70,11 @@ def tee_junction_parasitic_sparams(frequency: FrequencyGrid,
         circuit.resistor(f"Racc{k + 1}", f"arm{k + 1}", "junction", 1e-6,
                          temperature=0.0)
     circuit.capacitor("Cj", "junction", "gnd", shunt_capacitance)
-    return solve_ac(circuit, frequency, compute_noise=False).s
+    s = solve_ac(circuit, frequency, compute_noise=False).s
+    # The 1e-6-ohm access resistors put the lossless junction a hair on
+    # the active side of |S| = 1 numerically; allow for that.
+    _contracts.check_passive_network(s, "tee junction", tol=1e-6)
+    return s
 
 
 class ResistiveSplitter:
@@ -92,7 +97,11 @@ class ResistiveSplitter:
 
     def solve(self, frequency: FrequencyGrid) -> ACResult:
         """3-port S-parameters and noise over the grid."""
-        return solve_ac(self.build_circuit(), frequency)
+        result = solve_ac(self.build_circuit(), frequency)
+        _contracts.check_passive_network(
+            result.s, f"resistive splitter {self.name!r}", cy=result.cy
+        )
+        return result
 
 
 class WilkinsonDivider:
@@ -140,4 +149,8 @@ class WilkinsonDivider:
 
     def solve(self, frequency: FrequencyGrid) -> ACResult:
         """3-port S-parameters and noise over the grid."""
-        return solve_ac(self.build_circuit(), frequency)
+        result = solve_ac(self.build_circuit(), frequency)
+        _contracts.check_passive_network(
+            result.s, f"wilkinson divider {self.name!r}", cy=result.cy
+        )
+        return result

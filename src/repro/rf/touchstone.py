@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.guards import contracts as _contracts
 from repro.rf.frequency import FrequencyGrid
 from repro.rf.noise import NoiseParameters
 from repro.rf.twoport import TwoPort
@@ -34,7 +35,7 @@ class TouchstoneData:
     noise: Optional[NoiseParameters] = None
 
 
-def read_touchstone(source) -> TouchstoneData:
+def read_touchstone(source, expect_passive: bool = False) -> TouchstoneData:
     """Parse a .s2p file.
 
     Parameters
@@ -42,6 +43,11 @@ def read_touchstone(source) -> TouchstoneData:
     source:
         A path, or any object with a ``read`` method, or a string
         containing the file body (detected by the presence of newlines).
+    expect_passive:
+        Additionally enforce the passivity and reciprocity contracts on
+        the parsed S-data (for files describing passive structures —
+        transistor files are legitimately active, so the default checks
+        only finiteness, grid monotonicity, and noise consistency).
     """
     text = _slurp(source)
     unit_scale = 1e9
@@ -98,6 +104,10 @@ def read_touchstone(source) -> TouchstoneData:
 
     s_arr = np.asarray(s_rows, dtype=float)
     f_hz = s_arr[:, 0] * unit_scale
+    # Trust-boundary contract: check the grid before FrequencyGrid's
+    # own constructor rejects it, so strict mode reports a typed
+    # ContractViolation naming the touchstone source.
+    _contracts.check_frequency_grid(f_hz, "touchstone frequency grid")
     pair_order = [(0, 0), (1, 0), (0, 1), (1, 1)]  # S11 S21 S12 S22
     s = np.empty((len(f_hz), 2, 2), dtype=complex)
     for k, (i, j) in enumerate(pair_order):
@@ -119,6 +129,17 @@ def read_touchstone(source) -> TouchstoneData:
         ):
             # Noise data on its own grid: resample onto the S grid.
             noise = _resample_noise(n_arr[:, 0] * unit_scale, noise, f_hz, z0)
+
+    # Trust-boundary contracts: external data enters the pipeline here.
+    _contracts.check_finite(s, "touchstone S-parameters")
+    if expect_passive:
+        _contracts.check_passivity(s, "touchstone S-parameters")
+        _contracts.check_reciprocity(s, "touchstone S-parameters")
+    if noise is not None:
+        _contracts.check_noise_parameters(
+            noise.fmin, noise.rn, noise.gamma_opt(z0),
+            "touchstone noise parameters",
+        )
     return TouchstoneData(network=network, noise=noise)
 
 

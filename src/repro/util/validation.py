@@ -13,25 +13,46 @@ __all__ = [
 ]
 
 
+def _reject_nan(arr, name):
+    # NaN would fail any ordering comparison anyway, but the resulting
+    # "must be positive" message sends people hunting for a sign bug
+    # instead of the upstream NaN — name the real problem.
+    if np.any(np.isnan(arr)):
+        raise ValueError(f"{name} must not contain NaN")
+
+
 def ensure_positive(value, name):
-    """Raise ``ValueError`` unless every element of *value* is > 0."""
+    """Raise ``ValueError`` unless every element of *value* is > 0.
+
+    NaN is rejected explicitly (with a message naming NaN) rather than
+    falling through the comparison.
+    """
     arr = np.asarray(value, dtype=float)
+    _reject_nan(arr, name)
     if not np.all(arr > 0):
         raise ValueError(f"{name} must be positive, got {value!r}")
     return value
 
 
 def ensure_nonnegative(value, name):
-    """Raise ``ValueError`` unless every element of *value* is >= 0."""
+    """Raise ``ValueError`` unless every element of *value* is >= 0.
+
+    NaN is rejected explicitly with a message naming NaN.
+    """
     arr = np.asarray(value, dtype=float)
+    _reject_nan(arr, name)
     if not np.all(arr >= 0):
         raise ValueError(f"{name} must be non-negative, got {value!r}")
     return value
 
 
 def ensure_in_range(value, low, high, name):
-    """Raise ``ValueError`` unless low <= value <= high (elementwise)."""
+    """Raise ``ValueError`` unless low <= value <= high (elementwise).
+
+    NaN is rejected explicitly with a message naming NaN.
+    """
     arr = np.asarray(value, dtype=float)
+    _reject_nan(arr, name)
     if not np.all((arr >= low) & (arr <= high)):
         raise ValueError(f"{name} must lie in [{low}, {high}], got {value!r}")
     return value

@@ -6,7 +6,9 @@ a run that was never interrupted, because the checkpoint carries the
 complete algorithm state including the RNG bit-generator state.
 """
 
+import os
 import pickle
+import time
 
 import numpy as np
 import pytest
@@ -81,23 +83,103 @@ def test_file_store_atomic_no_tmp_left_behind(tmp_path):
     store = FileCheckpointStore(str(path))
     for i in range(3):
         store.save(Checkpoint("de", i, None, {}))
-    leftovers = [p for p in path.parent.iterdir() if p != path]
+    # Only the checkpoint and its last-good rotation may remain — no
+    # mkstemp leftovers.
+    leftovers = [p for p in path.parent.iterdir()
+                 if p not in (path, path.with_suffix(".ckpt.prev"))]
     assert leftovers == []
     assert store.load().iteration == 2
 
 
-def test_file_store_corrupt_raises_checkpoint_error(tmp_path):
+def test_file_store_rotates_previous_checkpoint(tmp_path):
+    path = tmp_path / "run.ckpt"
+    store = FileCheckpointStore(str(path))
+    store.save(Checkpoint("de", 1, None, {}))
+    store.save(Checkpoint("de", 2, None, {}))
+    prev = FileCheckpointStore(store.previous_path)
+    assert prev.load().iteration == 1
+    assert store.load().iteration == 2
+
+
+def test_file_store_corrupt_quarantined_in_warn_mode(tmp_path):
+    path = tmp_path / "run.ckpt"
+    path.write_bytes(b"\x80\x04 definitely not a pickle")
+    store = FileCheckpointStore(str(path))
+    with pytest.warns(UserWarning, match="quarantin"):
+        assert store.load() is None
+    assert not path.exists()
+    assert (tmp_path / "run.ckpt.corrupt").exists()
+
+
+def test_file_store_corrupt_raises_in_strict_mode(tmp_path):
+    from repro.guards import guard_mode
+
     path = tmp_path / "run.ckpt"
     path.write_bytes(b"not a pickle")
-    with pytest.raises(CheckpointError):
-        FileCheckpointStore(str(path)).load()
+    with guard_mode("strict"):
+        with pytest.raises(CheckpointError):
+            FileCheckpointStore(str(path)).load()
+    assert path.exists()  # strict mode does not quarantine
 
 
-def test_file_store_wrong_object_raises(tmp_path):
+def test_file_store_wrong_object_quarantined(tmp_path):
     path = tmp_path / "run.ckpt"
     path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
-    with pytest.raises(CheckpointError):
-        FileCheckpointStore(str(path)).load()
+    with pytest.warns(UserWarning, match="quarantin"):
+        assert FileCheckpointStore(str(path)).load() is None
+    assert (tmp_path / "run.ckpt.corrupt").exists()
+
+
+def test_file_store_crc_detects_bit_flip(tmp_path):
+    path = tmp_path / "run.ckpt"
+    store = FileCheckpointStore(str(path))
+    store.save(Checkpoint("de", 4, None, {"v": np.arange(5)}))
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.warns(UserWarning, match="quarantin"):
+        assert store.load() is None
+
+
+def test_file_store_falls_back_to_previous_good(tmp_path):
+    path = tmp_path / "run.ckpt"
+    store = FileCheckpointStore(str(path))
+    store.save(Checkpoint("de", 1, None, {}))
+    store.save(Checkpoint("de", 2, None, {}))
+    # Truncate the live checkpoint mid-blob; resume must quarantine it
+    # and fall back to the rotated last-good copy instead of crashing.
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.warns(UserWarning, match="quarantin"):
+        loaded = store.load()
+    assert loaded is not None and loaded.iteration == 1
+    assert (tmp_path / "run.ckpt.corrupt").exists()
+
+
+def test_file_store_legacy_plain_pickle_still_loads(tmp_path):
+    path = tmp_path / "run.ckpt"
+    path.write_bytes(pickle.dumps(Checkpoint("pso", 9, None, {})))
+    loaded = FileCheckpointStore(str(path)).load()
+    assert loaded is not None and loaded.iteration == 9
+
+
+def test_file_store_retries_transient_oserror(tmp_path, monkeypatch):
+    path = tmp_path / "run.ckpt"
+    store = FileCheckpointStore(str(path))
+    real_replace = os.replace
+    failures = {"n": 2}
+
+    def flaky_replace(src, dst):
+        if failures["n"] > 0 and dst == store.path:
+            failures["n"] -= 1
+            raise OSError("transient I/O hiccup")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", flaky_replace)
+    monkeypatch.setattr(time, "sleep", lambda s: None)
+    store.save(Checkpoint("de", 5, None, {}))
+    assert store.io_retries == 2
+    assert store.load().iteration == 5
 
 
 def test_resume_or_none_algorithm_mismatch():

@@ -1,0 +1,392 @@
+"""Physical-invariant contracts and conditioning guards.
+
+Covers the guard-mode machinery, each individual contract check, the
+equilibrated-solve escalation path, and the end-to-end wiring: healthy
+results are bit-for-bit unchanged under warn mode, unphysical results
+are quarantined (warn) or raised (strict) at every trust boundary.
+"""
+
+import io
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.amplifier import AmplifierTemplate, DesignVariables
+from repro.core.engine import CompiledTemplate
+from repro.experiments import e7_passive_dispersion as e7
+from repro.experiments.common import reference_device
+from repro.guards import (
+    ContractViolation,
+    GuardWarning,
+    check_finite,
+    check_frequency_grid,
+    check_noise_correlation,
+    check_noise_parameters,
+    check_optimization_result,
+    check_passive_network,
+    check_passivity,
+    check_reciprocity,
+    check_stability_sanity,
+    get_mode,
+    guard_mode,
+    noise_figure_violation_mask,
+    report_violation,
+    set_mode,
+)
+from repro.analysis.conditioning import condition_log10, equilibrated_solve
+from repro.obs.metrics import Metrics, get_metrics, set_metrics
+from repro.optimize.faults import CATEGORY_CONTRACT, retry_transient
+from repro.passives.splitter import ResistiveSplitter, WilkinsonDivider
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.touchstone import read_touchstone, write_touchstone
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return CompiledTemplate(
+        AmplifierTemplate(reference_device().small_signal)
+    )
+
+
+@pytest.fixture()
+def fresh_metrics():
+    previous = get_metrics()
+    metrics = Metrics()
+    set_metrics(metrics)
+    yield metrics
+    set_metrics(previous)
+
+
+def _passive_s(n_freq=4, scale=0.4, seed=0):
+    """A random reciprocal, strictly passive 2-port batch."""
+    rng = np.random.default_rng(seed)
+    s = scale * (rng.standard_normal((n_freq, 2, 2))
+                 + 1j * rng.standard_normal((n_freq, 2, 2)))
+    s = 0.5 * (s + np.swapaxes(s, -1, -2))
+    # Shrink until every frequency point is passive.
+    while np.linalg.norm(s, ord=2, axis=(-2, -1)).max() >= 0.999:
+        s *= 0.5
+    return s
+
+
+# ----------------------------------------------------------------------
+# mode machinery
+# ----------------------------------------------------------------------
+
+class TestModes:
+    def test_default_mode_is_warn(self):
+        assert get_mode() == "warn"
+
+    def test_set_mode_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_mode("loud")
+
+    def test_guard_mode_restores_on_exit(self):
+        assert get_mode() == "warn"
+        with guard_mode("strict"):
+            assert get_mode() == "strict"
+            with guard_mode("off"):
+                assert get_mode() == "off"
+            assert get_mode() == "strict"
+        assert get_mode() == "warn"
+
+    def test_off_mode_silences_everything(self, fresh_metrics):
+        with guard_mode("off"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                report_violation("passivity", "should be ignored")
+        assert fresh_metrics.counter("guards.violations") == 0
+
+    def test_warn_mode_counts_and_warns(self, fresh_metrics):
+        with guard_mode("warn"):
+            with pytest.warns(GuardWarning, match="boom"):
+                report_violation("passivity", "boom")
+        assert fresh_metrics.counter("guards.violations") == 1
+        assert fresh_metrics.counter("guards.violations.passivity") == 1
+
+    def test_strict_mode_raises(self, fresh_metrics):
+        with guard_mode("strict"):
+            with pytest.raises(ContractViolation, match="boom") as info:
+                report_violation("reciprocity", "boom")
+        assert info.value.contract == "reciprocity"
+        assert fresh_metrics.counter("guards.violations.reciprocity") == 1
+
+    def test_contract_violation_is_a_value_error(self):
+        # Optimizers absorb ValueError into the failure taxonomy; a
+        # violation escaping a candidate must not kill the whole run.
+        assert issubclass(ContractViolation, ValueError)
+
+
+# ----------------------------------------------------------------------
+# individual contracts
+# ----------------------------------------------------------------------
+
+class TestContracts:
+    def test_check_finite(self):
+        check_finite(np.ones(3), "x")
+        with guard_mode("strict"), pytest.raises(ContractViolation):
+            check_finite(np.array([1.0, np.nan]), "x")
+        with guard_mode("strict"), pytest.raises(ContractViolation):
+            check_finite(np.array([1.0, np.inf]), "x")
+
+    def test_frequency_grid(self):
+        check_frequency_grid(np.array([1e9, 2e9, 3e9]), "grid")
+        with guard_mode("strict"):
+            with pytest.raises(ContractViolation):
+                check_frequency_grid(np.array([1e9, 1e9, 2e9]), "grid")
+            with pytest.raises(ContractViolation):
+                check_frequency_grid(np.array([2e9, 1e9]), "grid")
+            with pytest.raises(ContractViolation):
+                check_frequency_grid(np.array([-1e9, 1e9]), "grid")
+
+    def test_passivity_accepts_passive_flags_active(self):
+        s = _passive_s()
+        check_passivity(s, "net")
+        with guard_mode("strict"), pytest.raises(ContractViolation,
+                                                 match="passivity"):
+            check_passivity(1.5 * s / np.abs(s).max(), "net")
+
+    def test_reciprocity(self):
+        s = _passive_s()
+        check_reciprocity(s, "net")
+        s_bad = s.copy()
+        s_bad[:, 0, 1] *= 2.0
+        with guard_mode("strict"), pytest.raises(ContractViolation,
+                                                 match="reciprocity"):
+            check_reciprocity(s_bad, "net")
+
+    def test_noise_correlation_psd(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((3, 2, 2)) + 1j * rng.standard_normal((3, 2, 2))
+        cy = 1e-22 * (a @ np.conj(np.swapaxes(a, -1, -2)))
+        check_noise_correlation(cy, "net")
+        with guard_mode("strict"), pytest.raises(ContractViolation):
+            check_noise_correlation(-cy, "net")
+
+    def test_noise_parameters(self):
+        fmin = np.array([1.2, 1.3])
+        rn = np.array([8.0, 9.0])
+        gamma = np.array([0.4 + 0.1j, 0.3 - 0.2j])
+        check_noise_parameters(fmin, rn, gamma, "noise")
+        with guard_mode("strict"):
+            with pytest.raises(ContractViolation):
+                check_noise_parameters(fmin, -rn, gamma, "noise")
+            with pytest.raises(ContractViolation):
+                check_noise_parameters(np.array([0.9, 1.3]), rn, gamma,
+                                       "noise")
+            with pytest.raises(ContractViolation):
+                check_noise_parameters(fmin, rn, gamma * 4.0, "noise")
+
+    def test_stability_sanity_on_consistent_data(self):
+        s = _passive_s(scale=0.3, seed=3)
+        check_stability_sanity(s, "net")  # passive => both verdicts stable
+
+    def test_optimization_result_contract(self):
+        check_optimization_result(np.ones(3), 1.5, "result")
+        check_optimization_result(np.ones(3), np.inf, "result")  # legal
+        with guard_mode("strict"):
+            with pytest.raises(ContractViolation):
+                check_optimization_result(np.array([1.0, np.nan]), 1.5,
+                                          "result")
+            with pytest.raises(ContractViolation):
+                check_optimization_result(np.ones(3), np.nan, "result")
+
+    def test_nf_violation_mask(self):
+        nf = np.array([[1.0, 2.0], [0.5, -0.1], [np.nan, np.nan]])
+        mask = noise_figure_violation_mask(nf)
+        assert mask.tolist() == [False, True, False]
+
+
+# ----------------------------------------------------------------------
+# conditioning helpers
+# ----------------------------------------------------------------------
+
+class TestConditioning:
+    def test_condition_log10_identity(self):
+        assert condition_log10(np.eye(4, dtype=complex)) == pytest.approx(0.0)
+
+    def test_condition_log10_singular_is_inf(self):
+        assert condition_log10(np.zeros((3, 3), dtype=complex)) == np.inf
+
+    def test_equilibrated_matches_plain_solve_when_healthy(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((5, 5)) + 1j * rng.standard_normal((5, 5))
+        b = rng.standard_normal((5, 2)) + 0j
+        np.testing.assert_allclose(equilibrated_solve(a, b),
+                                   np.linalg.solve(a, b),
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_equilibrated_handles_vector_rhs(self):
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((4, 4)) + 0j
+        b = rng.standard_normal(4) + 0j
+        np.testing.assert_allclose(equilibrated_solve(a, b),
+                                   np.linalg.solve(a, b),
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_equilibrated_accurate_on_badly_scaled_system(self):
+        # Row scales spanning 300 orders of magnitude: the kind of
+        # matrix a pathological netlist (femto-ohm shorts next to
+        # giga-ohm leakage) produces.  The equilibrated path must stay
+        # accurate where the raw condition number is astronomically bad.
+        scales = np.array([1e150, 1.0, 1e-150])
+        rng = np.random.default_rng(9)
+        base = rng.standard_normal((3, 3)) + 1j * rng.standard_normal((3, 3))
+        a = scales[:, None] * base
+        x_true = np.array([1.0 + 0j, 2.0, 3.0])
+        b = a @ x_true
+        x = equilibrated_solve(a, b)
+        np.testing.assert_allclose(x, x_true, rtol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# retry helper
+# ----------------------------------------------------------------------
+
+class TestRetryTransient:
+    def test_succeeds_after_transient_failures(self, monkeypatch):
+        import time as time_module
+
+        sleeps = []
+        monkeypatch.setattr(time_module, "sleep", sleeps.append)
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] < 3:
+                raise OSError("busy")
+            return "ok"
+
+        assert retry_transient(flaky, attempts=3) == "ok"
+        assert len(sleeps) == 2
+        assert sleeps == sorted(sleeps)  # backoff grows
+
+    def test_exhausted_attempts_reraise(self, monkeypatch):
+        import time as time_module
+
+        monkeypatch.setattr(time_module, "sleep", lambda s: None)
+
+        def always_fails():
+            raise OSError("busy")
+
+        with pytest.raises(OSError):
+            retry_transient(always_fails, attempts=2)
+
+    def test_no_retry_exceptions_pass_straight_through(self):
+        def missing():
+            raise FileNotFoundError("gone")
+
+        with pytest.raises(FileNotFoundError):
+            retry_transient(missing, attempts=5)
+
+
+# ----------------------------------------------------------------------
+# trust boundaries, end to end
+# ----------------------------------------------------------------------
+
+class TestBoundaries:
+    def test_splitters_pass_their_own_contract(self):
+        grid = FrequencyGrid.linear(1.0e9, 2.0e9, 5)
+        with guard_mode("strict"):
+            ResistiveSplitter().solve(grid)
+            WilkinsonDivider(1.57542e9).solve(grid)
+
+    def test_touchstone_rejects_nonmonotone_grid(self):
+        body = (
+            "# GHz S RI R 50\n"
+            "1.0 0.1 0 0.5 0 0.05 0 0.2 0\n"
+            "0.9 0.1 0 0.5 0 0.05 0 0.2 0\n"
+        )
+        with guard_mode("strict"), pytest.raises(ContractViolation):
+            read_touchstone(body)
+
+    def test_touchstone_expect_passive_flags_active_data(self):
+        body = (
+            "# GHz S RI R 50\n"
+            "1.0 0.1 0 2.0 0 0.05 0 0.2 0\n"   # |S21| = 2: gain
+            "2.0 0.1 0 2.0 0 0.05 0 0.2 0\n"
+        )
+        read_touchstone(body)  # active device file: fine by default
+        with guard_mode("strict"), pytest.raises(ContractViolation):
+            read_touchstone(body, expect_passive=True)
+
+    def test_touchstone_roundtrip_passes_strict(self):
+        grid = FrequencyGrid.linear(1.0e9, 2.0e9, 4)
+        data = ResistiveSplitter().solve(grid)
+        # Reuse the 2x2 upper block as a passive two-port file.
+        from repro.rf.twoport import TwoPort
+        from repro.rf.touchstone import TouchstoneData
+
+        two_port = TwoPort(grid, data.s[:, :2, :2], z0=50.0)
+        text = write_touchstone(TouchstoneData(network=two_port))
+        with guard_mode("strict"):
+            read_touchstone(io.StringIO(text), expect_passive=True)
+
+    def test_engine_healthy_rows_bit_for_bit_across_modes(self, engine):
+        rng = np.random.default_rng(42)
+        unit_x = rng.random((6, len(DesignVariables.NAMES)))
+        with guard_mode("off"):
+            baseline = engine.performance_batch(unit_x)
+        with guard_mode("warn"):
+            guarded = engine.performance_batch(unit_x)
+        for field in ("nf_db", "gt_db", "s11_db", "s22_db", "mu_min",
+                      "ids", "nf_max_db", "gt_min_db"):
+            assert np.array_equal(getattr(baseline, field),
+                                  getattr(guarded, field)), field
+
+    def test_engine_isolated_healthy_rows_bit_for_bit(self, engine):
+        rng = np.random.default_rng(43)
+        unit_x = rng.random((4, len(DesignVariables.NAMES)))
+        with guard_mode("off"):
+            base_batch, base_failures, _ = engine.performance_batch_isolated(
+                unit_x)
+        with guard_mode("warn"):
+            batch, failures, _ = engine.performance_batch_isolated(unit_x)
+        assert failures == base_failures
+        assert np.array_equal(batch.nf_db, base_batch.nf_db)
+        assert np.array_equal(batch.gt_db, base_batch.gt_db)
+
+
+class _ActiveSplitter(ResistiveSplitter):
+    """A splitter whose S-matrix claims 6 dB of gain (unphysical)."""
+
+    def solve(self, frequency):
+        with guard_mode("off"):
+            result = super().solve(frequency)
+        result.s[:] = 0.0
+        result.s[:, 1, 0] = 2.0
+        result.s[:, 2, 0] = 2.0
+        return result
+
+
+class TestE7SplitterBoundary:
+    def test_default_report_unchanged(self):
+        result = e7.run(n_points=5)
+        assert result.splitter_insertion_db is None
+        report = e7.format_report(result)
+        assert "split" not in report
+
+    def test_healthy_splitter_reported(self):
+        result = e7.run(n_points=5, splitter=ResistiveSplitter())
+        # Matched star splitter: ~6 dB insertion loss on every port.
+        assert np.allclose(result.splitter_insertion_db, -6.0, atol=0.1)
+        assert "split S21 [dB]" in e7.format_report(result)
+
+    def test_nonpassive_splitter_raises_in_strict(self):
+        with guard_mode("strict"):
+            with pytest.raises(ContractViolation, match="passivity"):
+                e7.run(n_points=5, splitter=_ActiveSplitter())
+
+    def test_nonpassive_splitter_quarantined_in_warn(self, fresh_metrics):
+        with guard_mode("warn"):
+            with pytest.warns(GuardWarning):
+                result = e7.run(n_points=5, splitter=_ActiveSplitter())
+        assert result.splitter_insertion_db is not None
+        assert fresh_metrics.counter("guards.violations") >= 1
+        assert fresh_metrics.counter("guards.violations.passivity") >= 1
+
+
+class TestEngineContract:
+    def test_contract_category_lands_in_failure_taxonomy(self):
+        assert CATEGORY_CONTRACT == "contract"

@@ -1,0 +1,252 @@
+"""Seeded fuzz harness for the physical-invariant guards.
+
+Every test here is deterministic (fixed seeds, derandomized
+hypothesis), fast (< 60 s in total), and asserts one of two safety
+properties:
+
+* **no false positives** — healthy randomly-generated fixtures sail
+  through strict mode without a :class:`ContractViolation`;
+* **no silent garbage** — corrupted inputs (perturbed Touchstone
+  bytes, near-singular netlists, bit-flipped checkpoints) either
+  produce a typed error / quarantine or finite, contract-clean data,
+  never NaN/Inf passed downstream without complaint.
+
+Run in CI with ``REPRO_GUARDS=strict`` (the fuzz-smoke job) so that a
+contract regression fails loudly.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.acsolver import solve_ac
+from repro.analysis.conditioning import equilibrated_solve
+from repro.analysis.netlist import Circuit
+from repro.guards import (
+    ContractViolation,
+    GuardWarning,
+    check_noise_correlation,
+    check_passive_network,
+    guard_mode,
+)
+from repro.optimize.checkpoint import Checkpoint, FileCheckpointStore
+from repro.rf.frequency import FrequencyGrid
+from repro.rf.touchstone import TouchstoneData, read_touchstone, write_touchstone
+from repro.rf.twoport import TwoPort
+
+FUZZ_SETTINGS = dict(max_examples=25, derandomize=True, deadline=None)
+
+
+def _random_passive_ladder(rng, n_sections):
+    """A random series/shunt RLC ladder between two 50-ohm ports."""
+    circuit = Circuit("fuzz")
+    circuit.port("p1", "n0", z0=50.0)
+    node = "n0"
+    for k in range(n_sections):
+        nxt = f"n{k + 1}"
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            circuit.resistor(f"R{k}", node, nxt,
+                             float(rng.uniform(1.0, 200.0)))
+        elif kind == 1:
+            circuit.inductor(f"L{k}", node, nxt,
+                             float(rng.uniform(0.5e-9, 30e-9)))
+        else:
+            circuit.capacitor(f"C{k}", node, nxt,
+                              float(rng.uniform(0.5e-12, 50e-12)))
+        shunt = rng.integers(0, 3)
+        if shunt == 0:
+            circuit.resistor(f"Rs{k}", nxt, "gnd",
+                             float(rng.uniform(10.0, 1000.0)))
+        elif shunt == 1:
+            circuit.capacitor(f"Cs{k}", nxt, "gnd",
+                              float(rng.uniform(0.1e-12, 20e-12)))
+        # shunt == 2: no shunt branch
+        node = nxt
+    circuit.port("p2", node, z0=50.0)
+    return circuit
+
+
+class TestRandomPassiveNetworks:
+    """Healthy random passives must never trip a contract (strict mode)."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_ladders_satisfy_passive_contracts(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        circuit = _random_passive_ladder(rng, int(rng.integers(1, 5)))
+        grid = FrequencyGrid.logarithmic(0.2e9, 4.0e9, 7)
+        with guard_mode("strict"):
+            result = solve_ac(circuit, grid)
+            check_passive_network(result.s, f"fuzz ladder {seed}",
+                                  cy=result.cy, tol=1e-6)
+        assert np.all(np.isfinite(result.s))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_thermal_noise_correlation_is_psd(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        circuit = _random_passive_ladder(rng, int(rng.integers(1, 4)))
+        grid = FrequencyGrid.linear(0.5e9, 3.0e9, 5)
+        result = solve_ac(circuit, grid)
+        with guard_mode("strict"):
+            check_noise_correlation(result.cy, f"fuzz cy {seed}", tol=1e-6)
+
+
+class TestPerturbedTouchstone:
+    """Mutated .s2p text never silently yields non-finite S-data."""
+
+    def _clean_text(self):
+        grid = FrequencyGrid.linear(1.0e9, 2.0e9, 5)
+        rng = np.random.default_rng(3)
+        s = 0.3 * (rng.standard_normal((5, 2, 2))
+                   + 1j * rng.standard_normal((5, 2, 2)))
+        return write_touchstone(
+            TouchstoneData(network=TwoPort(grid, s, z0=50.0))
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(**FUZZ_SETTINGS)
+    def test_mutated_file_raises_or_parses_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        text = self._clean_text()
+        mutation = rng.integers(0, 4)
+        if mutation == 0:      # inject a textual NaN / Inf token
+            token = rng.choice(["nan", "inf", "-inf"])
+            lines = text.splitlines()
+            row = int(rng.integers(2, len(lines)))
+            fields = lines[row].split()
+            fields[int(rng.integers(0, len(fields)))] = token
+            lines[row] = " ".join(fields)
+            text = "\n".join(lines) + "\n"
+        elif mutation == 1:    # drop a random line
+            lines = text.splitlines()
+            del lines[int(rng.integers(0, len(lines)))]
+            text = "\n".join(lines) + "\n"
+        elif mutation == 2:    # truncate mid-file
+            text = text[: int(rng.integers(10, len(text)))]
+            if "\n" not in text:
+                # Keep at least one newline so read_touchstone treats
+                # the string as a file body, not a path.
+                text += "\n"
+        else:                  # shuffle data lines (breaks monotonic grid)
+            lines = text.splitlines()
+            header, data = lines[:2], lines[2:]
+            rng.shuffle(data)
+            text = "\n".join(header + data) + "\n"
+        with guard_mode("strict"), np.errstate(invalid="ignore"):
+            try:
+                parsed = read_touchstone(text)
+            except (ValueError, IndexError):
+                return  # typed rejection (ContractViolation is a ValueError)
+            assert np.all(np.isfinite(parsed.network.s))
+            assert np.all(np.diff(parsed.network.frequency.f_hz) > 0)
+
+
+class TestNearSingularNetlists:
+    """Pathological element values: typed error or finite output."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_extreme_element_values(self, seed):
+        rng = np.random.default_rng(4000 + seed)
+        circuit = Circuit("singularish")
+        circuit.port("p1", "a", z0=50.0)
+        circuit.port("p2", "b", z0=50.0)
+        # Resistances drawn log-uniformly over 24 decades: includes
+        # femto-ohm shorts and peta-ohm opens in one matrix.
+        r_bridge = 10.0 ** rng.uniform(-12.0, 12.0)
+        r_shunt = 10.0 ** rng.uniform(-12.0, 12.0)
+        circuit.resistor("Rb", "a", "b", float(r_bridge))
+        circuit.resistor("Rs", "b", "gnd", float(r_shunt))
+        grid = FrequencyGrid.linear(1.0e9, 2.0e9, 3)
+        with guard_mode("warn"):
+            try:
+                result = solve_ac(circuit, grid)
+            except ValueError:
+                return  # typed rejection is acceptable
+            assert np.all(np.isfinite(result.s))
+
+    @given(span=st.floats(min_value=0.0, max_value=120.0),
+           seed=st.integers(min_value=0, max_value=1_000))
+    @settings(**FUZZ_SETTINGS)
+    def test_equilibrated_solve_never_silently_wrong(self, span, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        base = (rng.standard_normal((n, n))
+                + 1j * rng.standard_normal((n, n)))
+        row = 10.0 ** rng.uniform(-span / 2.0, span / 2.0, size=n)
+        a = row[:, None] * base
+        x_true = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        b = a @ x_true
+        x = equilibrated_solve(a, b)
+        # Row scaling is information-preserving, so the equilibrated
+        # solver must recover the solution regardless of the span.
+        np.testing.assert_allclose(x, x_true, rtol=1e-6, atol=1e-9)
+
+
+class TestCheckpointCorruptionFuzz:
+    """Random byte corruption never crashes resume in warn mode."""
+
+    def _saved_store(self, tmp_path):
+        store = FileCheckpointStore(str(tmp_path / "run.ckpt"))
+        payload = {"pop": np.arange(12.0).reshape(3, 4), "gen": 7}
+        store.save(Checkpoint("de", 7, {"s": 1}, payload))
+        store.save(Checkpoint("de", 8, {"s": 1}, payload))
+        return store
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_corruption_quarantines_or_recovers(self, tmp_path, seed):
+        rng = np.random.default_rng(5000 + seed)
+        store = self._saved_store(tmp_path)
+        blob = bytearray((tmp_path / "run.ckpt").read_bytes())
+        mode = rng.integers(0, 3)
+        if mode == 0:      # flip up to 8 random bits
+            for _ in range(int(rng.integers(1, 9))):
+                blob[int(rng.integers(0, len(blob)))] ^= int(
+                    1 << rng.integers(0, 8))
+        elif mode == 1:    # truncate
+            del blob[int(rng.integers(0, len(blob))):]
+        else:              # garbage prefix
+            blob[:4] = rng.integers(0, 256, size=4, dtype=np.uint8).tobytes()
+        (tmp_path / "run.ckpt").write_bytes(bytes(blob))
+        with guard_mode("warn"), pytest.warns(UserWarning):
+            loaded = store.load()
+        # Either the corruption was caught (fall back to the rotated
+        # last-good file) or, vanishingly rarely, the CRC happened to
+        # still match; in every case the result is a valid Checkpoint.
+        assert loaded is None or isinstance(loaded, Checkpoint)
+        if loaded is not None:
+            assert loaded.iteration in (7, 8)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_corrupt_both_files_returns_none(self, tmp_path, seed):
+        rng = np.random.default_rng(6000 + seed)
+        store = self._saved_store(tmp_path)
+        for name in ("run.ckpt", "run.ckpt.prev"):
+            path = tmp_path / name
+            blob = bytearray(path.read_bytes())
+            cut = int(rng.integers(1, max(2, len(blob) // 2)))
+            path.write_bytes(bytes(blob[:cut]))
+        with guard_mode("warn"), pytest.warns(UserWarning):
+            assert store.load() is None
+        assert (tmp_path / "run.ckpt.corrupt").exists()
+
+    def test_legacy_pickle_garbage_object_quarantined(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        store = FileCheckpointStore(str(path))
+        with guard_mode("warn"), pytest.warns(UserWarning):
+            assert store.load() is None
+
+
+class TestStrictModeCleanOnHealthyFixtures:
+    """The CI smoke gate: nothing in a healthy end-to-end sweep warns."""
+
+    def test_reference_sweep_is_contract_clean(self):
+        from repro.experiments import e7_passive_dispersion as e7
+        from repro.passives.splitter import ResistiveSplitter
+
+        with guard_mode("strict"):
+            result = e7.run(n_points=7, splitter=ResistiveSplitter())
+        assert np.all(np.isfinite(result.splitter_insertion_db))

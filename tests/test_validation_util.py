@@ -35,6 +35,30 @@ class TestScalarChecks:
             ensure_in_range(1.5, 0.0, 1.0, "x")
 
 
+class TestNanRejection:
+    """NaN must be rejected explicitly, with a message naming NaN."""
+
+    def test_positive_rejects_nan_by_name(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ensure_positive(np.nan, "x")
+        with pytest.raises(ValueError, match="NaN"):
+            ensure_positive([1.0, np.nan], "x")
+
+    def test_nonnegative_rejects_nan_by_name(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ensure_nonnegative(np.nan, "x")
+
+    def test_in_range_rejects_nan_by_name(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ensure_in_range([0.5, np.nan], 0.0, 1.0, "x")
+
+    def test_infinity_is_not_misreported_as_nan(self):
+        # +inf fails the range check, not the NaN check.
+        with pytest.raises(ValueError, match="lie in"):
+            ensure_in_range(np.inf, 0.0, 1.0, "x")
+        ensure_positive(np.inf, "x")  # inf > 0 is legitimately positive
+
+
 class TestArrayChecks:
     def test_matrix_shape_suffix(self):
         arr = np.zeros((5, 2, 2))
