@@ -21,9 +21,12 @@ from repro.core.amplifier import AmplifierTemplate, DesignVariables
 from repro.core.engine import CompiledTemplate
 from repro.experiments.common import reference_device
 from repro.obs import Tracer, set_tracer
+from repro.obs.journal import RunJournal, set_journal
+from repro.obs.telemetry import GenerationRecord
 
 N_CANDIDATES = 64
 MAX_DISABLED_OVERHEAD = 0.03
+MAX_ENABLED_JOURNAL_OVERHEAD = 0.05
 
 
 def _interleaved_best(fn_a, fn_b, repeats):
@@ -103,4 +106,77 @@ def test_bench_disabled_tracing_overhead(save_report, report_dir):
     assert overhead < MAX_DISABLED_OVERHEAD, (
         f"disabled tracing costs {100 * overhead:.2f}% on the batched "
         f"evaluation (bar: < {100 * MAX_DISABLED_OVERHEAD:.0f}%)"
+    )
+
+
+def test_bench_journal_overhead(save_report, report_dir, tmp_path):
+    """Flight-recorder cost per generation of the batched evaluator.
+
+    One journaled "generation" = one 64-candidate batch evaluation plus
+    one JSONL generation append (buffered; fsync amortized across 16
+    events).  The bar is < 5% over the unjournaled generation; with no
+    journal installed, the ambient :func:`repro.obs.journal.emit` hook
+    must stay within the 3% disabled budget.
+    """
+    template = AmplifierTemplate(reference_device().small_signal)
+    engine = CompiledTemplate(template, verify=False)
+    rng = np.random.default_rng(20150901)
+    population = rng.random((N_CANDIDATES, len(DesignVariables.NAMES)))
+    record = GenerationRecord(
+        algorithm="bench", generation=0, nfev=N_CANDIDATES,
+        best=1.0, mean=2.0, spread=0.5, wall_time_s=1e-3,
+    )
+
+    journal = RunJournal(str(tmp_path / "journal.jsonl"), run_id="bench")
+
+    def plain_generation():
+        engine.performance_batch_isolated(population)
+
+    def journaled_generation():
+        engine.performance_batch_isolated(population)
+        journal(record)
+
+    old_journal = set_journal(None)
+    old_tracer = set_tracer(Tracer(enabled=False))
+    try:
+        plain_generation()
+        journaled_generation()  # warm both paths
+        enabled_overhead = float("inf")
+        for attempt in range(4):
+            t_plain, t_journaled = _interleaved_best(
+                plain_generation, journaled_generation,
+                repeats=5 + 5 * attempt,
+            )
+            enabled_overhead = t_journaled / t_plain - 1.0
+            if enabled_overhead < MAX_ENABLED_JOURNAL_OVERHEAD:
+                break
+    finally:
+        set_tracer(old_tracer)
+        set_journal(old_journal)
+        journal.close()
+
+    payload = {
+        "n_candidates": N_CANDIDATES,
+        "plain_s": t_plain,
+        "journaled_s": t_journaled,
+        "enabled_overhead": enabled_overhead,
+        "max_enabled_overhead": MAX_ENABLED_JOURNAL_OVERHEAD,
+    }
+    (report_dir / "BENCH_journal_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    report = "\n".join([
+        f"one generation = {N_CANDIDATES}-candidate batch evaluation",
+        f"no journal          : {1e3 * t_plain:8.2f} ms",
+        f"journal enabled     : {1e3 * t_journaled:8.2f} ms "
+        f"({100 * enabled_overhead:+.2f}%, bar < "
+        f"{100 * MAX_ENABLED_JOURNAL_OVERHEAD:.0f}%)",
+    ])
+    save_report("BENCH_journal_overhead", report)
+    print("\n" + report)
+
+    assert enabled_overhead < MAX_ENABLED_JOURNAL_OVERHEAD, (
+        f"journaling costs {100 * enabled_overhead:.2f}% per generation "
+        f"(bar: < {100 * MAX_ENABLED_JOURNAL_OVERHEAD:.0f}%)"
     )

@@ -1,6 +1,6 @@
 """The flagship flow: multi-objective GNSS LNA design, start to finish.
 
-Run:  python examples/gnss_lna_design.py [--fast]
+Run:  python examples/gnss_lna_design.py [--fast] [--record [ROOT]]
 
 Reproduces the paper's design loop:
 1. improved goal-attainment optimization of the operating point and all
@@ -11,9 +11,13 @@ Reproduces the paper's design loop:
 5. two-tone third-order intermodulation check.
 
 ``--fast`` swaps step 1 for a single standard goal-attainment solve
-(seconds instead of a minute).
+(seconds instead of a minute).  ``--record`` journals the run as a
+flight-recorder run directory under ROOT (default ``runs/``); inspect
+it afterwards with ``repro-obs summary <run_id>`` or diff two runs
+with ``repro-obs compare``.
 """
 
+from contextlib import nullcontext
 import sys
 
 import numpy as np
@@ -25,70 +29,95 @@ from repro.core import (
     two_tone_analysis,
 )
 from repro.devices import make_reference_device
+from repro.obs.runs import recorded_run
 from repro.rf import FrequencyGrid
 
 
-def main(fast: bool = False):
+def main(fast: bool = False, record_to: str = None):
     device = make_reference_device()
     flow = DesignFlow(device.small_signal)
 
-    print("== step 1: multi-objective optimization ==")
-    if fast:
-        result = flow.run_standard()
-        print("(fast mode: standard goal attainment)")
-    else:
-        result = flow.run_improved(seed=11, n_probe=40, n_starts=3,
-                                   tighten_rounds=2)
-    print(f"gamma = {result.gamma:+.3f}, "
-          f"constraint violation = {result.constraint_violation:.2e}, "
-          f"evaluations = {result.nfev}")
-    print(f"attained: NFmax = {result.objectives[0]:.3f} dB, "
-          f"GTmin = {-result.objectives[1]:.2f} dB\n")
+    recording = (
+        recorded_run(record_to, name="gnss-lna",
+                     config={"example": "gnss_lna_design", "fast": fast},
+                     seeds={"seed": 11})
+        if record_to is not None else nullcontext()
+    )
+    with recording as run_dir:
+        journal = run_dir.journal if run_dir is not None else None
+        if run_dir is not None:
+            print(f"(recording to {run_dir.path})")
 
-    print("== step 2: snap to the E24 catalogue and re-verify ==")
-    final = flow.finalize(result)
-    print(format_table(
-        ["quantity", "snapped value"],
-        final.summary_rows(),
-        title="selected operating point and parts",
-    ))
-    perf = final.snapped_performance
-    print(f"\nsnapped board: NFmax {perf.nf_max_db:.3f} dB, "
-          f"GTmin {perf.gt_min_db:.2f} dB, mu_min {perf.mu_min:.3f}, "
-          f"Ids {perf.ids * 1e3:.1f} mA\n")
+        print("== step 1: multi-objective optimization ==")
+        if fast:
+            result = flow.run_standard()
+            print("(fast mode: standard goal attainment)")
+        else:
+            result = flow.run_improved(seed=11, n_probe=40, n_starts=3,
+                                       tighten_rounds=2,
+                                       on_generation=journal)
+        print(f"gamma = {result.gamma:+.3f}, "
+              f"constraint violation = {result.constraint_violation:.2e}, "
+              f"evaluations = {result.nfev}")
+        print(f"attained: NFmax = {result.objectives[0]:.3f} dB, "
+              f"GTmin = {-result.objectives[1]:.2f} dB\n")
 
-    print("== step 3: per-constellation performance ==")
-    print(format_table(
-        ["GNSS band", "NF [dB]", "GT [dB]"],
-        [(band, vals["NF_dB"], vals["GT_dB"])
-         for band, vals in final.per_band.items()],
-    ))
+        print("== step 2: snap to the E24 catalogue and re-verify ==")
+        final = flow.finalize(result)
+        print(format_table(
+            ["quantity", "snapped value"],
+            final.summary_rows(),
+            title="selected operating point and parts",
+        ))
+        perf = final.snapped_performance
+        print(f"\nsnapped board: NFmax {perf.nf_max_db:.3f} dB, "
+              f"GTmin {perf.gt_min_db:.2f} dB, mu_min {perf.mu_min:.3f}, "
+              f"Ids {perf.ids * 1e3:.1f} mA\n")
 
-    print("\n== step 4: simulated bench measurement ==")
-    frequency = FrequencyGrid.linear(1.0e9, 1.8e9, 41)
-    measurement = simulate_measurement(flow.template, final.snapped,
-                                       frequency)
-    mid = len(frequency) // 2
-    print(f"at {frequency.f_ghz[mid]:.2f} GHz: "
-          f"S21 designed {measurement.sparam_db(2, 1, False)[mid]:.2f} dB, "
-          f"measured {measurement.sparam_db(2, 1, True)[mid]:.2f} dB")
-    print(f"worst S21 deviation over 1.0-1.8 GHz: "
-          f"{measurement.worst_deviation_db(2, 1):.3f} dB")
-    print(f"NF designed max {np.max(measurement.nf_designed_db):.3f} dB, "
-          f"measured max {np.max(measurement.nf_measured_db):.3f} dB")
+        print("== step 3: per-constellation performance ==")
+        print(format_table(
+            ["GNSS band", "NF [dB]", "GT [dB]"],
+            [(band, vals["NF_dB"], vals["GT_dB"])
+             for band, vals in final.per_band.items()],
+        ))
 
-    print("\n== step 5: two-tone IM3 check ==")
-    rows = []
-    for f_center in (1.2e9, 1.4e9, 1.6e9):
-        im3 = two_tone_analysis(flow.template, final.snapped,
-                                f_center=f_center)
-        rows.append((f_center / 1e9, im3.gt_db, im3.iip3_dbm,
-                     im3.oip3_dbm, im3.im3_slope()))
-    print(format_table(
-        ["f0 [GHz]", "GT [dB]", "IIP3 [dBm]", "OIP3 [dBm]", "slope"],
-        rows, float_format="{:.2f}",
-    ))
+        print("\n== step 4: simulated bench measurement ==")
+        frequency = FrequencyGrid.linear(1.0e9, 1.8e9, 41)
+        measurement = simulate_measurement(flow.template, final.snapped,
+                                           frequency)
+        mid = len(frequency) // 2
+        print(f"at {frequency.f_ghz[mid]:.2f} GHz: "
+              f"S21 designed {measurement.sparam_db(2, 1, False)[mid]:.2f} dB, "
+              f"measured {measurement.sparam_db(2, 1, True)[mid]:.2f} dB")
+        print(f"worst S21 deviation over 1.0-1.8 GHz: "
+              f"{measurement.worst_deviation_db(2, 1):.3f} dB")
+        print(f"NF designed max {np.max(measurement.nf_designed_db):.3f} dB, "
+              f"measured max {np.max(measurement.nf_measured_db):.3f} dB")
+
+        print("\n== step 5: two-tone IM3 check ==")
+        rows = []
+        for f_center in (1.2e9, 1.4e9, 1.6e9):
+            im3 = two_tone_analysis(flow.template, final.snapped,
+                                    f_center=f_center)
+            rows.append((f_center / 1e9, im3.gt_db, im3.iip3_dbm,
+                         im3.oip3_dbm, im3.im3_slope()))
+        print(format_table(
+            ["f0 [GHz]", "GT [dB]", "IIP3 [dBm]", "OIP3 [dBm]", "slope"],
+            rows, float_format="{:.2f}",
+        ))
+
+
+def _parse_args(argv):
+    fast = "--fast" in argv
+    record_to = None
+    if "--record" in argv:
+        index = argv.index("--record")
+        follower = argv[index + 1] if index + 1 < len(argv) else None
+        record_to = (follower
+                     if follower and not follower.startswith("--")
+                     else "runs")
+    return fast, record_to
 
 
 if __name__ == "__main__":
-    main(fast="--fast" in sys.argv[1:])
+    main(*_parse_args(sys.argv[1:]))

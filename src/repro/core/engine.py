@@ -67,6 +67,7 @@ from repro.core.amplifier import (
 from repro.core.bands import design_grid, stability_grid
 from repro.guards import contracts as _contracts
 from repro.guards import modes as _guard_modes
+from repro.obs import journal as _obs_journal
 from repro.obs import metrics as _obs_metrics
 from repro.obs import tracer as _obs_tracer
 from repro.optimize.faults import (
@@ -583,6 +584,11 @@ class CompiledTemplate:
         n_penalties = sum(1 for f in failures if f is not None)
         if n_penalties:
             _obs_metrics.inc("engine.penalty_rows", n_penalties)
+        if n_fallbacks or n_penalties:
+            _obs_journal.emit("engine_degraded",
+                              batch=int(unit_x.shape[0]),
+                              scalar_fallbacks=int(n_fallbacks),
+                              penalty_rows=int(n_penalties))
         return batch, failures, n_fallbacks
 
     def _batch_isolated(self, unit_x: np.ndarray):

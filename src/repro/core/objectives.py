@@ -30,6 +30,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import journal as _obs_journal
 from repro.obs import metrics as _obs_metrics
 from repro.obs import tracer as _obs_tracer
 
@@ -232,6 +233,9 @@ class LnaEvaluator:
         self.health.record(failure.category)
         if len(self.failure_log) < self.max_failure_log:
             self.failure_log.append(failure)
+        _obs_journal.emit("evaluation_failure",
+                          category=failure.category,
+                          message=str(failure.message)[:200])
 
     def _penalty(self, failure: EvaluationFailure) -> AmplifierPerformance:
         self._record_failure(failure)

@@ -11,8 +11,9 @@ objective.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.core.design import DEFAULT_GOALS, DesignFlow
 from repro.core.report import format_table
 from repro.experiments.common import reference_device
 from repro.obs import tracer as _obs_tracer
+from repro.obs.runs import recorded_run
 
 __all__ = ["E5Result", "run", "format_report"]
 
@@ -30,13 +32,16 @@ class E5Result:
     goals: np.ndarray
 
 
-def run(seed: int = 0, goals=DEFAULT_GOALS,
-        engine: str = "compiled") -> E5Result:
+def run(seed: int = 0, goals=DEFAULT_GOALS, engine: str = "compiled",
+        record_to: Optional[str] = None) -> E5Result:
     """Run the three optimizers on a fresh LNA problem each.
 
     ``engine`` selects the evaluation path ("compiled" batches the
     improved method's probe stage through one MNA factorization;
     "scalar" forces the original per-candidate circuit build).
+    ``record_to`` names a runs root: the experiment is then recorded as
+    a run directory (flight-recorder journal + metrics/trace exports,
+    see :mod:`repro.obs.runs`) addressable with ``repro-obs``.
     """
     goals = np.asarray(goals, dtype=float)
     rows = []
@@ -53,14 +58,23 @@ def run(seed: int = 0, goals=DEFAULT_GOALS,
             "nfev": int(result.nfev),
         })
 
-    with _obs_tracer.span("e5.run"):
+    recording = (
+        recorded_run(record_to, name="e5",
+                     config={"experiment": "e5", "engine": engine,
+                             "goals": goals.tolist()},
+                     seeds={"seed": int(seed)})
+        if record_to is not None else nullcontext()
+    )
+    with recording as run_dir, _obs_tracer.span("e5.run"):
+        journal = run_dir.journal if run_dir is not None else None
         device = reference_device()
 
         with _obs_tracer.span("e5.improved_goal_attainment"):
             flow = DesignFlow(device.small_signal, engine=engine)
             record("improved goal attainment", flow,
                    flow.run_improved(goals=goals, seed=seed, n_probe=40,
-                                     n_starts=3, tighten_rounds=2))
+                                     n_starts=3, tighten_rounds=2,
+                                     on_generation=journal))
 
         with _obs_tracer.span("e5.standard_goal_attainment"):
             flow = DesignFlow(device.small_signal, engine=engine)

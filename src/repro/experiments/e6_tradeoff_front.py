@@ -11,7 +11,9 @@ extremes (the classic convex-combination failure).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -19,6 +21,7 @@ from repro.core.design import DesignFlow
 from repro.core.report import format_series
 from repro.experiments.common import reference_device
 from repro.obs import tracer as _obs_tracer
+from repro.obs.runs import recorded_run
 from repro.optimize.pareto import hypervolume_2d, pareto_filter
 
 __all__ = ["E6Result", "run", "format_report"]
@@ -34,10 +37,23 @@ class E6Result:
     reference: np.ndarray
 
 
-def run(n_points: int = 5, seed: int = 0,
-        engine: str = "compiled") -> E6Result:
-    """Trace the front with both methods."""
-    with _obs_tracer.span("e6.run", n_points=n_points):
+def run(n_points: int = 5, seed: int = 0, engine: str = "compiled",
+        record_to: Optional[str] = None) -> E6Result:
+    """Trace the front with both methods.
+
+    ``record_to`` names a runs root; the sweep is then journaled as one
+    run (each goal point's generations carry distinct algorithm tags).
+    """
+    recording = (
+        recorded_run(record_to, name="e6",
+                     config={"experiment": "e6", "engine": engine,
+                             "n_points": int(n_points)},
+                     seeds={"seed": int(seed)})
+        if record_to is not None else nullcontext()
+    )
+    with recording as run_dir, _obs_tracer.span("e6.run",
+                                                n_points=n_points):
+        journal = run_dir.journal if run_dir is not None else None
         device = reference_device()
         nf_goals = np.linspace(0.50, 0.85, n_points)
         gt_goals = np.linspace(18.0, 12.0, n_points)
@@ -50,6 +66,7 @@ def run(n_points: int = 5, seed: int = 0,
                 result = flow.run_improved(
                     goals=np.array([nf_goal, -gt_goal]), seed=seed,
                     n_probe=32, n_starts=2, tighten_rounds=1,
+                    on_generation=journal,
                 )
             if result.constraint_violation <= 1e-6:
                 goal_points.append(result.objectives)

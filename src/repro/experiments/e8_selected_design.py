@@ -10,11 +10,13 @@ unconditionally stable.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.core.design import FinalDesign
+from repro.core.design import DesignFlow, FinalDesign
 from repro.core.report import format_table
-from repro.experiments.common import selected_design
+from repro.experiments.common import reference_device, selected_design
 from repro.obs import tracer as _obs_tracer
+from repro.obs.runs import recorded_run
 
 __all__ = ["E8Result", "run", "format_report"]
 
@@ -24,10 +26,34 @@ class E8Result:
     design: FinalDesign
 
 
-def run(profile: str = "full", engine: str = "compiled") -> E8Result:
-    """Fetch (or compute) the cached selected design."""
-    with _obs_tracer.span("e8.run", profile=profile):
-        return E8Result(design=selected_design(profile, engine))
+def run(profile: str = "full", engine: str = "compiled",
+        record_to: Optional[str] = None) -> E8Result:
+    """Fetch (or compute) the cached selected design.
+
+    ``record_to`` names a runs root; the optimization is then executed
+    outside the process-wide cache so its convergence trace lands in a
+    fresh flight-recorder journal.
+    """
+    if record_to is None:
+        with _obs_tracer.span("e8.run", profile=profile):
+            return E8Result(design=selected_design(profile, engine))
+    with recorded_run(record_to, name="e8",
+                      config={"experiment": "e8", "engine": engine,
+                              "profile": profile},
+                      seeds={"seed": 11}) as run_dir:
+        with _obs_tracer.span("e8.run", profile=profile):
+            flow = DesignFlow(reference_device().small_signal,
+                              engine=engine)
+            if profile == "full":
+                result = flow.run_improved(
+                    seed=11, n_probe=40, n_starts=3, tighten_rounds=2,
+                    on_generation=run_dir.journal,
+                )
+            elif profile == "fast":
+                result = flow.run_standard()
+            else:
+                raise ValueError(f"unknown profile {profile!r}")
+            return E8Result(design=flow.finalize(result))
 
 
 def format_report(result: E8Result) -> str:

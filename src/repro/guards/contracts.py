@@ -31,6 +31,7 @@ from typing import Optional
 import numpy as np
 
 from repro.guards.modes import MODE_STRICT, enabled, get_mode
+from repro.obs import journal as _obs_journal
 from repro.obs import metrics as _obs_metrics
 from repro.rf.stability import determinant, mu_source, rollett_k
 
@@ -86,6 +87,9 @@ def report_violation(contract: str, message: str) -> None:
         return
     _obs_metrics.inc("guards.violations")
     _obs_metrics.inc(f"guards.violations.{contract}")
+    _obs_journal.emit("guard_violation", contract=contract,
+                      message=str(message)[:200],
+                      mode=get_mode())
     if get_mode() == MODE_STRICT:
         raise ContractViolation(contract, message)
     warnings.warn(f"[{contract}] {message}", GuardWarning, stacklevel=3)

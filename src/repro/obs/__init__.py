@@ -31,6 +31,27 @@ import os
 import time
 from typing import Callable, Optional, Tuple
 
+from repro.obs.compare import (
+    RunDiff,
+    RunSummary,
+    compare_runs,
+    compare_summaries,
+    format_diff,
+    load_summary,
+    summarize_journal,
+)
+from repro.obs.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalError,
+    JournalReplay,
+    RunJournal,
+    config_fingerprint,
+    emit,
+    get_journal,
+    read_events,
+    replay_journal,
+    set_journal,
+)
 from repro.obs.metrics import (
     Metrics,
     format_metrics,
@@ -38,6 +59,15 @@ from repro.obs.metrics import (
     inc,
     observe,
     set_metrics,
+)
+from repro.obs.runs import (
+    RunDir,
+    RunRegistry,
+    create_run,
+    list_runs,
+    load_run,
+    recorded_run,
+    summarize_run,
 )
 from repro.obs.telemetry import (
     GenerationRecord,
@@ -77,28 +107,57 @@ __all__ = [
     "population_stats",
     "profile_run",
     "export_observability",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalError",
+    "RunJournal",
+    "JournalReplay",
+    "config_fingerprint",
+    "get_journal",
+    "set_journal",
+    "emit",
+    "read_events",
+    "replay_journal",
+    "RunDir",
+    "RunRegistry",
+    "create_run",
+    "list_runs",
+    "load_run",
+    "summarize_run",
+    "recorded_run",
+    "RunSummary",
+    "RunDiff",
+    "summarize_journal",
+    "load_summary",
+    "compare_runs",
+    "compare_summaries",
+    "format_diff",
 ]
 
 
 def profile_run(fn: Callable, *args, stream=None,
                 min_fraction: float = 0.005, **kwargs) -> Tuple:
-    """Run *fn* under a fresh enabled tracer and dump the span summary.
+    """Run *fn* under fresh tracer + metrics and dump the span summary.
 
-    The global tracer is swapped for a clean, enabled one for the
-    duration of the call (so the instrumented components record into
-    it) and restored afterwards.  The flamegraph-style summary is
-    printed to *stream* (default stdout).  Returns
-    ``(result, tracer)`` so callers can post-process or export the
-    spans.
+    The global tracer *and* the global metrics registry are swapped
+    for clean ones for the duration of the call (so the instrumented
+    components record into them without polluting — or being polluted
+    by — whatever the process accumulated before) and restored
+    afterwards.  The flamegraph-style summary is printed to *stream*
+    (default stdout).  Returns ``(result, tracer)``; the isolated
+    registry is available as ``tracer.metrics``.
     """
     tracer = Tracer(enabled=True)
-    previous = set_tracer(tracer)
+    metrics = Metrics()
+    previous_tracer = set_tracer(tracer)
+    previous_metrics = set_metrics(metrics)
     start = time.monotonic()
     try:
         result = fn(*args, **kwargs)
     finally:
-        set_tracer(previous)
+        set_tracer(previous_tracer)
+        set_metrics(previous_metrics)
     wall = time.monotonic() - start
+    tracer.metrics = metrics
     summary = tracer.format_spans(min_fraction=min_fraction)
     text = (f"profile_run: {getattr(fn, '__qualname__', fn)!s} "
             f"took {wall:.3f}s wall\n{summary}")

@@ -1,0 +1,249 @@
+"""``repro-obs`` — terminal front-end for the flight-recorder layer.
+
+Four subcommands, all read-only::
+
+    repro-obs tail    <run|journal> [-n 20] [--event generation]
+    repro-obs summary <run|journal> [--json]
+    repro-obs compare <baseline> <candidate> [--tol NAME=KIND:TOL[:DIR]]
+    repro-obs flame   <run|trace.json> [--min-fraction 0.005]
+
+A *run* argument may be a run directory, a ``journal.jsonl`` path, or a
+bare run id resolved against the runs root (``REPRO_RUNS_DIR`` or
+``runs/``; see :mod:`repro.obs.runs`).  ``compare`` exits non-zero on a
+tolerance breach, which is what lets CI gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_run_path(argument: str, root: Optional[str] = None) -> str:
+    """Map a run id / run dir / journal path to a concrete file path."""
+    if os.path.exists(argument):
+        return argument
+    from repro.obs.runs import RunRegistry
+    registry = RunRegistry(root)
+    run = registry.load_run(argument)  # KeyError lists known runs
+    return run.path
+
+
+def _journal_path(argument: str, root: Optional[str] = None) -> str:
+    path = _resolve_run_path(argument, root)
+    if os.path.isdir(path):
+        path = os.path.join(path, "journal.jsonl")
+    return path
+
+
+def _parse_tolerance(spec: str) -> Tuple[str, Tuple[str, float, str]]:
+    """Parse ``NAME=KIND:TOL[:DIR]`` into a tolerance-table entry."""
+    try:
+        name, rule = spec.split("=", 1)
+        parts = rule.split(":")
+        kind, tol = parts[0], float(parts[1])
+        direction = parts[2] if len(parts) > 2 else None
+    except (ValueError, IndexError):
+        raise argparse.ArgumentTypeError(
+            f"bad tolerance {spec!r}; expected NAME=KIND:TOL[:DIR], "
+            f"e.g. final_best=rel:0.05:increase"
+        )
+    if kind not in ("rel", "abs"):
+        raise argparse.ArgumentTypeError(
+            f"bad tolerance kind {kind!r} in {spec!r} (rel or abs)"
+        )
+    if direction is not None and direction not in ("increase", "decrease",
+                                                   "both"):
+        raise argparse.ArgumentTypeError(
+            f"bad direction {direction!r} in {spec!r} "
+            f"(increase, decrease, or both)"
+        )
+    return name.strip(), (kind, tol, direction)
+
+
+# -- subcommands -------------------------------------------------------------
+
+def _cmd_tail(args) -> int:
+    from repro.obs.journal import read_events
+    path = _journal_path(args.run, args.runs_root)
+    events, truncated, n_corrupt = read_events(path)
+    if args.event:
+        events = [e for e in events if e.get("event") == args.event]
+    for event in events[-args.lines:]:
+        print(json.dumps(event, separators=(",", ":"), default=str))
+    if truncated:
+        print("(truncated tail: last line was torn mid-write)",
+              file=sys.stderr)
+    if n_corrupt:
+        print(f"({n_corrupt} corrupt interior line(s) skipped)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    from repro.obs.compare import load_summary
+    path = _resolve_run_path(args.run, args.runs_root)
+    summary = load_summary(path)
+    if args.json:
+        print(summary.to_json())
+        return 0
+    print(f"run        : {summary.run_id or '(unknown)'}")
+    print(f"source     : {summary.source}")
+    print(f"status     : {summary.status}")
+    if summary.algorithms:
+        print(f"algorithms : {', '.join(summary.algorithms)}")
+    rows = [
+        ("generations", summary.n_generations),
+        ("final best", summary.final_best),
+        ("final violation", summary.final_violation),
+        ("evaluations", summary.total_nfev),
+        ("failures", summary.n_failures),
+        ("guard violations", summary.guard_violations),
+        ("cache hit rate", summary.cache_hit_rate),
+        ("wall time [s]", summary.wall_time_s),
+        ("resumes", summary.n_resumes),
+    ]
+    for label, value in rows:
+        if value is None:
+            continue
+        rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
+        print(f"{label:<16}: {rendered}")
+    if summary.truncated_tail or summary.n_corrupt:
+        print(f"integrity  : truncated_tail={summary.truncated_tail} "
+              f"n_corrupt={summary.n_corrupt}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.obs.compare import compare_runs, format_diff
+    tolerances: Dict[str, Tuple] = {}
+    for name, (kind, tol, direction) in (args.tol or []):
+        from repro.obs.compare import DEFAULT_TOLERANCES
+        default = DEFAULT_TOLERANCES.get(name, (None, None, "both"))
+        tolerances[name] = (kind, tol, direction or default[2])
+    counter_checks = {name: tol for name, tol in (args.counter or [])}
+    diff = compare_runs(
+        _resolve_run_path(args.baseline, args.runs_root),
+        _resolve_run_path(args.candidate, args.runs_root),
+        tolerances=tolerances or None,
+        counter_checks=counter_checks or None,
+    )
+    if args.json:
+        print(diff.to_json())
+    else:
+        print(format_diff(diff))
+    return 0 if diff.ok else 1
+
+
+def _parse_counter(spec: str) -> Tuple[str, float]:
+    try:
+        name, tol = spec.split("=", 1)
+        return name.strip(), float(tol)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad counter check {spec!r}; expected NAME=RELTOL"
+        )
+
+
+def _cmd_flame(args) -> int:
+    from repro.obs.tracer import Tracer
+    path = _resolve_run_path(args.run, args.runs_root)
+    if os.path.isdir(path):
+        path = os.path.join(path, "trace.json")
+    if not os.path.exists(path):
+        print(f"no trace export at {path!r} "
+              f"(was the run recorded with REPRO_TRACE=1?)",
+              file=sys.stderr)
+        return 2
+    tracer = Tracer.from_json(path)
+    print(tracer.format_spans(min_fraction=args.min_fraction))
+    return 0
+
+
+# -- entry point -------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect and diff recorded optimization runs.",
+    )
+    parser.add_argument(
+        "--runs-root", default=None,
+        help="runs root for bare run-id arguments "
+             "(default: $REPRO_RUNS_DIR or ./runs)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tail = sub.add_parser("tail", help="print the last journal events")
+    tail.add_argument("run", help="run id, run directory, or journal file")
+    tail.add_argument("-n", "--lines", type=int, default=20)
+    tail.add_argument("--event", default=None,
+                      help="only events of this type (e.g. generation)")
+    tail.set_defaults(handler=_cmd_tail)
+
+    summary = sub.add_parser("summary", help="summarize one run")
+    summary.add_argument("run", help="run id, run directory, journal, "
+                                     "or summary JSON")
+    summary.add_argument("--json", action="store_true",
+                         help="machine-readable RunSummary JSON")
+    summary.set_defaults(handler=_cmd_summary)
+
+    compare = sub.add_parser(
+        "compare", help="diff two runs; exit 1 on regression")
+    compare.add_argument("baseline", help="baseline run/journal/summary/"
+                                          "BENCH_*.json")
+    compare.add_argument("candidate", help="candidate run/journal/summary")
+    compare.add_argument(
+        "--tol", action="append", type=_parse_tolerance, metavar="SPEC",
+        help="override a tolerance: NAME=KIND:TOL[:DIR], e.g. "
+             "final_best=rel:0.05 or n_failures=abs:2:increase "
+             "(repeatable)",
+    )
+    compare.add_argument(
+        "--counter", action="append", type=_parse_counter, metavar="SPEC",
+        help="also compare a metrics counter: NAME=RELTOL (repeatable)",
+    )
+    compare.add_argument("--json", action="store_true",
+                         help="machine-readable RunDiff JSON")
+    compare.set_defaults(handler=_cmd_compare)
+
+    flame = sub.add_parser(
+        "flame", help="re-render a trace.json span summary")
+    flame.add_argument("run", help="run id, run directory, or trace.json")
+    flame.add_argument("--min-fraction", type=float, default=0.005)
+    flame.set_defaults(handler=_cmd_flame)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into head/less that exited early; not an error.
+        # Detach stdout so interpreter shutdown doesn't re-raise.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+    except KeyError as exc:
+        # load_run raises KeyError listing the known run ids.
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -22,10 +22,14 @@ magnitude below the millisecond-scale solves it annotates.
 from __future__ import annotations
 
 import json
+import random
 import threading
+import zlib
 from typing import Dict, List, Optional
 
 __all__ = [
+    "DEFAULT_HISTOGRAM_CAP",
+    "TRUNCATION_COUNTER",
     "Metrics",
     "format_metrics",
     "get_metrics",
@@ -33,6 +37,14 @@ __all__ = [
     "inc",
     "observe",
 ]
+
+#: Histograms keep at most this many raw samples; beyond it they switch
+#: to deterministic reservoir sampling (count/mean/min/max stay exact).
+DEFAULT_HISTOGRAM_CAP = 4096
+
+#: Counter bumped the first time each histogram starts truncating, so a
+#: capped percentile estimate is never mistaken for an exact one.
+TRUNCATION_COUNTER = "metrics.histogram_truncated"
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -44,20 +56,103 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     return float(sorted_values[rank])
 
 
+class _Reservoir:
+    """Bounded histogram state: exact moments + sampled percentiles.
+
+    ``count``/``total``/``min``/``max`` are updated on every
+    observation and stay exact forever; the raw samples are kept only
+    up to ``cap`` and thereafter replaced by Algorithm R reservoir
+    sampling.  The RNG is seeded from the histogram *name* (crc32), so
+    the same observation sequence always keeps the same sample set —
+    runs stay bit-for-bit reproducible.
+    """
+
+    __slots__ = ("cap", "count", "total", "min", "max", "samples",
+                 "truncated", "_rng")
+
+    def __init__(self, name: str, cap: int):
+        self.cap = int(cap)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.samples: List[float] = []
+        self.truncated = False
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+
+    def add(self, value: float) -> bool:
+        """Record one observation; True when this add started truncating."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.samples) < self.cap:
+            self.samples.append(value)
+            return False
+        first = not self.truncated
+        self.truncated = True
+        slot = self._rng.randrange(self.count)
+        if slot < self.cap:
+            self.samples[slot] = value
+        return first
+
+    def absorb(self, other: "_Reservoir") -> bool:
+        """Fold another reservoir in; exact moments merge exactly."""
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        was_truncated = self.truncated
+        pseudo_count = self.count
+        for value in other.samples:
+            pseudo_count += 1
+            if len(self.samples) < self.cap:
+                self.samples.append(value)
+                continue
+            self.truncated = True
+            slot = self._rng.randrange(pseudo_count)
+            if slot < self.cap:
+                self.samples[slot] = value
+        self.count += other.count
+        self.truncated = self.truncated or other.truncated
+        return self.truncated and not was_truncated
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        ordered = sorted(self.samples)
+        return {
+            "count": self.count,
+            "mean": float(self.total / self.count),
+            "min": float(self.min),
+            "p50": _percentile(ordered, 0.50),
+            "p90": _percentile(ordered, 0.90),
+            "max": float(self.max),
+            "truncated": self.truncated,
+            "n_samples": len(self.samples),
+        }
+
+
 class Metrics:
     """A thread-safe registry of counters, gauges, and histograms.
 
     * counters — monotonically increasing totals (:meth:`inc`);
     * gauges — last-write-wins point-in-time values (:meth:`gauge`);
-    * histograms — raw observation lists summarized at export time
-      (:meth:`observe`): count / mean / min / p50 / p90 / max.
+    * histograms — bounded reservoirs summarized at export time
+      (:meth:`observe`): count / mean / min / p50 / p90 / max, where
+      count, mean, min, and max stay exact at any volume and the
+      percentiles come from at most *histogram_cap* deterministically
+      sampled observations.  The first truncation of each histogram
+      bumps the :data:`TRUNCATION_COUNTER` counter.
     """
 
-    def __init__(self):
+    def __init__(self, histogram_cap: int = DEFAULT_HISTOGRAM_CAP):
         self._lock = threading.Lock()
+        self.histogram_cap = max(int(histogram_cap), 1)
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
-        self._histograms: Dict[str, List[float]] = {}
+        self._histograms: Dict[str, _Reservoir] = {}
 
     # -- recording ----------------------------------------------------------
     def inc(self, name: str, n: float = 1) -> None:
@@ -76,9 +171,17 @@ class Metrics:
             self._gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
-        """Append one observation to histogram *name*."""
+        """Record one observation into histogram *name*."""
         with self._lock:
-            self._histograms.setdefault(name, []).append(float(value))
+            reservoir = self._histograms.get(name)
+            if reservoir is None:
+                reservoir = _Reservoir(name, self.histogram_cap)
+                self._histograms[name] = reservoir
+            if reservoir.add(float(value)):
+                # First truncation of this histogram: make it loud.
+                self._counters[TRUNCATION_COUNTER] = (
+                    self._counters.get(TRUNCATION_COUNTER, 0) + 1
+                )
 
     # -- access -------------------------------------------------------------
     def counter(self, name: str) -> float:
@@ -95,17 +198,10 @@ class Metrics:
 
     def histogram_summary(self, name: str) -> Dict[str, float]:
         with self._lock:
-            values = sorted(self._histograms.get(name, []))
-        if not values:
-            return {"count": 0}
-        return {
-            "count": len(values),
-            "mean": float(sum(values) / len(values)),
-            "min": values[0],
-            "p50": _percentile(values, 0.50),
-            "p90": _percentile(values, 0.90),
-            "max": values[-1],
-        }
+            reservoir = self._histograms.get(name)
+            if reservoir is None:
+                return {"count": 0}
+            return reservoir.summary()
 
     def clear(self) -> None:
         with self._lock:
@@ -137,16 +233,32 @@ class Metrics:
                          health.checkpoints_written)
 
     def merge(self, other: "Metrics") -> None:
-        """Fold another registry in (counters add, gauges last-write)."""
+        """Fold another registry in (counters add, gauges last-write).
+
+        Histogram moments merge exactly; the percentile sample sets are
+        combined through this registry's reservoirs, so the merged
+        histogram is still bounded by ``histogram_cap``.
+        """
         for name, value in other.counters().items():
             self.inc(name, value)
         for name, value in other.gauges().items():
             self.gauge(name, value)
         with other._lock:
-            histograms = {k: list(v) for k, v in other._histograms.items()}
+            theirs = dict(other._histograms)
         with self._lock:
-            for name, values in histograms.items():
-                self._histograms.setdefault(name, []).extend(values)
+            for name, reservoir in theirs.items():
+                mine = self._histograms.get(name)
+                if mine is None:
+                    mine = _Reservoir(name, self.histogram_cap)
+                    self._histograms[name] = mine
+                started = mine.absorb(reservoir)
+                # Other's own truncations already arrived via the
+                # counter merge above; only count a truncation the
+                # merge itself caused.
+                if started and not reservoir.truncated:
+                    self._counters[TRUNCATION_COUNTER] = (
+                        self._counters.get(TRUNCATION_COUNTER, 0) + 1
+                    )
 
     # -- export -------------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
@@ -193,10 +305,11 @@ def format_metrics(metrics: Metrics, title: str = "Metrics") -> str:
             if not summary.get("count"):
                 lines.append(f"  {name:<{width}}  (empty)")
                 continue
+            sampled = " (sampled)" if summary.get("truncated") else ""
             lines.append(
                 f"  {name:<{width}}  {summary['count']:d} / "
                 f"{summary['mean']:.3g} / {summary['p50']:.3g} / "
-                f"{summary['p90']:.3g} / {summary['max']:.3g}"
+                f"{summary['p90']:.3g} / {summary['max']:.3g}{sampled}"
             )
     if len(lines) <= (1 if title else 0):
         lines.append("  (no metrics recorded)")

@@ -1,0 +1,257 @@
+"""Run registry: optimization runs as durable, addressable artifacts.
+
+A *run* is a directory under a runs root (default ``runs/``, overridden
+by ``REPRO_RUNS_DIR``) holding everything needed to reconstruct and
+compare the run later::
+
+    runs/<run_id>/
+        journal.jsonl     # the flight-recorder event stream (always)
+        metrics.json      # final metrics registry export
+        trace.json        # span export (when tracing was enabled)
+        checkpoint.ckpt   # FileCheckpointStore target (crash resume)
+
+:class:`RunRegistry` provides ``create_run`` / ``list_runs`` /
+``load_run`` / ``summarize_run``; :func:`recorded_run` is the one-liner
+most callers want — it creates the run directory, opens the journal,
+writes the ``run_start`` header, installs the journal as the process
+flight recorder (:func:`repro.obs.journal.set_journal`), and on exit
+writes ``run_end``, exports metrics/trace, and restores the previous
+journal::
+
+    from repro.obs.runs import recorded_run
+
+    with recorded_run("runs", name="lna", config={"seed": 11},
+                      seeds={"optimizer": 11}) as run:
+        flow.run_improved(seed=11, on_generation=run.journal,
+                          checkpoint_store=run.checkpoint_store())
+
+    print(run.run_id)          # address the artifact later:
+    # repro-obs summary runs/<run_id>
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import List, Optional
+
+from repro.obs.journal import RunJournal, set_journal
+
+__all__ = [
+    "DEFAULT_RUNS_ROOT",
+    "RUNS_DIR_ENV",
+    "RunDir",
+    "RunRegistry",
+    "create_run",
+    "list_runs",
+    "load_run",
+    "summarize_run",
+    "recorded_run",
+]
+
+#: Environment variable overriding the default runs root.
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+DEFAULT_RUNS_ROOT = "runs"
+
+JOURNAL_NAME = "journal.jsonl"
+METRICS_NAME = "metrics.json"
+TRACE_NAME = "trace.json"
+CHECKPOINT_NAME = "checkpoint.ckpt"
+
+
+def _resolve_root(root: Optional[str]) -> str:
+    if root is not None:
+        return str(root)
+    return os.environ.get(RUNS_DIR_ENV) or DEFAULT_RUNS_ROOT
+
+
+class RunDir:
+    """One run's directory and its well-known artifact paths."""
+
+    def __init__(self, root: str, run_id: str):
+        self.root = str(root)
+        self.run_id = str(run_id)
+        self.journal: Optional[RunJournal] = None
+
+    # -- paths --------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        return os.path.join(self.root, self.run_id)
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.path, JOURNAL_NAME)
+
+    @property
+    def metrics_path(self) -> str:
+        return os.path.join(self.path, METRICS_NAME)
+
+    @property
+    def trace_path(self) -> str:
+        return os.path.join(self.path, TRACE_NAME)
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.path, CHECKPOINT_NAME)
+
+    def exists(self) -> bool:
+        return os.path.isdir(self.path)
+
+    def __repr__(self) -> str:
+        return f"RunDir({self.path!r})"
+
+    # -- artifacts ----------------------------------------------------------
+    def open_journal(self, **kwargs) -> RunJournal:
+        """Open (or continue) this run's journal."""
+        os.makedirs(self.path, exist_ok=True)
+        journal = RunJournal(self.journal_path, run_id=self.run_id,
+                             **kwargs)
+        self.journal = journal
+        return journal
+
+    def checkpoint_store(self, **kwargs):
+        """A :class:`FileCheckpointStore` bound to this run directory."""
+        # Lazy import: repro.obs stays import-light and cycle-free.
+        from repro.optimize.checkpoint import FileCheckpointStore
+        os.makedirs(self.path, exist_ok=True)
+        return FileCheckpointStore(self.checkpoint_path, **kwargs)
+
+    def export(self, tracer=None, metrics=None) -> None:
+        """Write ``metrics.json`` (+ ``trace.json`` when spans exist)."""
+        from repro.obs.metrics import get_metrics
+        from repro.obs.tracer import get_tracer
+        os.makedirs(self.path, exist_ok=True)
+        metrics = metrics if metrics is not None else get_metrics()
+        metrics.to_json(self.metrics_path)
+        tracer = tracer if tracer is not None else get_tracer()
+        if tracer.records:
+            tracer.to_json(self.trace_path)
+
+    def summary(self):
+        """Summarize this run's journal (see :mod:`repro.obs.compare`)."""
+        from repro.obs.compare import summarize_journal
+        return summarize_journal(self.journal_path)
+
+
+class RunRegistry:
+    """Creates and addresses run directories under one root."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = _resolve_root(root)
+
+    def create_run(self, name: Optional[str] = None,
+                   run_id: Optional[str] = None) -> RunDir:
+        """Create a fresh (or explicitly named) run directory.
+
+        Auto-generated ids are ``<name>-<UTC timestamp>[-<k>]`` with a
+        collision suffix, so two runs started in the same second still
+        get distinct directories.  An explicit *run_id* reuses the
+        directory if it already exists (resume workflows point at the
+        same run on purpose).
+        """
+        os.makedirs(self.root, exist_ok=True)
+        if run_id is not None:
+            run = RunDir(self.root, run_id)
+            os.makedirs(run.path, exist_ok=True)
+            return run
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+        base = f"{name or 'run'}-{stamp}"
+        candidate = base
+        for attempt in range(1, 10_000):
+            path = os.path.join(self.root, candidate)
+            try:
+                os.mkdir(path)
+            except FileExistsError:
+                candidate = f"{base}-{attempt}"
+                continue
+            return RunDir(self.root, candidate)
+        raise RuntimeError(
+            f"could not allocate a unique run id under {self.root!r}"
+        )
+
+    def list_runs(self) -> List[str]:
+        """Run ids under the root (sorted lexically = chronologically)."""
+        try:
+            entries = os.listdir(self.root)
+        except FileNotFoundError:
+            return []
+        return sorted(
+            entry for entry in entries
+            if os.path.isdir(os.path.join(self.root, entry))
+        )
+
+    def load_run(self, run_id: str) -> RunDir:
+        """Address an existing run; ``KeyError`` when it does not exist."""
+        run = RunDir(self.root, run_id)
+        if not run.exists():
+            raise KeyError(
+                f"no run {run_id!r} under {self.root!r} "
+                f"(known: {', '.join(self.list_runs()) or 'none'})"
+            )
+        return run
+
+    def latest(self) -> Optional[RunDir]:
+        """The most recently modified run, or ``None`` when empty."""
+        newest, newest_mtime = None, -1.0
+        for run_id in self.list_runs():
+            path = os.path.join(self.root, run_id)
+            mtime = os.path.getmtime(path)
+            if mtime > newest_mtime:
+                newest, newest_mtime = run_id, mtime
+        return RunDir(self.root, newest) if newest is not None else None
+
+    def summarize_run(self, run_id: str):
+        """Summary of one run's journal (see :mod:`repro.obs.compare`)."""
+        return self.load_run(run_id).summary()
+
+
+# -- module-level conveniences (default registry) ----------------------------
+
+def create_run(name: Optional[str] = None, root: Optional[str] = None,
+               run_id: Optional[str] = None) -> RunDir:
+    return RunRegistry(root).create_run(name=name, run_id=run_id)
+
+
+def list_runs(root: Optional[str] = None) -> List[str]:
+    return RunRegistry(root).list_runs()
+
+
+def load_run(run_id: str, root: Optional[str] = None) -> RunDir:
+    return RunRegistry(root).load_run(run_id)
+
+
+def summarize_run(run_id: str, root: Optional[str] = None):
+    return RunRegistry(root).summarize_run(run_id)
+
+
+@contextmanager
+def recorded_run(root=None, name: Optional[str] = None,
+                 run_id: Optional[str] = None, config=None, seeds=None,
+                 journal_kwargs: Optional[dict] = None):
+    """Record one run: directory + journal + active-journal scope.
+
+    Yields the :class:`RunDir` with ``run.journal`` open.  On normal
+    exit a ``run_end(status="completed")`` trailer is written; if the
+    body raises, the trailer carries ``status="failed"`` and the error
+    before the exception propagates.  Either way the journal is closed,
+    the previous active journal is restored, and the final metrics
+    (plus spans, when tracing) are exported next to the journal.
+    """
+    registry = root if isinstance(root, RunRegistry) else RunRegistry(root)
+    run = registry.create_run(name=name, run_id=run_id)
+    journal = run.open_journal(**(journal_kwargs or {}))
+    journal.run_start(config=config, seeds=seeds)
+    previous = set_journal(journal)
+    try:
+        yield run
+    except BaseException as exc:
+        journal.run_end(status="failed",
+                        error=f"{type(exc).__name__}: {exc}")
+        raise
+    else:
+        journal.run_end(status="completed")
+    finally:
+        set_journal(previous)
+        run.export()
+        journal.close()

@@ -355,6 +355,37 @@ class Tracer:
                 handle.write(text + "\n")
         return text
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Tracer":
+        """Rebuild a tracer from an :meth:`as_dict` export.
+
+        The reporting methods (``format_spans``, ``span_tree``) work on
+        the reconstructed buffer, so an exported ``trace.json`` can be
+        re-rendered offline (see ``repro-obs flame``).
+        """
+        tracer = cls(enabled=bool(data.get("enabled", True)))
+        records: List[SpanRecord] = []
+        for raw in data.get("spans", []):
+            parent = raw.get("parent_id")
+            records.append(SpanRecord(
+                span_id=int(raw["span_id"]),
+                parent_id=None if parent is None else int(parent),
+                name=str(raw.get("name", "")),
+                start_s=float(raw.get("start_s", 0.0)),
+                duration_s=float(raw.get("duration_s", 0.0)),
+                pid=int(raw.get("pid", 0)),
+                meta=dict(raw.get("meta", {})),
+            ))
+        tracer._records = records
+        tracer._id_counter = max((r.span_id for r in records), default=0)
+        return tracer
+
+    @classmethod
+    def from_json(cls, path: str) -> "Tracer":
+        """Load a ``trace.json`` written by :meth:`to_json`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
 
 _global_tracer = Tracer()
 

@@ -37,6 +37,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs import journal as _obs_journal
 from repro.obs import metrics as _obs_metrics
 from repro.obs import tracer as _obs_tracer
 from repro.optimize.faults import (
@@ -265,6 +266,12 @@ class PopulationEvaluator:
                 values[i] = value
         self.health.merge(generation_health)
         if timed_out:
+            _obs_journal.emit(
+                "generation_timeout",
+                n_timeouts=generation_health.failures.get(
+                    CATEGORY_TIMEOUT, 0),
+                batch=len(futures),
+            )
             # Hung workers poison every later generation; swap the pool.
             if self.health.pool_rebuilds >= self.max_pool_rebuilds:
                 self._abandon_pool()
@@ -279,6 +286,9 @@ class PopulationEvaluator:
                     self.backoff_base * 2.0 ** self.health.pool_rebuilds)
         self.health.pool_rebuilds += 1
         self.health.retries += 1
+        _obs_journal.emit("pool_rebuild",
+                          rebuilds=self.health.pool_rebuilds,
+                          delay_s=float(delay))
         if delay > 0:
             time.sleep(delay)
         self._pool = ProcessPoolExecutor(max_workers=self._workers)
@@ -288,6 +298,8 @@ class PopulationEvaluator:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         self.health.serial_fallback = True
+        _obs_journal.emit("serial_fallback",
+                          pool_rebuilds=self.health.pool_rebuilds)
 
     # -- lifecycle ----------------------------------------------------------
     def close(self):

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.guards import modes as _guard_modes
+from repro.obs import journal as _obs_journal
 from repro.obs import metrics as _obs_metrics
 from repro.optimize.faults import retry_transient
 
@@ -255,6 +256,8 @@ class FileCheckpointStore(CheckpointStore):
         except OSError:
             corrupt_path = path  # rename failed; leave it in place
         _obs_metrics.inc("checkpoint.quarantined")
+        _obs_journal.emit("checkpoint_quarantined", path=str(path),
+                          reason=str(reason)[:200])
         warnings.warn(
             f"quarantined corrupt checkpoint {path!r} -> {corrupt_path!r} "
             f"({reason}); resuming from the previous good snapshot if any",

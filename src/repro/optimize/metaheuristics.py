@@ -36,6 +36,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.guards import contracts as _contracts
+from repro.obs import journal as _obs_journal
 from repro.obs.telemetry import GenerationRecord, population_stats
 from repro.optimize.batching import PopulationEvaluator
 from repro.optimize.checkpoint import (
@@ -120,6 +121,9 @@ def _save_checkpoint(store: CheckpointStore, algorithm: str, iteration: int,
         rng_state=rng.bit_generator.state,
         payload=payload,
     ))
+    _obs_journal.emit("checkpoint", algorithm=algorithm,
+                      iteration=int(iteration),
+                      n_failures=health.n_failures)
 
 
 def _restore_telemetry(on_generation, payload: dict):

@@ -15,7 +15,13 @@ import numpy as np
 import pytest
 
 from repro.obs import export_observability, profile_run
-from repro.obs.metrics import Metrics, format_metrics, get_metrics, set_metrics
+from repro.obs.metrics import (
+    TRUNCATION_COUNTER,
+    Metrics,
+    format_metrics,
+    get_metrics,
+    set_metrics,
+)
 from repro.obs.telemetry import (
     GenerationRecord,
     TelemetryRecorder,
@@ -336,6 +342,84 @@ class TestMetrics:
         assert json.loads(path.read_text())["counters"] == {"a": 2}
 
 
+class TestHistogramReservoir:
+    def test_below_cap_stays_exact(self):
+        metrics = Metrics(histogram_cap=100)
+        for v in range(50):
+            metrics.observe("h", float(v))
+        summary = metrics.histogram_summary("h")
+        assert summary["count"] == 50
+        assert summary["n_samples"] == 50
+        assert not summary["truncated"]
+        assert metrics.counter(TRUNCATION_COUNTER) == 0
+
+    def test_above_cap_bounds_samples_keeps_moments_exact(self):
+        metrics = Metrics(histogram_cap=64)
+        n = 1000
+        for v in range(n):
+            metrics.observe("h", float(v))
+        summary = metrics.histogram_summary("h")
+        assert summary["count"] == n
+        assert summary["n_samples"] == 64
+        assert summary["truncated"]
+        assert summary["min"] == 0.0 and summary["max"] == float(n - 1)
+        assert summary["mean"] == pytest.approx((n - 1) / 2.0)
+        # The percentile estimate comes from the sample, but it should
+        # still land in the right neighbourhood for a uniform ramp.
+        assert 0.25 * n < summary["p50"] < 0.75 * n
+        # One truncation counter bump per histogram, not per overflow.
+        assert metrics.counter(TRUNCATION_COUNTER) == 1
+        metrics.observe("other", 1.0)
+        assert metrics.counter(TRUNCATION_COUNTER) == 1
+
+    def test_sampling_is_deterministic_per_name(self):
+        def fill(name):
+            metrics = Metrics(histogram_cap=32)
+            for v in range(500):
+                metrics.observe(name, float(v))
+            return metrics.histogram_summary(name)
+
+        assert fill("latency") == fill("latency")
+        # Different names seed different reservoirs.
+        a, b = fill("latency"), fill("iterations")
+        assert (a["p50"], a["p90"]) != (b["p50"], b["p90"])
+
+    def test_merge_respects_cap_and_counts_new_truncation(self):
+        a = Metrics(histogram_cap=16)
+        b = Metrics(histogram_cap=16)
+        for v in range(12):
+            a.observe("h", float(v))
+        for v in range(12, 24):
+            b.observe("h", float(v))
+        assert b.counter(TRUNCATION_COUNTER) == 0
+        a.merge(b)
+        summary = a.histogram_summary("h")
+        assert summary["count"] == 24
+        assert summary["n_samples"] == 16
+        assert summary["truncated"]
+        assert summary["min"] == 0.0 and summary["max"] == 23.0
+        assert summary["mean"] == pytest.approx(11.5)
+        # Merge itself triggered truncation exactly once.
+        assert a.counter(TRUNCATION_COUNTER) == 1
+
+    def test_merge_does_not_double_count_truncation(self):
+        a = Metrics(histogram_cap=8)
+        b = Metrics(histogram_cap=8)
+        for v in range(20):
+            b.observe("h", float(v))
+        assert b.counter(TRUNCATION_COUNTER) == 1
+        a.merge(b)
+        # b's own truncation arrives via the counter merge only.
+        assert a.counter(TRUNCATION_COUNTER) == 1
+        assert a.histogram_summary("h")["count"] == 20
+
+    def test_format_marks_sampled_histograms(self):
+        metrics = Metrics(histogram_cap=4)
+        for v in range(10):
+            metrics.observe("h", float(v))
+        assert "(sampled)" in format_metrics(metrics)
+
+
 # ----------------------------------------------------------------------
 # telemetry
 # ----------------------------------------------------------------------
@@ -454,6 +538,25 @@ def test_profile_run_captures_and_restores(fresh_globals):
     assert "inner" in stream.getvalue()
     # The pre-existing (disabled) global tracer is back in place.
     assert get_tracer() is tracer_before
+
+
+def test_profile_run_isolates_metrics(fresh_globals):
+    _, metrics_before = fresh_globals
+    metrics_before.inc("pre.existing", 7)
+
+    def work():
+        from repro.obs import metrics as metrics_module
+        metrics_module.inc("work.solves", 3)
+        return "ok"
+
+    result, tracer = profile_run(work, stream=io.StringIO())
+    assert result == "ok"
+    # The profiled run's counters landed in a fresh registry, reachable
+    # from the returned tracer — not mixed into the ambient one.
+    assert tracer.metrics.counter("work.solves") == 3
+    assert tracer.metrics.counter("pre.existing") == 0
+    assert get_metrics() is metrics_before
+    assert metrics_before.counter("work.solves") == 0
 
 
 def test_export_observability_writes_both_files(tmp_path, fresh_globals):
