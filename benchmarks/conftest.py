@@ -1,10 +1,37 @@
 """Benchmark-suite fixtures: report capture and shared design cache."""
 
+import os
 import pathlib
+import platform
 
+import numpy as np
 import pytest
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def host_context():
+    """Factory for the ``host`` block of BENCH_*.json artifacts.
+
+    Identifies the machine the numbers came from so cross-machine
+    diffs can be read in context; ``repro.obs.compare`` treats every
+    ``host.*`` key as informational, never a regression.
+    """
+
+    def _context(workers=None, backend=None):
+        context = {
+            "cpu_count": os.cpu_count(),
+            "python_version": platform.python_version(),
+            "numpy_version": np.__version__,
+        }
+        if workers is not None:
+            context["workers"] = int(workers)
+        if backend is not None:
+            context["backend"] = str(backend)
+        return context
+
+    return _context
 
 
 @pytest.fixture(scope="session")

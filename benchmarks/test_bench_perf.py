@@ -1,13 +1,15 @@
 """Bench: the batched candidate-evaluation engine vs the scalar loop.
 
 Times a 64-candidate population evaluation three ways — per-candidate
-scalar loop, one compiled batched solve, and a process-pool spread of
+scalar loop, one compiled batched solve, and a worker-fleet spread of
 the scalar objective — and writes ``BENCH_eval_engine.json`` with the
-timings and throughput.  The acceptance bar is a >= 3x speedup of the
-batched path over the scalar loop.
+timings, throughput, and host context.  Acceptance bars: >= 3x batched
+over scalar everywhere, and (on hosts with >= 2 CPUs) the fleet at
+least break-even against the scalar loop.
 """
 
 import json
+import os
 import time
 
 import numpy as np
@@ -47,7 +49,7 @@ def _best_of(fn, repeats=3):
     return min(times)
 
 
-def test_bench_eval_engine(save_report, report_dir):
+def test_bench_eval_engine(save_report, report_dir, host_context):
     template, (band, guard) = _shared_template()
     engine = CompiledTemplate(template)
     rng = np.random.default_rng(20150901)
@@ -87,6 +89,7 @@ def test_bench_eval_engine(save_report, report_dir):
         "speedup_pooled_vs_scalar": (
             t_scalar / t_pooled if t_pooled else None
         ),
+        "host": host_context(workers=2, backend="fleet"),
     }
     (report_dir / "BENCH_eval_engine.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
@@ -114,3 +117,9 @@ def test_bench_eval_engine(save_report, report_dir):
         f"batched evaluation only {speedup:.2f}x faster than the "
         f"scalar loop (needs >= 3x)"
     )
+    if t_pooled and (os.cpu_count() or 1) >= 2:
+        pooled_speedup = t_scalar / t_pooled
+        assert pooled_speedup >= 1.0, (
+            f"worker fleet slower than the scalar loop "
+            f"({pooled_speedup:.2f}x) on a multi-core host"
+        )

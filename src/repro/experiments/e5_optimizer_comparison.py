@@ -33,12 +33,16 @@ class E5Result:
 
 
 def run(seed: int = 0, goals=DEFAULT_GOALS, engine: str = "compiled",
+        workers: Optional[int] = None,
         record_to: Optional[str] = None) -> E5Result:
     """Run the three optimizers on a fresh LNA problem each.
 
     ``engine`` selects the evaluation path ("compiled" batches the
     improved method's probe stage through one MNA factorization;
     "scalar" forces the original per-candidate circuit build).
+    ``workers > 1`` additionally shards each flow's population-level
+    evaluations across threads (bit-identical results, see
+    :class:`~repro.core.design.DesignFlow`).
     ``record_to`` names a runs root: the experiment is then recorded as
     a run directory (flight-recorder journal + metrics/trace exports,
     see :mod:`repro.obs.runs`) addressable with ``repro-obs``.
@@ -69,20 +73,23 @@ def run(seed: int = 0, goals=DEFAULT_GOALS, engine: str = "compiled",
         journal = run_dir.journal if run_dir is not None else None
         device = reference_device()
 
-        with _obs_tracer.span("e5.improved_goal_attainment"):
-            flow = DesignFlow(device.small_signal, engine=engine)
+        with _obs_tracer.span("e5.improved_goal_attainment"), \
+                DesignFlow(device.small_signal, engine=engine,
+                           workers=workers) as flow:
             record("improved goal attainment", flow,
                    flow.run_improved(goals=goals, seed=seed, n_probe=40,
                                      n_starts=3, tighten_rounds=2,
                                      on_generation=journal))
 
-        with _obs_tracer.span("e5.standard_goal_attainment"):
-            flow = DesignFlow(device.small_signal, engine=engine)
+        with _obs_tracer.span("e5.standard_goal_attainment"), \
+                DesignFlow(device.small_signal, engine=engine,
+                           workers=workers) as flow:
             record("standard goal attainment", flow,
                    flow.run_standard(goals=goals))
 
-        with _obs_tracer.span("e5.weighted_sum"):
-            flow = DesignFlow(device.small_signal, engine=engine)
+        with _obs_tracer.span("e5.weighted_sum"), \
+                DesignFlow(device.small_signal, engine=engine,
+                           workers=workers) as flow:
             record("weighted sum", flow,
                    flow.run_weighted_sum(weights=(1.0, 0.1), seed=seed,
                                          n_starts=4))

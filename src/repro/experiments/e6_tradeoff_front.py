@@ -38,11 +38,15 @@ class E6Result:
 
 
 def run(n_points: int = 5, seed: int = 0, engine: str = "compiled",
+        workers: Optional[int] = None,
         record_to: Optional[str] = None) -> E6Result:
     """Trace the front with both methods.
 
-    ``record_to`` names a runs root; the sweep is then journaled as one
-    run (each goal point's generations carry distinct algorithm tags).
+    ``workers > 1`` shards every flow's population-level evaluations
+    across threads (bit-identical results, see
+    :class:`~repro.core.design.DesignFlow`).  ``record_to`` names a
+    runs root; the sweep is then journaled as one run (each goal
+    point's generations carry distinct algorithm tags).
     """
     recording = (
         recorded_run(record_to, name="e6",
@@ -61,8 +65,9 @@ def run(n_points: int = 5, seed: int = 0, engine: str = "compiled",
         goal_points = []
         for k, (nf_goal, gt_goal) in enumerate(zip(nf_goals, gt_goals)):
             with _obs_tracer.span("e6.goal_point", index=k,
-                                  nf_goal=float(nf_goal)):
-                flow = DesignFlow(device.small_signal, engine=engine)
+                                  nf_goal=float(nf_goal)), \
+                    DesignFlow(device.small_signal, engine=engine,
+                               workers=workers) as flow:
                 result = flow.run_improved(
                     goals=np.array([nf_goal, -gt_goal]), seed=seed,
                     n_probe=32, n_starts=2, tighten_rounds=1,
@@ -74,8 +79,9 @@ def run(n_points: int = 5, seed: int = 0, engine: str = "compiled",
 
         wsum_points = []
         for k, w_nf in enumerate(np.linspace(0.1, 4.0, n_points)):
-            with _obs_tracer.span("e6.wsum_point", index=k):
-                flow = DesignFlow(device.small_signal, engine=engine)
+            with _obs_tracer.span("e6.wsum_point", index=k), \
+                    DesignFlow(device.small_signal, engine=engine,
+                               workers=workers) as flow:
                 result = flow.run_weighted_sum(weights=(w_nf, 0.2),
                                                seed=seed, n_starts=3)
             if result.constraint_violation <= 1e-6:

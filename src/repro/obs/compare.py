@@ -12,14 +12,19 @@ Baselines can be:
 
 * another ``journal.jsonl`` (or a run directory containing one);
 * a committed ``RunSummary`` JSON (``summary_version`` marker);
-* any flat JSON of numbers — e.g. the ``BENCH_*.json`` artifacts the
+* any JSON of numbers — e.g. the ``BENCH_*.json`` artifacts the
   benchmark suite uploads — whose intersecting keys are compared with
-  the default relative tolerance.
+  the default relative tolerance.  Nested objects are flattened to
+  dotted keys (``host.cpu_count``).
 
 Direction matters: ``final_best`` only regresses when the candidate is
 *worse* (larger, all objectives minimize), ``cache_hit_rate`` only when
 it *drops*, failure and guard-violation totals only when they *grow*.
-An identically-seeded rerun therefore reports zero regressions.
+Bare-baseline keys follow the same idea: ``speedup*`` and ``*_per_s``
+metrics regress only when they *fall*, while ``host.*`` / ``context.*``
+keys describe the machine the numbers came from and are reported
+informationally, never gated (CI machines differ).  An
+identically-seeded rerun therefore reports zero regressions.
 """
 
 from __future__ import annotations
@@ -67,9 +72,37 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[Optional[str], Optional[float], str]] = {
 #: (non-summary) JSON baseline such as a BENCH_*.json artifact.
 BARE_METRIC_REL_TOL = 0.10
 
+#: Dotted-key prefixes of a bare baseline that describe the machine
+#: the numbers came from, not the numbers themselves.  Always
+#: informational: CI runners and dev boxes legitimately differ.
+INFORMATIONAL_PREFIXES = ("host.", "context.")
+
 
 def _is_num(value) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _flatten(data: Dict[str, object], prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a (possibly nested) JSON object, dotted keys."""
+    flat: Dict[str, float] = {}
+    for key, value in data.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, prefix=name + "."))
+        elif _is_num(value):
+            flat[name] = float(value)
+    return flat
+
+
+def _bare_rule(name: str) -> Tuple[Optional[str], Optional[float], str]:
+    """Default ``(kind, tol, direction)`` for one bare-baseline key."""
+    if name.startswith(INFORMATIONAL_PREFIXES):
+        return (None, None, "both")
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf.startswith("speedup") or leaf.endswith("_per_s"):
+        # Throughput-style metrics: only a drop is a regression.
+        return ("rel", BARE_METRIC_REL_TOL, "decrease")
+    return ("rel", BARE_METRIC_REL_TOL, "both")
 
 
 @dataclass
@@ -249,7 +282,7 @@ def load_summary(path: str) -> RunSummary:
         summary = RunSummary.from_dict(data)
         summary.source = summary.source or path
         return summary
-    counters = {str(k): float(v) for k, v in data.items() if _is_num(v)}
+    counters = _flatten(data)
     if not counters:
         raise ValueError(
             f"{path!r} has no summary marker and no numeric fields to "
@@ -390,9 +423,13 @@ def compare_summaries(baseline: RunSummary, candidate: RunSummary,
 
     *tolerances* overrides entries of :data:`DEFAULT_TOLERANCES` (same
     ``(kind, tol, direction)`` tuples); *counter_checks* maps counter
-    names to relative tolerances for opt-in counter comparisons.  When
-    either side is *bare* (a flat-JSON baseline), the intersection of
-    the two counter sets is compared automatically.
+    names to relative tolerances for opt-in counter comparisons (the
+    override replaces the tolerance but keeps the key's default
+    direction, so tightening ``speedup_fleet_vs_batched`` still only
+    fires on a drop).  When either side is *bare* (a flat-JSON
+    baseline), the intersection of the two counter sets is compared
+    automatically under :func:`_bare_rule` — ``host.`` / ``context.``
+    keys stay informational.
     """
     rules = dict(DEFAULT_TOLERANCES)
     if tolerances:
@@ -428,17 +465,23 @@ def compare_summaries(baseline: RunSummary, candidate: RunSummary,
             ))
 
     auto_counters = baseline.bare or candidate.bare
-    counter_rules = dict(counter_checks or {})
+    counter_rules: Dict[str, Tuple[Optional[str], Optional[float], str]] = {}
     if auto_counters:
         shared = set(baseline.counters) & set(candidate.counters)
         for name in shared:
-            counter_rules.setdefault(name, BARE_METRIC_REL_TOL)
+            counter_rules[name] = _bare_rule(name)
+    for name, tol in (counter_checks or {}).items():
+        # An explicit tolerance re-arms even informational keys, but
+        # the key's natural direction survives the override.
+        direction = counter_rules.get(name, _bare_rule(name))[2]
+        counter_rules[name] = ("rel", float(tol), direction)
     for name in sorted(counter_rules):
+        kind, tol, direction = counter_rules[name]
         checks.append(_evaluate(
             f"counters.{name}",
             baseline.counters.get(name),
             candidate.counters.get(name),
-            "rel", counter_rules[name], "both",
+            kind, tol, direction,
         ))
 
     return RunDiff(baseline=baseline, candidate=candidate, checks=checks)

@@ -1,6 +1,12 @@
 """Optimization substrate: metaheuristics, extraction, goal attainment."""
 
-from repro.optimize.batching import PopulationEvaluator, validate_workers
+from repro.optimize.batching import (
+    BACKENDS,
+    BatchShardExecutor,
+    PopulationEvaluator,
+    validate_workers,
+)
+from repro.optimize.fleet import FleetBroken, WorkerFleet
 from repro.optimize.checkpoint import (
     Checkpoint,
     CheckpointError,
@@ -51,7 +57,11 @@ from repro.optimize.pareto import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "BatchShardExecutor",
+    "FleetBroken",
     "PopulationEvaluator",
+    "WorkerFleet",
     "validate_workers",
     "Checkpoint",
     "CheckpointError",

@@ -236,40 +236,61 @@ class FaultInjector:
     Test harness for the fault-tolerant runtime: each call draws one
     uniform variate and either raises :class:`InjectedFault`
     (probability ``p_raise``), returns ``nan_value`` (``p_nan``),
-    sleeps for ``hang_seconds`` before answering (``p_hang``), or
-    delegates to the wrapped objective.  Injection counts are kept per
-    kind so tests can assert that an optimizer's
-    :class:`RunHealth` counters match exactly what was injected.
+    sleeps for ``hang_seconds`` before answering (``p_hang``), kills
+    the hosting *worker process* outright (``p_exit``), or delegates to
+    the wrapped objective.  Injection counts are kept per kind so tests
+    can assert that an optimizer's :class:`RunHealth` counters match
+    exactly what was injected.
+
+    The ``p_exit`` band simulates a worker crash — segfault, OOM kill —
+    for the shared-memory evaluator fleet: it calls ``os._exit`` so no
+    ``finally``/``atexit`` cleanup runs, exactly like a real crash.  It
+    only fires inside a :mod:`multiprocessing` child
+    (``multiprocessing.parent_process() is not None``); in the parent —
+    i.e. on the serial-fallback rerun — the band is inert and the call
+    delegates to the objective, so a crashing run's fallback results
+    are bit-identical to a run that never crashed.  The RNG draw
+    happens in whichever process makes the call, and a fleet worker
+    operates on a forked *copy* of the injector, so the parent's RNG
+    stream is never advanced by child-side draws.
     """
 
     def __init__(self, objective: Callable[[np.ndarray], float],
                  p_raise: float = 0.0, p_nan: float = 0.0,
-                 p_hang: float = 0.0, hang_seconds: float = 60.0,
+                 p_hang: float = 0.0, p_exit: float = 0.0,
+                 hang_seconds: float = 60.0,
+                 exit_code: int = 23,
                  nan_value=float("nan"), seed: Optional[int] = 0):
         for name, p in (("p_raise", p_raise), ("p_nan", p_nan),
-                        ("p_hang", p_hang)):
+                        ("p_hang", p_hang), ("p_exit", p_exit)):
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")
-        if p_raise + p_nan + p_hang > 1.0:
+        if p_raise + p_nan + p_hang + p_exit > 1.0:
             raise ValueError("injection probabilities must sum to <= 1")
         self._objective = objective
         self.p_raise = float(p_raise)
         self.p_nan = float(p_nan)
         self.p_hang = float(p_hang)
+        self.p_exit = float(p_exit)
         self.hang_seconds = float(hang_seconds)
+        self.exit_code = int(exit_code)
         self.nan_value = nan_value
         self._rng = np.random.default_rng(seed)
         self.n_calls = 0
         self.n_raised = 0
         self.n_nan = 0
         self.n_hung = 0
+        self.n_exits = 0
 
     @property
     def n_injected(self) -> int:
         """Total injected faults of any kind."""
-        return self.n_raised + self.n_nan + self.n_hung
+        return self.n_raised + self.n_nan + self.n_hung + self.n_exits
 
     def __call__(self, x):
+        import multiprocessing as _mp
+        import os as _os
+
         self.n_calls += 1
         u = float(self._rng.random())
         if u < self.p_raise:
@@ -283,4 +304,11 @@ class FaultInjector:
         if u < self.p_raise + self.p_nan + self.p_hang:
             self.n_hung += 1
             time.sleep(self.hang_seconds)
+            return self._objective(x)
+        if u < self.p_raise + self.p_nan + self.p_hang + self.p_exit:
+            if _mp.parent_process() is not None:
+                self.n_exits += 1
+                _os._exit(self.exit_code)
+            # In the parent the kill band is inert: the serial
+            # fallback rerun must produce the clean-run values.
         return self._objective(x)

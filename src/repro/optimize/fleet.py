@@ -1,0 +1,708 @@
+"""Persistent shared-memory evaluator fleet.
+
+The old parallel path forked a ``ProcessPoolExecutor`` and pickled every
+candidate, objective reference, and result through it *per call* — at
+LNA evaluation cost (~5 ms/candidate) the serialization swamped the
+actual MNA work and the pooled path clocked in slower than the scalar
+loop.  :class:`WorkerFleet` replaces that round-trip with long-lived
+worker processes and a zero-copy data plane:
+
+* **Workers build the objective once.**  Each worker process receives
+  the objective (or an ``objective_factory`` that builds it, e.g. a
+  :class:`~repro.core.engine.CompiledTemplate` compile) a single time at
+  spawn and reuses it for every generation.
+* **Candidates and results travel through shared memory.**  Three
+  preallocated ``multiprocessing.shared_memory`` buffers — the ``(C, n)``
+  float64 candidate matrix, the ``(C,)`` float64 value vector, and a
+  ``(C,)`` int8 per-row status lane — are written in place.  Nothing on
+  the hot path is pickled.
+* **Only control messages use queues.**  One small tuple per worker per
+  generation (generation id + row range out, a completion record with
+  drained spans/metric counters back).
+
+Per-row semantics are *identical* to the in-process paths: a worker
+evaluates each row with the same guarded classification as
+:func:`repro.optimize.faults.guarded_call` (exceptions and non-finite
+values map to ``+inf`` plus a taxonomy code in the status lane), and a
+shard-level batch objective degrades to the per-row scalar loop exactly
+like :meth:`PopulationEvaluator._batch_eval` does — so a healthy row's
+value is bit-for-bit the serial result no matter which worker solved
+it.
+
+Failure model: any worker death (crash, kill, lost control channel)
+raises :class:`FleetBroken`, and the caller — the rebuild/backoff/
+serial-fallback ladder in
+:class:`~repro.optimize.batching.PopulationEvaluator` — discards the
+partial generation and retries on a fresh fleet.  A generation timeout
+returns the rows that *did* finish and flags the stragglers so the
+caller can penalize them and swap the fleet.  ``close()`` and
+``__del__`` are idempotent, survive half-constructed instances, and
+always unlink the shared-memory segments so killed runs leak nothing in
+``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import queue as _queue
+import multiprocessing
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.optimize.faults import (
+    CATEGORY_BAD_BIAS,
+    CATEGORY_CONTRACT,
+    CATEGORY_DC,
+    CATEGORY_EXCEPTION,
+    CATEGORY_NON_FINITE,
+    CATEGORY_SINGULAR,
+    CATEGORY_TIMEOUT,
+    classify_exception,
+)
+
+__all__ = [
+    "FleetBroken",
+    "FleetResult",
+    "WorkerFleet",
+    "STATUS_PENDING",
+    "STATUS_OK",
+    "status_category",
+]
+
+#: Status-lane codes.  ``-1`` marks a row the parent published but no
+#: worker has finished; ``0`` a healthy value; positive codes index the
+#: failure taxonomy below.
+STATUS_PENDING = -1
+STATUS_OK = 0
+
+#: Positive status codes, in order: code ``k + 1`` means category
+#: ``_STATUS_CATEGORIES[k]``.  Append only — codes are part of the
+#: parent/worker protocol.
+_STATUS_CATEGORIES: Tuple[str, ...] = (
+    CATEGORY_EXCEPTION,
+    CATEGORY_NON_FINITE,
+    CATEGORY_SINGULAR,
+    CATEGORY_DC,
+    CATEGORY_BAD_BIAS,
+    CATEGORY_CONTRACT,
+    CATEGORY_TIMEOUT,
+)
+_CATEGORY_TO_CODE = {c: k + 1 for k, c in enumerate(_STATUS_CATEGORIES)}
+
+
+def status_category(code: int) -> str:
+    """Map a positive status-lane code back to its failure category."""
+    if 1 <= code <= len(_STATUS_CATEGORIES):
+        return _STATUS_CATEGORIES[code - 1]
+    return CATEGORY_EXCEPTION
+
+
+def _category_code(category: str) -> int:
+    return _CATEGORY_TO_CODE.get(category, _CATEGORY_TO_CODE[CATEGORY_EXCEPTION])
+
+
+class FleetBroken(RuntimeError):
+    """A worker died (or stopped answering) mid-protocol.
+
+    The fleet is unusable; the caller must rebuild it (fresh processes
+    *and* fresh segments — a killed worker may still hold a mapping of
+    the old ones) or fall back to in-process evaluation.
+    """
+
+
+class FleetResult:
+    """One generation's outcome: values + status lane + telemetry."""
+
+    __slots__ = ("values", "statuses", "timed_out", "spans", "counters",
+                 "retries")
+
+    def __init__(self, values: np.ndarray, statuses: np.ndarray,
+                 timed_out: bool, spans: list, counters: Dict[str, float],
+                 retries: int):
+        self.values = values        # (B,) float64, +inf on failed rows
+        self.statuses = statuses    # (B,) int8 status-lane snapshot
+        self.timed_out = timed_out  # True when rows were still pending
+        self.spans = spans          # worker SpanRecords (tracing runs)
+        self.counters = counters    # summed worker metric counters
+        self.retries = retries      # shard batch->scalar degradations
+
+
+# ----------------------------------------------------------------------
+# shared-memory segments
+# ----------------------------------------------------------------------
+
+class _Segments:
+    """The three shared buffers plus their numpy views."""
+
+    def __init__(self, x_shm, y_shm, s_shm, capacity: int, n_vars: int,
+                 owner: bool):
+        self._shms = (x_shm, y_shm, s_shm)
+        self.capacity = int(capacity)
+        self.n_vars = int(n_vars)
+        self.owner = bool(owner)
+        self.x = np.ndarray((capacity, n_vars), dtype=np.float64,
+                            buffer=x_shm.buf)
+        self.y = np.ndarray((capacity,), dtype=np.float64, buffer=y_shm.buf)
+        self.status = np.ndarray((capacity,), dtype=np.int8,
+                                 buffer=s_shm.buf)
+        self._released = False
+
+    @classmethod
+    def create(cls, capacity: int, n_vars: int) -> "_Segments":
+        token = os.urandom(4).hex()
+        base = f"repro-fleet-{os.getpid()}-{token}"
+        x = shared_memory.SharedMemory(
+            create=True, size=max(8, 8 * capacity * n_vars),
+            name=f"{base}-x")
+        try:
+            y = shared_memory.SharedMemory(
+                create=True, size=max(8, 8 * capacity), name=f"{base}-y")
+        except Exception:
+            x.close()
+            x.unlink()
+            raise
+        try:
+            s = shared_memory.SharedMemory(
+                create=True, size=max(1, capacity), name=f"{base}-s")
+        except Exception:
+            for shm in (x, y):
+                shm.close()
+                shm.unlink()
+            raise
+        return cls(x, y, s, capacity, n_vars, owner=True)
+
+    @classmethod
+    def attach(cls, spec: Tuple[Tuple[str, str, str], int, int]
+               ) -> "_Segments":
+        names, capacity, n_vars = spec
+        shms = []
+        try:
+            for name in names:
+                # Attaching re-registers the segment with the resource
+                # tracker, but multiprocessing children share the
+                # parent's tracker process and its cache is a set, so
+                # the re-register is a no-op.  Only the owning parent
+                # unregisters — via unlink() in release().  (An mp
+                # child must NOT unregister here: that would strip the
+                # parent's registration from the shared cache and lose
+                # the kill-safety net.)
+                shm = shared_memory.SharedMemory(name=name)
+                shms.append(shm)
+        except Exception:
+            for shm in shms:
+                shm.close()
+            raise
+        return cls(*shms, capacity, n_vars, owner=False)
+
+    def spec(self) -> Tuple[Tuple[str, str, str], int, int]:
+        return (tuple(shm.name for shm in self._shms), self.capacity,
+                self.n_vars)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(shm.name for shm in self._shms)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(shm.size for shm in self._shms)
+
+    def release(self) -> None:
+        """Close the mapping; the owner also unlinks.  Idempotent."""
+        if self._released:
+            return
+        self._released = True
+        # Drop numpy views first: a memoryview with exports cannot close.
+        self.x = self.y = self.status = None
+        for shm in self._shms:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            if self.owner:
+                try:
+                    shm.unlink()
+                except Exception:
+                    pass
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+def _build_objectives(objective, objective_batch, objective_factory):
+    """Resolve the worker's callables, invoking the factory once."""
+    if objective_factory is not None:
+        built = objective_factory()
+        if isinstance(built, tuple):
+            objective, objective_batch = built
+        elif objective is None and objective_batch is None:
+            objective = built
+        else:
+            # Factory refines whichever slot the caller left open.
+            if objective is None:
+                objective = built
+            else:
+                objective_batch = built
+    return objective, objective_batch
+
+
+def _eval_shard(objective, objective_batch, segments, start: int,
+                stop: int, tracing: bool):
+    """Evaluate rows [start, stop) in place; return (spans, counters, retries).
+
+    Mirrors the in-process dispatch: the shard goes through the batch
+    objective when one exists, degrading to the per-row scalar loop on a
+    batch-level error; every row ends with a value in ``y`` and a final
+    code in the status lane (value first, then status — the status write
+    publishes the row).
+    """
+    from repro.obs import metrics as _obs_metrics
+    from repro.obs import tracer as _obs_tracer
+
+    worker_metrics = _obs_metrics.Metrics()
+    previous_metrics = _obs_metrics.set_metrics(worker_metrics)
+    worker_tracer = None
+    previous_tracer = None
+    if tracing:
+        worker_tracer = _obs_tracer.Tracer(enabled=True)
+        previous_tracer = _obs_tracer.set_tracer(worker_tracer)
+    retries = 0
+    try:
+        x = segments.x[start:stop].copy()
+        n = stop - start
+        if objective_batch is not None:
+            try:
+                with _obs_tracer.span("worker.objective_batch", batch=n):
+                    values = np.asarray(objective_batch(x),
+                                        dtype=float).reshape(-1)
+                if values.shape[0] != n:
+                    raise ValueError(
+                        f"objective_batch returned {values.shape[0]} "
+                        f"values for a shard of {n}"
+                    )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 - degrade per shard
+                if objective is None:
+                    code = _category_code(classify_exception(exc))
+                    segments.y[start:stop] = np.inf
+                    segments.status[start:stop] = code
+                    return _drain(worker_tracer, worker_metrics, retries)
+                retries = 1
+            else:
+                finite = np.isfinite(values)
+                segments.y[start:stop] = np.where(finite, values, np.inf)
+                segments.status[start:stop] = np.where(
+                    finite, STATUS_OK,
+                    _category_code(CATEGORY_NON_FINITE)).astype(np.int8)
+                return _drain(worker_tracer, worker_metrics, retries)
+        for i in range(n):
+            row = start + i
+            try:
+                with _obs_tracer.span("worker.objective"):
+                    value = float(objective(x[i]))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 - absorb per row
+                segments.y[row] = np.inf
+                segments.status[row] = _category_code(
+                    classify_exception(exc))
+                continue
+            if np.isfinite(value):
+                segments.y[row] = value
+                segments.status[row] = STATUS_OK
+            else:
+                segments.y[row] = np.inf
+                segments.status[row] = _category_code(CATEGORY_NON_FINITE)
+        return _drain(worker_tracer, worker_metrics, retries)
+    finally:
+        _obs_metrics.set_metrics(previous_metrics)
+        if tracing:
+            _obs_tracer.set_tracer(previous_tracer)
+
+
+def _drain(worker_tracer, worker_metrics, retries):
+    spans = worker_tracer.drain() if worker_tracer is not None else []
+    return spans, worker_metrics.counters(), retries
+
+
+def _worker_main(worker_id: int, objective, objective_batch,
+                 objective_factory, segment_spec, ctrl_queue,
+                 result_queue) -> None:
+    """Worker loop: build the objective once, then serve eval shards."""
+    try:
+        objective, objective_batch = _build_objectives(
+            objective, objective_batch, objective_factory)
+        if objective is None and objective_batch is None:
+            raise ValueError("fleet worker has no objective to serve")
+        segments = _Segments.attach(segment_spec)
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+        return
+    except BaseException as exc:  # noqa: BLE001 - report, then exit
+        try:
+            result_queue.put(("init_error", worker_id, repr(exc)))
+        except Exception:
+            pass
+        return
+    try:
+        while True:
+            message = ctrl_queue.get()
+            command = message[0]
+            if command == "stop":
+                break
+            if command == "ping":
+                result_queue.put(("pong", worker_id, message[1]))
+            elif command == "attach":
+                segments.release()
+                segments = _Segments.attach(message[1])
+                result_queue.put(("attached", worker_id, message[2]))
+            elif command == "eval":
+                _, generation, start, stop, tracing = message
+                try:
+                    spans, counters, retries = _eval_shard(
+                        objective, objective_batch, segments, start, stop,
+                        tracing)
+                except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+                    raise
+                except Exception as exc:  # noqa: BLE001 - protocol error
+                    result_queue.put(("shard_error", worker_id, generation,
+                                      start, stop, repr(exc)))
+                    continue
+                result_queue.put(("done", worker_id, generation, start,
+                                  stop, spans, counters, retries))
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+        pass
+    except (EOFError, OSError):  # pragma: no cover - parent went away
+        pass
+    finally:
+        segments.release()
+
+
+# ----------------------------------------------------------------------
+# parent-side fleet
+# ----------------------------------------------------------------------
+
+class WorkerFleet:
+    """A persistent fleet of evaluator processes over shared memory.
+
+    Parameters
+    ----------
+    objective, objective_batch:
+        Callables shipped to the workers **once** at spawn.  With a
+        fork start method they are inherited rather than pickled, so
+        closures work; with spawn they must pickle.
+    objective_factory:
+        Zero-argument callable run once inside each worker; it may
+        return a scalar objective or an ``(objective, objective_batch)``
+        pair.  Use it to build expensive state (a compiled template)
+        in the worker instead of serializing it.
+    workers:
+        Number of worker processes.
+    capacity:
+        Initial row capacity of the shared buffers; grows automatically
+        (workers re-attach) when a larger population arrives.
+    poll_interval:
+        Parent-side liveness-check period while waiting on results.
+    """
+
+    _SPAWN_TIMEOUT_S = 60.0
+
+    def __init__(self, objective: Optional[Callable] = None,
+                 objective_batch: Optional[Callable] = None,
+                 objective_factory: Optional[Callable] = None,
+                 workers: int = 2,
+                 capacity: int = 256,
+                 poll_interval: float = 0.02,
+                 mp_context: Optional[str] = None):
+        if objective is None and objective_batch is None \
+                and objective_factory is None:
+            raise ValueError("WorkerFleet needs an objective, a batch "
+                             "objective, or an objective_factory")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._objective = objective
+        self._objective_batch = objective_batch
+        self._objective_factory = objective_factory
+        self.workers = int(workers)
+        self._capacity = max(1, int(capacity))
+        self._poll_interval = float(poll_interval)
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._segments: Optional[_Segments] = None
+        self._processes: List = []
+        self._ctrl_queues: List = []
+        self._result_queue = None
+        self._generation = 0
+        self._closed = False
+        self.warmup_s: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return bool(self._processes) and not self._closed
+
+    def any_alive(self) -> bool:
+        return any(p.is_alive() for p in self._processes)
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        return self._segments.names if self._segments is not None else ()
+
+    @property
+    def capacity(self) -> int:
+        """Current row capacity of the shared buffers."""
+        return self._capacity
+
+    def ensure_running(self, n_vars: int) -> None:
+        """Spawn processes and segments on first use (or after close)."""
+        if self._closed:
+            raise FleetBroken("fleet is closed")
+        if self._processes:
+            if self._segments.n_vars != n_vars:
+                self._resize(self._capacity, n_vars)
+            return
+        start = time.perf_counter()
+        self._segments = _Segments.create(self._capacity, n_vars)
+        self._result_queue = self._ctx.Queue()
+        spec = self._segments.spec()
+        for worker_id in range(self.workers):
+            ctrl = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, self._objective, self._objective_batch,
+                      self._objective_factory, spec, ctrl,
+                      self._result_queue),
+                daemon=True,
+                name=f"repro-fleet-{worker_id}",
+            )
+            process.start()
+            self._ctrl_queues.append(ctrl)
+            self._processes.append(process)
+        self._emit("fleet_spawn", workers=self.workers,
+                   capacity=self._capacity, n_vars=int(n_vars),
+                   segment_bytes=int(self._segments.nbytes))
+        self._await_pongs(token="warmup")
+        self.warmup_s = time.perf_counter() - start
+        self._emit("fleet_warmup", workers=self.workers,
+                   warmup_s=float(self.warmup_s))
+
+    def _await_pongs(self, token: str) -> None:
+        """Ping every worker and wait until all answer (objective built)."""
+        for ctrl in self._ctrl_queues:
+            ctrl.put(("ping", token))
+        pending = set(range(self.workers))
+        deadline = time.monotonic() + self._SPAWN_TIMEOUT_S
+        while pending:
+            message = self._next_message(deadline)
+            if message[0] == "pong" and message[2] == token:
+                pending.discard(message[1])
+            elif message[0] == "init_error":
+                raise FleetBroken(
+                    f"worker {message[1]} failed to initialize: "
+                    f"{message[2]}"
+                )
+
+    def _next_message(self, deadline: float):
+        """Result-queue get with liveness checks; raises FleetBroken."""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise FleetBroken("fleet stopped answering (timeout on "
+                                  "control channel)")
+            try:
+                return self._result_queue.get(
+                    timeout=min(self._poll_interval, remaining))
+            except _queue.Empty:
+                dead = [p.name for p in self._processes
+                        if not p.is_alive()]
+                if dead:
+                    raise FleetBroken(
+                        f"worker process(es) died: {', '.join(dead)}"
+                    ) from None
+
+    def _resize(self, capacity: int, n_vars: int) -> None:
+        """Swap in bigger segments; workers re-attach in lockstep."""
+        old = self._segments
+        new = _Segments.create(capacity, n_vars)
+        token = f"attach-{self._generation}"
+        try:
+            for ctrl in self._ctrl_queues:
+                ctrl.put(("attach", new.spec(), token))
+            pending = set(range(self.workers))
+            deadline = time.monotonic() + self._SPAWN_TIMEOUT_S
+            while pending:
+                message = self._next_message(deadline)
+                if message[0] == "attached" and message[2] == token:
+                    pending.discard(message[1])
+        except FleetBroken:
+            new.release()
+            raise
+        self._segments = new
+        self._capacity = capacity
+        self._emit("segment_attach", capacity=int(capacity),
+                   n_vars=int(n_vars), segment_bytes=int(new.nbytes))
+        if old is not None:
+            old.release()
+            self._emit("segment_detach", reason="resize")
+
+    # -- evaluation ---------------------------------------------------------
+    def evaluate(self, population: np.ndarray,
+                 timeout: Optional[float] = None,
+                 tracing: bool = False) -> FleetResult:
+        """Evaluate a ``(B, n)`` population; see :class:`FleetResult`.
+
+        Raises :class:`FleetBroken` if a worker dies mid-generation;
+        a *timeout* instead returns the completed rows with
+        ``timed_out=True`` and pending rows marked in the status lane.
+        """
+        population = np.ascontiguousarray(population, dtype=np.float64)
+        n_batch, n_vars = population.shape
+        self.ensure_running(n_vars)
+        if n_batch > self._segments.capacity:
+            self._resize(max(n_batch, 2 * self._segments.capacity), n_vars)
+
+        segments = self._segments
+        segments.x[:n_batch] = population
+        segments.status[:n_batch] = STATUS_PENDING
+        self._generation += 1
+        generation = self._generation
+
+        shards = self._shards(n_batch)
+        for worker_id, (start, stop) in enumerate(shards):
+            if stop > start:
+                self._ctrl_queues[worker_id].put(
+                    ("eval", generation, start, stop, bool(tracing)))
+        pending = {worker_id for worker_id, (start, stop)
+                   in enumerate(shards) if stop > start}
+
+        deadline = (time.monotonic() + timeout) if timeout is not None \
+            else None
+        spans: list = []
+        counters: Dict[str, float] = {}
+        retries = 0
+        timed_out = False
+        while pending:
+            try:
+                message = self._next_message(
+                    deadline if deadline is not None
+                    else time.monotonic() + self._SPAWN_TIMEOUT_S)
+            except FleetBroken as exc:
+                if deadline is not None and time.monotonic() >= deadline \
+                        and self.any_alive() \
+                        and "stopped answering" in str(exc):
+                    timed_out = True
+                    break
+                raise
+            kind = message[0]
+            if kind == "done":
+                _, worker_id, gen, _start, _stop, shard_spans, \
+                    shard_counters, shard_retries = message
+                if gen != generation:
+                    continue  # stale message from an abandoned generation
+                pending.discard(worker_id)
+                spans.extend(shard_spans)
+                for name, value in shard_counters.items():
+                    counters[name] = counters.get(name, 0.0) + value
+                retries += int(shard_retries)
+            elif kind == "shard_error":
+                raise FleetBroken(
+                    f"worker {message[1]} failed a shard: {message[5]}"
+                )
+            elif kind == "init_error":  # pragma: no cover - late report
+                raise FleetBroken(
+                    f"worker {message[1]} failed to initialize: "
+                    f"{message[2]}"
+                )
+
+        values = segments.y[:n_batch].copy()
+        statuses = segments.status[:n_batch].copy()
+        still_pending = statuses == STATUS_PENDING
+        if np.any(still_pending):
+            timed_out = True
+            values[still_pending] = np.inf
+        return FleetResult(values, statuses, timed_out, spans, counters,
+                           retries)
+
+    def _shards(self, n_batch: int) -> List[Tuple[int, int]]:
+        """Contiguous, balanced row ranges — one per worker."""
+        bounds = np.linspace(0, n_batch, self.workers + 1).astype(int)
+        return [(int(bounds[k]), int(bounds[k + 1]))
+                for k in range(self.workers)]
+
+    # -- teardown -----------------------------------------------------------
+    def close(self, join_timeout: float = 2.0) -> None:
+        """Stop workers and unlink segments.  Idempotent, never raises."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        for ctrl in getattr(self, "_ctrl_queues", []) or []:
+            try:
+                ctrl.put(("stop",))
+            except Exception:
+                pass
+        processes = getattr(self, "_processes", []) or []
+        deadline = time.monotonic() + join_timeout
+        for process in processes:
+            try:
+                process.join(timeout=max(0.0, deadline - time.monotonic()))
+            except Exception:
+                pass
+        for process in processes:
+            try:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=0.5)
+                if process.is_alive():  # pragma: no cover - stubborn child
+                    process.kill()
+                    process.join(timeout=0.5)
+            except Exception:
+                pass
+        for ctrl in getattr(self, "_ctrl_queues", []) or []:
+            try:
+                ctrl.close()
+                ctrl.join_thread()
+            except Exception:
+                pass
+        result_queue = getattr(self, "_result_queue", None)
+        if result_queue is not None:
+            try:
+                result_queue.close()
+                result_queue.join_thread()
+            except Exception:
+                pass
+        segments = getattr(self, "_segments", None)
+        if segments is not None:
+            segments.release()
+            self._emit("segment_detach", reason="close")
+        self._segments = None
+        self._processes = []
+        self._ctrl_queues = []
+        self._result_queue = None
+        self._emit("fleet_stop", workers=self.workers)
+
+    def __del__(self):  # pragma: no cover - interpreter-teardown guard
+        try:
+            self.close(join_timeout=0.2)
+        except Exception:
+            pass
+
+    def __enter__(self) -> "WorkerFleet":
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    @staticmethod
+    def _emit(event: str, **fields) -> None:
+        """Journal a fleet lifecycle event; never raises."""
+        try:
+            from repro.obs import journal as _obs_journal
+            _obs_journal.emit(event, **fields)
+        except Exception:  # pragma: no cover - teardown best effort
+            pass

@@ -174,6 +174,7 @@ def differential_evolution(
     initial: Optional[np.ndarray] = None,
     objective_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     generation_timeout: Optional[float] = None,
     checkpoint_store: Optional[CheckpointStore] = None,
     checkpoint_every: int = 10,
@@ -182,9 +183,13 @@ def differential_evolution(
 ) -> OptimizationResult:
     """DE/rand/1/bin with mutation dither and bounce-back bound repair.
 
-    When ``objective_batch`` (a ``(B, n) -> (B,)`` map) or ``workers``
-    is given, each generation's trial vectors are built first and
-    evaluated in one population-level call.  This is the classic
+    When ``objective_batch`` (a ``(B, n) -> (B,)`` map), ``workers``,
+    or ``backend`` is given, each generation's trial vectors are built
+    first and evaluated in one population-level call — in-process,
+    across thread shards, or on the shared-memory worker fleet
+    depending on ``backend`` (see
+    :class:`~repro.optimize.batching.PopulationEvaluator`).  This is
+    the classic
     *generational* DE variant: donors are drawn from the start-of-
     generation population instead of the partially updated one, so
     trajectories differ from the sequential path (convergence behaviour
@@ -209,10 +214,12 @@ def differential_evolution(
     pop_size = max(int(population_size), 4)
     health = RunHealth()
     evaluator = None
-    if objective_batch is not None or workers is not None:
+    if (objective_batch is not None or workers is not None
+            or backend is not None):
         evaluator = PopulationEvaluator(
             objective, objective_batch, workers,
             generation_timeout=generation_timeout, health=health,
+            backend=backend,
         )
 
     try:
@@ -353,6 +360,7 @@ def particle_swarm(
     seed: Optional[int] = None,
     objective_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     generation_timeout: Optional[float] = None,
     checkpoint_store: Optional[CheckpointStore] = None,
     checkpoint_every: int = 10,
@@ -361,8 +369,11 @@ def particle_swarm(
 ) -> OptimizationResult:
     """Global-best PSO with velocity clamping at half the box width.
 
-    When ``objective_batch`` or ``workers`` is given, each iteration's
-    particle positions are evaluated in one population-level call.
+    When ``objective_batch``, ``workers``, or ``backend`` is given,
+    each iteration's particle positions are evaluated in one
+    population-level call (see
+    :class:`~repro.optimize.batching.PopulationEvaluator` for the
+    backend choices).
     Unlike DE, this is *exactly* trajectory-preserving: all positions
     of an iteration are fixed before any evaluation, and the
     personal/global-best updates consume the values in the same order
@@ -379,10 +390,12 @@ def particle_swarm(
     v_max = 0.5 * span
     health = RunHealth()
     evaluator = None
-    if objective_batch is not None or workers is not None:
+    if (objective_batch is not None or workers is not None
+            or backend is not None):
         evaluator = PopulationEvaluator(
             objective, objective_batch, workers,
             generation_timeout=generation_timeout, health=health,
+            backend=backend,
         )
 
     try:

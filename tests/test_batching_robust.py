@@ -1,15 +1,17 @@
-"""Process-pool hardening in :class:`PopulationEvaluator`.
+"""Worker-fleet hardening in :class:`PopulationEvaluator`.
 
 Worker crashes, hangs, and batch-objective errors must cost penalty
-fitness and a health counter tick, never the run: a crashed pool is
-rebuilt with backoff, a hung generation times out with ``+inf`` rows,
-and after ``max_pool_rebuilds`` the evaluator falls back to the serial
-loop for good.
+fitness and a health counter tick, never the run: a crashed fleet is
+rebuilt with backoff (fresh processes *and* fresh shared-memory
+segments), a hung generation times out with ``+inf`` rows, and after
+``max_pool_rebuilds`` the evaluator falls back to the in-process loop
+for good.
 """
 
 import multiprocessing
 import os
 import time
+from multiprocessing import shared_memory
 
 import numpy as np
 import pytest
@@ -126,14 +128,29 @@ def test_batch_wrong_length_is_a_programming_error():
 
 
 # ----------------------------------------------------------------------
-# process-pool degradation
+# worker-fleet degradation
 # ----------------------------------------------------------------------
+
+def _segments_unlinked(names):
+    """True when every named shared-memory segment is gone."""
+    for name in names:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        segment.close()
+        return False
+    return True
+
 
 def test_pool_evaluates_and_closes_cleanly():
     with PopulationEvaluator(_sphere, workers=2) as evaluator:
         values = evaluator(np.array([[1.0, 0.0], [2.0, 0.0], [0.0, 3.0]]))
         assert values.tolist() == [1.0, 4.0, 9.0]
-    assert evaluator._pool is None  # closed by the context manager
+        names = evaluator._fleet.segment_names
+        assert names  # shared-memory path actually engaged
+    assert evaluator._fleet is None  # closed by the context manager
+    assert _segments_unlinked(names)
 
 
 def test_pool_isolates_worker_exceptions_and_nans():
@@ -157,7 +174,7 @@ def test_broken_pool_rebuilds_then_falls_back_to_serial():
         assert values.tolist() == [1.0, 4.0]
         assert evaluator.health.pool_rebuilds == 1
         assert evaluator.health.serial_fallback
-        assert evaluator._pool is None
+        assert evaluator._fleet is None
         # Later generations go straight to the serial loop.
         assert evaluator(pop).tolist() == [1.0, 4.0]
 
@@ -175,15 +192,41 @@ def test_generation_timeout_penalizes_hung_candidates():
         assert evaluator.health.pool_rebuilds >= 1
 
 
-def test_del_reclaims_pool_without_close():
+def test_del_reclaims_fleet_without_close():
     evaluator = PopulationEvaluator(_sphere, workers=2)
-    pool = evaluator._pool
-    assert pool is not None
+    evaluator(np.array([[1.0, 0.0], [2.0, 0.0]]))  # spawn the fleet
+    fleet = evaluator._fleet
+    assert fleet is not None
+    names = fleet.segment_names
+    processes = list(fleet._processes)
+    assert names and processes
     evaluator.__del__()
-    assert evaluator._pool is None
-    # The executor is genuinely shut down, not leaked.
-    with pytest.raises(RuntimeError):
-        pool.submit(_sphere, np.zeros(2))
+    assert evaluator._fleet is None
+    # The workers are genuinely gone and the segments unlinked, not
+    # leaked into /dev/shm.
+    for process in processes:
+        process.join(timeout=5.0)
+        assert not process.is_alive()
+    assert _segments_unlinked(names)
+
+
+def test_del_is_safe_when_init_raised_early():
+    # __init__ raises on validation before any worker state exists;
+    # __del__ must still run without AttributeError at teardown.
+    with pytest.raises(TypeError):
+        PopulationEvaluator(_sphere, workers=2.5)
+    evaluator = PopulationEvaluator.__new__(PopulationEvaluator)
+    evaluator.__del__()  # half-constructed: no attributes at all
+
+
+def test_close_is_idempotent():
+    evaluator = PopulationEvaluator(_sphere, workers=2)
+    evaluator(np.array([[1.0, 0.0]]))
+    evaluator.close()
+    evaluator.close()
+    evaluator.__del__()
+    # A closed evaluator keeps answering, in-process.
+    assert evaluator(np.array([[3.0, 0.0]])).tolist() == [9.0]
 
 
 def test_shared_health_accumulates_across_evaluators():

@@ -1,0 +1,284 @@
+"""The shared-memory worker fleet and the backend dispatch around it.
+
+Contracts under test:
+
+* every backend — serial loop, in-process batch, thread shards, worker
+  fleet — returns bit-identical values for the same population;
+* the compiled LNA objective crosses the process boundary via
+  ``objective_factory`` / pickled :class:`CompiledTemplate` (state
+  travels, compilation reruns in the worker) and still matches the
+  in-process numbers exactly;
+* a worker crash mid-generation (``FaultInjector(p_exit=...)``) walks
+  the rebuild ladder to the serial fallback whose results are
+  bit-for-bit those of a clean run, journals the ladder, and leaves no
+  shared-memory segment behind;
+* the fleet's shared buffers grow when a larger population arrives;
+* ``backend="auto"`` commits to the measured winner and journals the
+  decision;
+* ``workers=`` on the front-end optimizers is a pure speed knob — the
+  sharded run reproduces the single-threaded result exactly.
+"""
+
+import glob
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.amplifier import AmplifierTemplate, DesignVariables
+from repro.core.engine import CompiledMetricObjective, CompiledTemplate
+from repro.experiments.common import reference_device
+from repro.obs.journal import RunJournal, set_journal
+from repro.optimize import PopulationEvaluator, nsga2
+from repro.optimize.batching import BatchShardExecutor
+from repro.optimize.faults import FaultInjector
+from repro.optimize.goal_attainment import (
+    MultiObjectiveProblem,
+    goal_attainment_improved,
+)
+
+
+# Module-level (hence picklable) objectives.
+
+def _sphere(x):
+    return float(np.sum(np.asarray(x) ** 2))
+
+
+def _sphere_batch(population):
+    return np.sum(np.asarray(population) ** 2, axis=1)
+
+
+def _biobjective_batch(population):
+    population = np.asarray(population, dtype=float)
+    return np.stack([
+        np.sum(population ** 2, axis=1),
+        np.sum((population - 1.0) ** 2, axis=1),
+    ], axis=1)
+
+
+def _biobjective(x):
+    return _biobjective_batch(np.atleast_2d(x))[0]
+
+
+def _batch_problem():
+    return MultiObjectiveProblem(
+        objectives=_biobjective, n_objectives=2,
+        lower=np.zeros(3), upper=np.ones(3),
+        objectives_batch=_biobjective_batch,
+    )
+
+
+def _leaked_segments():
+    """repro-fleet segments this process left in /dev/shm."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return glob.glob(f"/dev/shm/repro-fleet-{os.getpid()}-*")
+
+
+@pytest.fixture
+def journal(tmp_path):
+    """Install a scoped flight recorder; yield its event-list reader."""
+    path = str(tmp_path / "journal.jsonl")
+    recorder = RunJournal(path, run_id="test")
+    previous = set_journal(recorder)
+
+    def events():
+        recorder.flush()
+        with open(path, "r", encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+    try:
+        yield events
+    finally:
+        set_journal(previous)
+        recorder.close()
+
+
+# ----------------------------------------------------------------------
+# backend equivalence
+# ----------------------------------------------------------------------
+
+def test_all_backends_bit_identical():
+    rng = np.random.default_rng(7)
+    population = rng.standard_normal((17, 4))
+    reference = PopulationEvaluator(_sphere, backend="serial")(population)
+
+    for kwargs in (
+        dict(objective_batch=_sphere_batch, backend="batch"),
+        dict(objective_batch=_sphere_batch, backend="thread", workers=3),
+        dict(backend="fleet", workers=2),
+        dict(objective_batch=_sphere_batch, backend="fleet", workers=2),
+    ):
+        with PopulationEvaluator(_sphere, **kwargs) as evaluator:
+            values = evaluator(population)
+        np.testing.assert_array_equal(values, reference)
+    assert not _leaked_segments()
+
+
+def test_single_worker_degrades_to_in_process():
+    evaluator = PopulationEvaluator(_sphere, backend="fleet", workers=1)
+    assert evaluator.backend == "serial"
+    assert evaluator(np.array([[2.0, 0.0]])).tolist() == [4.0]
+    assert evaluator._fleet is None
+
+
+def test_fleet_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        PopulationEvaluator(_sphere, backend="cluster")
+    with pytest.raises(ValueError):
+        PopulationEvaluator(_sphere, backend="batch")  # no batch callable
+
+
+# ----------------------------------------------------------------------
+# the compiled objective crosses the process boundary
+# ----------------------------------------------------------------------
+
+def test_compiled_template_pickle_roundtrip():
+    template = AmplifierTemplate(reference_device().small_signal)
+    engine = CompiledTemplate(template, verify=False)
+    clone = pickle.loads(pickle.dumps(engine))
+    population = np.random.default_rng(3).random(
+        (4, len(DesignVariables.NAMES)))
+    original = engine.performance_batch(population)
+    recompiled = clone.performance_batch(population)
+    np.testing.assert_array_equal(original.nf_max_db, recompiled.nf_max_db)
+    np.testing.assert_array_equal(original.gt_min_db, recompiled.gt_min_db)
+    np.testing.assert_array_equal(original.mu_min, recompiled.mu_min)
+
+
+def test_fleet_matches_in_process_on_compiled_objective():
+    template = AmplifierTemplate(reference_device().small_signal)
+    factory = CompiledMetricObjective(template)
+    objective, objective_batch = factory()
+    population = np.random.default_rng(11).random(
+        (12, len(DesignVariables.NAMES)))
+
+    with PopulationEvaluator(objective, objective_batch=objective_batch,
+                             backend="batch") as batched:
+        reference = batched(population)
+    with PopulationEvaluator(objective, objective_batch=objective_batch,
+                             objective_factory=factory,
+                             backend="fleet", workers=2,
+                             fleet_capacity=12) as fleet:
+        values = fleet(population)
+        assert not fleet.health.serial_fallback
+    np.testing.assert_array_equal(values, reference)
+    assert not _leaked_segments()
+
+
+# ----------------------------------------------------------------------
+# worker crash mid-generation (satellite of the fleet rework)
+# ----------------------------------------------------------------------
+
+def test_worker_crash_walks_ladder_to_bit_identical_fallback(journal):
+    population = np.random.default_rng(5).standard_normal((9, 3))
+    clean = PopulationEvaluator(_sphere, backend="serial")(population)
+
+    # p_exit=1.0: every candidate kills its worker process; the same
+    # injector is inert in the parent, so the serial fallback must
+    # reproduce the clean run exactly.
+    injector = FaultInjector(_sphere, p_exit=1.0, seed=3)
+    with PopulationEvaluator(injector, backend="fleet", workers=2,
+                             max_pool_rebuilds=1,
+                             backoff_base=0.01) as evaluator:
+        values = evaluator(population)
+        assert evaluator.health.pool_rebuilds == 1
+        assert evaluator.health.serial_fallback
+        assert evaluator._fleet is None
+
+    np.testing.assert_array_equal(values, clean)
+    assert not _leaked_segments()
+    names = [record["event"] for record in journal()]
+    assert "fleet_spawn" in names
+    assert "pool_rebuild" in names
+    assert "serial_fallback" in names
+
+
+# ----------------------------------------------------------------------
+# shared-buffer growth
+# ----------------------------------------------------------------------
+
+def test_fleet_capacity_grows_with_population(journal):
+    with PopulationEvaluator(_sphere, backend="fleet", workers=2,
+                             fleet_capacity=4) as evaluator:
+        small = np.random.default_rng(0).random((3, 2))
+        np.testing.assert_array_equal(
+            evaluator(small), _sphere_batch(small))
+        first_names = evaluator._fleet.segment_names
+        large = np.random.default_rng(1).random((10, 2))
+        np.testing.assert_array_equal(
+            evaluator(large), _sphere_batch(large))
+        assert evaluator._fleet.capacity >= 10
+        # Growth replaced the segments; the old ones are unlinked.
+        assert evaluator._fleet.segment_names != first_names
+    assert not _leaked_segments()
+    names = [record["event"] for record in journal()]
+    assert "segment_attach" in names
+    assert "segment_detach" in names
+
+
+# ----------------------------------------------------------------------
+# measured backend selection
+# ----------------------------------------------------------------------
+
+def test_auto_backend_commits_and_journals_decision(journal):
+    population = np.random.default_rng(2).random((16, 3))
+    reference = _sphere_batch(population)
+    with PopulationEvaluator(_sphere, objective_batch=_sphere_batch,
+                             backend="auto", workers=2) as evaluator:
+        for _ in range(3):
+            np.testing.assert_array_equal(evaluator(population), reference)
+        assert evaluator.backend in ("batch", "thread")
+    decisions = [record for record in journal()
+                 if record["event"] == "backend_decision"]
+    assert len(decisions) == 1
+    assert decisions[0]["chosen"] == evaluator.backend
+    assert set(decisions[0]["candidates"]) == {"batch", "thread"}
+
+
+# ----------------------------------------------------------------------
+# thread sharding building blocks and optimizer front-ends
+# ----------------------------------------------------------------------
+
+def test_shard_executor_preserves_row_order():
+    population = np.arange(22.0).reshape(11, 2)
+    with BatchShardExecutor(workers=3) as executor:
+        np.testing.assert_array_equal(
+            executor.map_batch(_sphere_batch, population),
+            _sphere_batch(population))
+        np.testing.assert_array_equal(
+            executor.map_batch(_biobjective_batch, population),
+            _biobjective_batch(population))
+        # A single-row population takes the direct (pool-free) path.
+        np.testing.assert_array_equal(
+            executor.map_batch(_sphere_batch, population[:1]),
+            _sphere_batch(population[:1]))
+
+
+def test_shard_executor_rejects_use_after_close():
+    executor = BatchShardExecutor(workers=2)
+    executor.close()
+    with pytest.raises(RuntimeError):
+        executor.map_batch(_sphere_batch, np.ones((4, 2)))
+
+
+def test_nsga2_workers_bit_identical():
+    kwargs = dict(population_size=12, n_generations=6, seed=1)
+    single = nsga2(_batch_problem(), **kwargs)
+    sharded = nsga2(_batch_problem(), workers=2, **kwargs)
+    np.testing.assert_array_equal(sharded.x, single.x)
+    np.testing.assert_array_equal(sharded.objectives, single.objectives)
+    assert sharded.nfev == single.nfev
+
+
+def test_goal_attainment_workers_bit_identical():
+    goals = np.array([0.2, 0.2])
+    kwargs = dict(seed=0, n_probe=16, n_starts=1, tighten_rounds=1)
+    single = goal_attainment_improved(_batch_problem(), goals, **kwargs)
+    sharded = goal_attainment_improved(_batch_problem(), goals, workers=2,
+                                       **kwargs)
+    np.testing.assert_array_equal(sharded.x, single.x)
+    np.testing.assert_array_equal(sharded.objectives, single.objectives)
+    assert sharded.nfev == single.nfev
