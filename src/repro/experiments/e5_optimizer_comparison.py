@@ -23,7 +23,26 @@ from repro.experiments.common import reference_device
 from repro.obs import tracer as _obs_tracer
 from repro.obs.runs import recorded_run
 
-__all__ = ["E5Result", "run", "format_report"]
+__all__ = ["E5Result", "run", "submit", "format_report"]
+
+
+def submit(service, seed: int = 0, engine: str = "compiled",
+           workers: Optional[int] = None,
+           deadline_s: Optional[float] = None, max_retries: int = 1,
+           **run_kwargs):
+    """Submit this experiment to a job service instead of running inline.
+
+    *service* is a service root path, ``ServiceClient``, or live
+    ``JobService``; the returned ``JobRecord``'s ``job_id`` is what you
+    poll (``client.wait``) and fetch with.  The driver executes inside
+    whichever service process leases the job, with crash recovery and
+    retry handled by the supervisor.
+    """
+    from repro.service.api import submit_experiment
+    kwargs = dict(seed=seed, engine=engine, workers=workers, **run_kwargs)
+    return submit_experiment(service, "e5_optimizer_comparison", kwargs,
+                             deadline_s=deadline_s,
+                             max_retries=max_retries)
 
 
 @dataclass

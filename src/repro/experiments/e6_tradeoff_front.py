@@ -24,7 +24,25 @@ from repro.obs import tracer as _obs_tracer
 from repro.obs.runs import recorded_run
 from repro.optimize.pareto import hypervolume_2d, pareto_filter
 
-__all__ = ["E6Result", "run", "format_report"]
+__all__ = ["E6Result", "run", "submit", "format_report"]
+
+
+def submit(service, n_points: int = 5, seed: int = 0,
+           engine: str = "compiled", workers: Optional[int] = None,
+           deadline_s: Optional[float] = None, max_retries: int = 1,
+           **run_kwargs):
+    """Submit the front sweep to a job service instead of running inline.
+
+    See :func:`repro.service.api.submit_experiment`; the sweep runs in
+    whichever service process leases the job, supervised (deadline,
+    retry, crash recovery).
+    """
+    from repro.service.api import submit_experiment
+    kwargs = dict(n_points=n_points, seed=seed, engine=engine,
+                  workers=workers, **run_kwargs)
+    return submit_experiment(service, "e6_tradeoff_front", kwargs,
+                             deadline_s=deadline_s,
+                             max_retries=max_retries)
 
 
 @dataclass

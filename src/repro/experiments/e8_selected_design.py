@@ -19,7 +19,25 @@ from repro.experiments.common import reference_device, selected_design
 from repro.obs import tracer as _obs_tracer
 from repro.obs.runs import recorded_run
 
-__all__ = ["E8Result", "run", "format_report"]
+__all__ = ["E8Result", "run", "submit", "format_report"]
+
+
+def submit(service, profile: str = "full", engine: str = "compiled",
+           workers: Optional[int] = None,
+           deadline_s: Optional[float] = None, max_retries: int = 1,
+           **run_kwargs):
+    """Submit the selected-design run to a job service.
+
+    See :func:`repro.service.api.submit_experiment`; the run executes
+    in whichever service process leases the job, supervised (deadline,
+    retry, crash recovery).
+    """
+    from repro.service.api import submit_experiment
+    kwargs = dict(profile=profile, engine=engine, workers=workers,
+                  **run_kwargs)
+    return submit_experiment(service, "e8_selected_design", kwargs,
+                             deadline_s=deadline_s,
+                             max_retries=max_retries)
 
 
 @dataclass

@@ -1,10 +1,11 @@
 """``repro-obs`` — terminal front-end for the flight-recorder layer.
 
-Four subcommands, all read-only::
+Five subcommands — read-only except ``gc --force``::
 
     repro-obs tail    <run|journal> [-n 20] [--event generation]
     repro-obs summary <run|journal> [--json]
     repro-obs compare <baseline> <candidate> [--tol NAME=KIND:TOL[:DIR]]
+    repro-obs gc      [--service ROOT] [--force]
     repro-obs flame   <run|trace.json> [--min-fraction 0.005]
 
 A *run* argument may be a run directory, a ``journal.jsonl`` path, or a
@@ -150,6 +151,81 @@ def _parse_counter(spec: str) -> Tuple[str, float]:
         )
 
 
+def _cmd_gc(args) -> int:
+    """Report (or with ``--force`` delete) crash wreckage.
+
+    Two sweeps:
+
+    * **Orphan run directories** — runs whose journal never got its
+      ``run_end`` trailer and that no live service job (pending or
+      leased in a ``--service`` root's queue) still owns.  Live jobs
+      are protected because a released or recovered job has no trailer
+      *by design*: its checkpoint must survive for lease takeover.
+    * **Stale shared-memory segments** — ``/dev/shm`` segments with the
+      worker-fleet name prefix whose embedded owner pid is dead.
+
+    Reporting is the default; nothing is deleted without ``--force``.
+    """
+    import shutil
+
+    from repro.obs.runs import find_orphan_runs
+    from repro.optimize.fleet import (
+        segment_owner_pid,
+        stale_segments,
+        unlink_segment,
+    )
+    from repro.service.queue import live_job_ids
+
+    service_roots = list(args.service or [])
+    scan_roots: List[Tuple[str, Tuple[str, ...]]] = []
+    runs_root = args.runs_root or os.environ.get("REPRO_RUNS_DIR") or "runs"
+    # A bare runs root that sits inside a service root inherits that
+    # service's live-job protection automatically.
+    implicit_service = os.path.dirname(os.path.abspath(runs_root))
+    protected = tuple(live_job_ids(implicit_service))
+    scan_roots.append((runs_root, protected))
+    for root in service_roots:
+        scan_roots.append((os.path.join(root, "runs"),
+                           tuple(live_job_ids(root))))
+
+    orphans: List[dict] = []
+    seen_paths = set()
+    for root, protected in scan_roots:
+        for orphan in find_orphan_runs(root, protected=protected):
+            real = os.path.realpath(orphan["path"])
+            if real not in seen_paths:
+                seen_paths.add(real)
+                orphans.append(orphan)
+    segments = [] if args.no_shm else stale_segments()
+
+    for orphan in orphans:
+        print(f"orphan run     : {orphan['path']}  ({orphan['reason']})")
+    for name in segments:
+        owner = segment_owner_pid(name)
+        print(f"stale segment  : {name}  "
+              f"(owner pid {owner if owner is not None else '?'} is dead)")
+    if not orphans and not segments:
+        print("nothing to collect")
+        return 0
+    if not args.force:
+        print(f"(report only: {len(orphans)} orphan run(s), "
+              f"{len(segments)} stale segment(s); "
+              f"rerun with --force to delete)")
+        return 0
+    n_removed = 0
+    for orphan in orphans:
+        try:
+            shutil.rmtree(orphan["path"])
+            n_removed += 1
+        except OSError as exc:
+            print(f"error: could not remove {orphan['path']!r}: {exc}",
+                  file=sys.stderr)
+    n_unlinked = sum(1 for name in segments if unlink_segment(name))
+    print(f"deleted {n_removed} orphan run(s), "
+          f"unlinked {n_unlinked} stale segment(s)")
+    return 0
+
+
 def _cmd_flame(args) -> int:
     from repro.obs.tracer import Tracer
     path = _resolve_run_path(args.run, args.runs_root)
@@ -211,6 +287,20 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--json", action="store_true",
                          help="machine-readable RunDiff JSON")
     compare.set_defaults(handler=_cmd_compare)
+
+    gc = sub.add_parser(
+        "gc", help="find (and with --force delete) orphaned run "
+                   "directories and stale shared-memory segments")
+    gc.add_argument(
+        "--service", action="append", metavar="ROOT",
+        help="also scan this service root's runs/, protecting its "
+             "live (pending/leased) jobs (repeatable)",
+    )
+    gc.add_argument("--no-shm", action="store_true",
+                    help="skip the /dev/shm stale-segment scan")
+    gc.add_argument("--force", action="store_true",
+                    help="delete what the scan found (default: report)")
+    gc.set_defaults(handler=_cmd_gc)
 
     flame = sub.add_parser(
         "flame", help="re-render a trace.json span summary")

@@ -65,7 +65,9 @@ __all__ = [
     "config_fingerprint",
     "get_journal",
     "set_journal",
+    "set_thread_journal",
     "emit",
+    "has_run_end",
 ]
 
 #: Bump when the event vocabulary or field layout changes.
@@ -370,10 +372,21 @@ class RunJournal:
 # ----------------------------------------------------------------------
 
 _active_journal: Optional[RunJournal] = None
+_thread_journals = threading.local()
 
 
 def get_journal() -> Optional[RunJournal]:
-    """The installed flight recorder, or ``None`` when not recording."""
+    """The installed flight recorder, or ``None`` when not recording.
+
+    A journal installed for the *calling thread* with
+    :func:`set_thread_journal` shadows the process-wide one — runner
+    slots in :mod:`repro.service` use this so concurrent jobs record
+    into their own journals instead of cross-talking through the
+    global.
+    """
+    journal = getattr(_thread_journals, "journal", None)
+    if journal is not None:
+        return journal
     return _active_journal
 
 
@@ -388,16 +401,30 @@ def set_journal(journal: Optional[RunJournal]) -> Optional[RunJournal]:
     return previous
 
 
+def set_thread_journal(journal: Optional[RunJournal]
+                       ) -> Optional[RunJournal]:
+    """Install (or clear) a journal scoped to the *calling thread* only.
+
+    While set, :func:`get_journal`/:func:`emit` in this thread resolve
+    to it instead of the process-wide journal; other threads are
+    unaffected.  Returns the thread's previously scoped journal so
+    callers can restore it.
+    """
+    previous = getattr(_thread_journals, "journal", None)
+    _thread_journals.journal = journal
+    return previous
+
+
 def emit(event: str, **fields) -> None:
     """Append an event to the active journal, if one is installed.
 
-    The ambient hook instrumented components call: free (one global
-    load + ``None`` check) when no journal is active, and — because a
-    failing flight recorder must never take the flight down — an
-    ``OSError`` from the disk is downgraded to a one-time warning
+    The ambient hook instrumented components call: free (one
+    thread-local + one global load) when no journal is active, and —
+    because a failing flight recorder must never take the flight down
+    — an ``OSError`` from the disk is downgraded to a one-time warning
     instead of propagating into the optimization run.
     """
-    journal = _active_journal
+    journal = get_journal()
     if journal is None:
         return
     try:
@@ -414,6 +441,34 @@ def emit(event: str, **fields) -> None:
 # ----------------------------------------------------------------------
 # replay
 # ----------------------------------------------------------------------
+
+def has_run_end(path: str, tail_bytes: int = 65536) -> bool:
+    """Whether the journal at *path* carries a ``run_end`` trailer.
+
+    Reads only the final *tail_bytes* of the file, so probing hundreds
+    of archived runs (the ``repro-obs gc`` orphan scan) stays cheap.
+    The trailer is always among the last events of a finished run —
+    a resumed run that finished later appended a fresh one.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            handle.seek(max(0, size - tail_bytes))
+            tail = handle.read()
+    except OSError:
+        return False
+    for raw in reversed(tail.split(b"\n")):
+        if not raw:
+            continue
+        try:
+            event = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if isinstance(event, dict) and event.get("event") == "run_end":
+            return True
+    return False
+
 
 def read_events(path: str):
     """Parse a journal file into ``(events, truncated_tail, n_corrupt)``.

@@ -36,7 +36,7 @@ import time
 from contextlib import contextmanager
 from typing import List, Optional
 
-from repro.obs.journal import RunJournal, set_journal
+from repro.obs.journal import RunJournal, has_run_end, set_journal
 
 __all__ = [
     "DEFAULT_RUNS_ROOT",
@@ -48,6 +48,7 @@ __all__ = [
     "load_run",
     "summarize_run",
     "recorded_run",
+    "find_orphan_runs",
 ]
 
 #: Environment variable overriding the default runs root.
@@ -204,6 +205,43 @@ class RunRegistry:
     def summarize_run(self, run_id: str):
         """Summary of one run's journal (see :mod:`repro.obs.compare`)."""
         return self.load_run(run_id).summary()
+
+
+def find_orphan_runs(root: Optional[str] = None,
+                     protected=()) -> List[dict]:
+    """Run directories that died without a ``run_end`` trailer.
+
+    A finished run — completed or failed — always carries the trailer
+    (:func:`recorded_run` writes it on both paths, and the service
+    runner writes it at every terminal job transition).  A directory
+    without one is the wreckage of a crash *unless someone still owns
+    it*: run ids in *protected* (live service jobs — pending, leased,
+    or draining — whose checkpoints must survive for takeover) are
+    never reported.  Returns one dict per orphan with ``run_id``,
+    ``path``, and a human ``reason``; deciding whether to delete is the
+    caller's job (``repro-obs gc`` reports by default and deletes only
+    with ``--force``).
+    """
+    registry = root if isinstance(root, RunRegistry) else RunRegistry(root)
+    protected = set(protected)
+    orphans: List[dict] = []
+    for run_id in registry.list_runs():
+        if run_id in protected:
+            continue
+        run = RunDir(registry.root, run_id)
+        if not os.path.exists(run.journal_path):
+            orphans.append({
+                "run_id": run_id,
+                "path": run.path,
+                "reason": "no journal was ever written",
+            })
+        elif not has_run_end(run.journal_path):
+            orphans.append({
+                "run_id": run_id,
+                "path": run.path,
+                "reason": "journal has no run_end trailer",
+            })
+    return orphans
 
 
 # -- module-level conveniences (default registry) ----------------------------

@@ -168,9 +168,16 @@ class FileCheckpointStore(CheckpointStore):
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
             # Keep the outgoing snapshot as the fallback generation
-            # before the new one takes its place.
-            if os.path.exists(self.path):
+            # before the new one takes its place.  Two writers racing
+            # the same path (a lease takeover whose previous owner is
+            # still flushing its final snapshot) may both see the file
+            # and rotate it; the loser's rename then finds it already
+            # moved — that is a clean last-writer-wins interleaving,
+            # not a transient disk fault, so it must not burn a retry.
+            try:
                 os.replace(self.path, self.previous_path)
+            except FileNotFoundError:
+                pass
             os.replace(tmp_path, self.path)
         except BaseException:
             try:

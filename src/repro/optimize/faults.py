@@ -23,7 +23,9 @@ This module is the shared vocabulary of that contract:
 
 from __future__ import annotations
 
+import os
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -40,8 +42,10 @@ __all__ = [
     "classify_exception",
     "guarded_call",
     "retry_transient",
+    "backoff_delay",
     "BACKOFF_BASE",
     "BACKOFF_CAP",
+    "BACKOFF_JITTER",
 ]
 
 #: Exception types that mean "this candidate cannot be evaluated", as
@@ -74,11 +78,46 @@ CATEGORY_CONTRACT = "contract"
 BACKOFF_BASE = 0.1
 BACKOFF_CAP = 2.0
 
+#: Default fractional jitter of :func:`backoff_delay`.  Each wait is
+#: scaled by ``1 - BACKOFF_JITTER * u`` with a *deterministic* uniform
+#: ``u`` derived from the caller's jitter key and the attempt index —
+#: never above the capped schedule, and kept below ``0.5`` so that a
+#: doubled next delay still exceeds the jittered previous one (backoff
+#: stays monotone below the cap).
+BACKOFF_JITTER = 0.25
+
+
+def backoff_delay(attempt: int,
+                  backoff_base: float = BACKOFF_BASE,
+                  backoff_cap: float = BACKOFF_CAP,
+                  jitter: float = BACKOFF_JITTER,
+                  key=None) -> float:
+    """The wait before retry ``attempt + 1``, with seeded de-sync jitter.
+
+    The undithered schedule is ``min(cap, base * 2**attempt)`` — the
+    shared contract of every transient-retry loop in the runtime.  On
+    top of it, the delay is scaled by ``1 - jitter * u`` where ``u`` in
+    ``[0, 1)`` is a deterministic hash of ``(key, attempt)`` (the key
+    defaults to the calling process id).  Many runners that hit the
+    same transient failure at the same moment therefore spread their
+    retries instead of re-colliding in synchronized waves, yet a given
+    runner's schedule is reproducible — no ambient RNG state is
+    consumed.
+    """
+    delay = min(backoff_cap, backoff_base * 2.0 ** attempt)
+    if jitter <= 0.0:
+        return delay
+    token = f"{os.getpid() if key is None else key}:{attempt}"
+    u = zlib.crc32(token.encode("utf-8")) / 2.0 ** 32
+    return delay * (1.0 - float(jitter) * u)
+
 
 def retry_transient(fn: Callable, *args,
                     attempts: int = 3,
                     backoff_base: float = BACKOFF_BASE,
                     backoff_cap: float = BACKOFF_CAP,
+                    jitter: float = BACKOFF_JITTER,
+                    jitter_key=None,
                     retry_on=(OSError,),
                     no_retry=(FileNotFoundError,),
                     on_retry: Optional[Callable] = None,
@@ -87,11 +126,15 @@ def retry_transient(fn: Callable, *args,
 
     Exceptions matching *retry_on* (default: ``OSError`` — the class
     transient filesystem hiccups raise) are retried up to *attempts*
-    times with the shared capped exponential backoff; exceptions in
-    *no_retry* (default: ``FileNotFoundError`` — a missing file is a
-    state, not a hiccup) and everything else propagate immediately.
-    *on_retry*, when given, is called as ``on_retry(exc, attempt)``
-    before each sleep so callers can count retries in their telemetry.
+    times with the shared capped exponential backoff of
+    :func:`backoff_delay` — including its deterministic seeded jitter,
+    so a fleet of runners retrying the same failure does not
+    synchronize (*jitter_key* seeds the dither; it defaults to the
+    process id).  Exceptions in *no_retry* (default:
+    ``FileNotFoundError`` — a missing file is a state, not a hiccup)
+    and everything else propagate immediately.  *on_retry*, when
+    given, is called as ``on_retry(exc, attempt)`` before each sleep so
+    callers can count retries in their telemetry.
     """
     if attempts < 1:
         raise ValueError(f"attempts must be >= 1, got {attempts}")
@@ -105,7 +148,8 @@ def retry_transient(fn: Callable, *args,
                 raise
             if on_retry is not None:
                 on_retry(exc, attempt)
-            time.sleep(min(backoff_cap, backoff_base * 2.0 ** attempt))
+            time.sleep(backoff_delay(attempt, backoff_base, backoff_cap,
+                                     jitter=jitter, key=jitter_key))
 
 
 class InjectedFault(RuntimeError):

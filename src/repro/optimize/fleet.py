@@ -70,7 +70,96 @@ __all__ = [
     "STATUS_PENDING",
     "STATUS_OK",
     "status_category",
+    "SHM_PREFIX",
+    "list_segments",
+    "segment_owner_pid",
+    "stale_segments",
+    "unlink_segment",
 ]
+
+#: Name prefix of every shared-memory segment the fleet creates; the
+#: owning parent's pid is embedded right after it
+#: (``repro-fleet-<pid>-<token>-<lane>``), which is what lets
+#: :func:`stale_segments` tell a leak from a live fleet.
+SHM_PREFIX = "repro-fleet-"
+
+#: Where POSIX shared memory appears as files (Linux).
+_SHM_DIR = "/dev/shm"
+
+
+def list_segments(prefix: str = SHM_PREFIX) -> List[str]:
+    """Names of ``/dev/shm`` segments carrying *prefix* (sorted)."""
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - non-Linux / no shm mount
+        return []
+    return sorted(entry for entry in entries if entry.startswith(prefix))
+
+
+def segment_owner_pid(name: str) -> Optional[int]:
+    """The creating process id embedded in a fleet segment name."""
+    if not name.startswith(SHM_PREFIX):
+        return None
+    remainder = name[len(SHM_PREFIX):]
+    pid_text = remainder.split("-", 1)[0]
+    try:
+        return int(pid_text)
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's process
+        return True
+    return True
+
+
+def stale_segments(prefix: str = SHM_PREFIX) -> List[str]:
+    """Fleet segments whose owning process is gone.
+
+    A live fleet's segments have a living owner pid in their name; a
+    segment whose owner died without unlinking (SIGKILL before the
+    resource tracker could sweep, a torn container) is a leak the
+    ``repro-obs gc`` subcommand and the service supervisor collect.
+    Names that do not embed a parseable pid are left alone — better to
+    leak than to delete a stranger's memory.
+    """
+    stale = []
+    for name in list_segments(prefix):
+        pid = segment_owner_pid(name)
+        if pid is not None and not _pid_alive(pid):
+            stale.append(name)
+    return stale
+
+
+def unlink_segment(name: str) -> bool:
+    """Unlink one shared-memory segment by name; ``True`` if removed.
+
+    Attaches through :mod:`multiprocessing.shared_memory` rather than
+    unlinking the ``/dev/shm`` file directly, so the resource tracker's
+    registration for the name is retired along with the segment — a
+    later tracker sweep will not warn about (or double-unlink) it.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    except OSError:  # pragma: no cover - permission/mount oddities
+        return False
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost a benign race
+        return False
+    return True
+
+#: How often an idle worker wakes from its control-queue wait to check
+#: whether it has been orphaned (parent SIGKILLed without a "stop").
+_ORPHAN_POLL_S = 1.0
 
 #: Status-lane codes.  ``-1`` marks a row the parent published but no
 #: worker has finished; ``0`` a healthy value; positive codes index the
@@ -347,9 +436,19 @@ def _worker_main(worker_id: int, objective, objective_batch,
         except Exception:
             pass
         return
+    # If the parent is SIGKILLed no "stop" ever arrives and a plain
+    # blocking get() would pin this worker — and its mapping of the
+    # shared segments — forever.  Poll with a timeout and watch for
+    # re-parenting instead: the parent's death is the stop signal.
+    parent_pid = os.getppid()
     try:
         while True:
-            message = ctrl_queue.get()
+            try:
+                message = ctrl_queue.get(timeout=_ORPHAN_POLL_S)
+            except _queue.Empty:
+                if os.getppid() != parent_pid:
+                    break  # orphaned: parent died without a stop
+                continue
             command = message[0]
             if command == "stop":
                 break

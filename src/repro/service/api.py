@@ -1,0 +1,166 @@
+"""Client surface of the job service: submit → poll → fetch result.
+
+A client never talks to a :class:`~repro.service.supervisor.JobService`
+object directly — the durable queue *is* the protocol.
+:class:`ServiceClient` wraps a service root directory and works whether
+or not a service process is currently alive on it: jobs submitted while
+the service is down are simply claimed when one starts (that property
+is what the chaos soak leans on — submit, kill the service, start a
+fresh one, and the job finishes as if nothing happened).
+
+Quickstart::
+
+    from repro.service import JobSpec, JobService, ServiceClient
+
+    client = ServiceClient("state/svc")
+    job = client.submit(JobSpec(objective="bench.sphere",
+                                budget={"population_size": 16,
+                                        "max_iterations": 40},
+                                seed=7))
+
+    with JobService("state/svc", slots=2):     # any process, any time
+        record = client.wait(job.job_id, timeout=60.0)
+
+    print(record.state, record.result)         # done {...summary...}
+    payload = client.result(job.job_id)        # full result.json
+    print(payload["result"]["fun"])
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.runs import RunRegistry
+from repro.service.jobs import (JobRecord, JobSpec, TERMINAL_STATES,
+                                job_id_of as _job_id)
+from repro.service.queue import JobQueue
+from repro.service.scheduler import RESULT_NAME
+
+__all__ = [
+    "ServiceClient",
+    "submit_job",
+    "job_status",
+    "job_result",
+    "submit_experiment",
+]
+
+
+class ServiceClient:
+    """Submit to and inspect a service root (live service optional).
+
+    Every ``job_id`` argument also accepts the :class:`JobRecord`
+    returned by :meth:`submit`.
+    """
+
+    def __init__(self, root: str, max_pending: int = 256):
+        from repro.service.supervisor import service_paths
+        paths = service_paths(root)
+        self.root = paths["root"]
+        self.queue = JobQueue(paths["queue"], max_pending=max_pending)
+        self.registry = RunRegistry(paths["runs"])
+
+    # -- submit / cancel -------------------------------------------------------
+    def submit(self, spec: JobSpec, name: Optional[str] = None) -> JobRecord:
+        """Admit one job; raises :class:`~repro.service.queue.QueueFull`."""
+        return self.queue.submit(spec, name=name)
+
+    def cancel(self, job_id: str) -> str:
+        return self.queue.cancel(_job_id(job_id))
+
+    # -- poll -------------------------------------------------------------------
+    def status(self, job_id: str) -> JobRecord:
+        return self.queue.load(_job_id(job_id))
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll_s: float = 0.05) -> JobRecord:
+        """Block until terminal; ``TimeoutError`` past *timeout*."""
+        job_id = _job_id(job_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.queue.load(job_id)
+            if record.state in TERMINAL_STATES:
+                return record
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} still {record.state!r} after "
+                    f"{timeout}s")
+            time.sleep(poll_s)
+
+    def jobs(self, state: Optional[str] = None) -> List[Tuple[str, str]]:
+        return self.queue.list_jobs(state)
+
+    def counts(self) -> Dict[str, int]:
+        return self.queue.counts()
+
+    # -- fetch --------------------------------------------------------------------
+    def run_dir(self, job_id: str) -> str:
+        return os.path.join(self.registry.root, _job_id(job_id))
+
+    def result(self, job_id: str) -> dict:
+        """The job's full ``result.json`` payload.
+
+        ``FileNotFoundError`` while the job is still running;
+        ``RuntimeError`` naming the recorded error if it failed.
+        """
+        job_id = _job_id(job_id)
+        record = self.queue.load(job_id)
+        if record.state == "failed":
+            raise RuntimeError(
+                f"job {job_id!r} failed: {record.error or 'unknown error'}")
+        path = os.path.join(self.run_dir(job_id), RESULT_NAME)
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+
+def _as_submitter(service):
+    """Normalize a root path / client / service to something with submit."""
+    if isinstance(service, (str, os.PathLike)):
+        return ServiceClient(service)
+    if hasattr(service, "submit"):
+        return service
+    raise TypeError(
+        f"expected a service root path, ServiceClient, or JobService; "
+        f"got {type(service).__name__}")
+
+
+def submit_experiment(service, experiment: str,
+                      experiment_kwargs: Optional[dict] = None,
+                      name: Optional[str] = None,
+                      deadline_s: Optional[float] = None,
+                      max_retries: int = 1) -> JobRecord:
+    """Package an experiment driver run as a supervised service job.
+
+    The shared backend of the drivers' ``submit()`` entry points
+    (:func:`repro.experiments.e5_optimizer_comparison.submit` etc.):
+    *service* may be a service root path, a :class:`ServiceClient`, or
+    a live :class:`~repro.service.supervisor.JobService`.  Experiment
+    jobs are coarse-grained — a retry restarts the driver from scratch
+    — so the default retry budget is smaller than for checkpointed
+    optimize jobs.
+    """
+    spec = JobSpec(
+        kind="experiment",
+        experiment=str(experiment),
+        experiment_kwargs=dict(experiment_kwargs or {}),
+        deadline_s=deadline_s,
+        max_retries=max_retries,
+    )
+    return _as_submitter(service).submit(spec, name=name or experiment)
+
+
+# -- one-shot conveniences ---------------------------------------------------
+
+def submit_job(root: str, spec: JobSpec,
+               name: Optional[str] = None) -> JobRecord:
+    return ServiceClient(root).submit(spec, name=name)
+
+
+def job_status(root: str, job_id: str) -> JobRecord:
+    return ServiceClient(root).status(job_id)
+
+
+def job_result(root: str, job_id: str) -> dict:
+    return ServiceClient(root).result(job_id)

@@ -352,3 +352,52 @@ def test_checkpointing_does_not_change_the_result():
     assert plain.nfev == with_store.nfev
     assert store.n_saves > 0
     assert store.load() is None
+
+
+def test_file_store_survives_two_concurrent_writers(tmp_path):
+    """Two writers racing one path: last writer wins, nothing corrupts.
+
+    The scenario is a lease takeover whose previous owner is still
+    flushing its final snapshot while the new owner starts writing.
+    The atomic write-then-rename discipline means every load along the
+    way sees a *complete* checkpoint from one writer or the other —
+    never a torn file, never a quarantine on this clean interleaving.
+    """
+    import threading
+
+    path = str(tmp_path / "shared.ckpt")
+    store_a = FileCheckpointStore(path)
+    store_b = FileCheckpointStore(path)
+    n_rounds = 60
+    barrier = threading.Barrier(2)
+    errors = []
+
+    def writer(store, tag):
+        try:
+            barrier.wait()
+            for i in range(n_rounds):
+                store.save(Checkpoint(
+                    algorithm="de", iteration=i,
+                    rng_state=None, payload={"writer": tag, "i": i}))
+        except BaseException as exc:  # noqa: BLE001 - fail the test below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(store_a, "a")),
+               threading.Thread(target=writer, args=(store_b, "b"))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+    # The survivor is one writer's final-ish snapshot, fully intact.
+    final = FileCheckpointStore(path).load()
+    assert final is not None
+    assert final.payload["writer"] in ("a", "b")
+    assert final.payload["i"] == final.iteration
+    # No quarantine happened and no temp files were left behind.
+    leftovers = [name for name in os.listdir(tmp_path)
+                 if name.endswith(".corrupt") or ".ckpt.tmp" in name]
+    assert leftovers == []
+    assert store_a.io_retries == 0
+    assert store_b.io_retries == 0

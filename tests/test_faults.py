@@ -239,3 +239,62 @@ def test_de_all_failures_still_terminates():
     )
     assert result.fun == np.inf
     assert result.health.n_failures == 8 * (1 + 5)
+
+
+# ----------------------------------------------------------------------
+# seeded-jitter backoff
+# ----------------------------------------------------------------------
+
+def test_backoff_delay_without_jitter_is_the_capped_schedule():
+    from repro.optimize.faults import backoff_delay
+    for attempt in range(8):
+        assert backoff_delay(attempt, 0.1, 2.0, jitter=0.0) == \
+            min(2.0, 0.1 * 2.0 ** attempt)
+
+
+def test_backoff_delay_jitter_is_bounded_and_deterministic():
+    from repro.optimize.faults import backoff_delay
+    for attempt in range(8):
+        undithered = min(2.0, 0.1 * 2.0 ** attempt)
+        delay = backoff_delay(attempt, 0.1, 2.0, jitter=0.25, key="job-a")
+        # Never above the capped schedule, never more than 25% below.
+        assert 0.75 * undithered <= delay <= undithered
+        # Same (key, attempt) -> same delay: no ambient RNG consumed.
+        assert delay == backoff_delay(attempt, 0.1, 2.0, jitter=0.25,
+                                      key="job-a")
+
+
+def test_backoff_delay_desynchronizes_distinct_keys():
+    from repro.optimize.faults import backoff_delay
+    delays = {backoff_delay(2, 0.1, 2.0, key=f"job-{i}")
+              for i in range(16)}
+    assert len(delays) > 8      # a wave of retries spreads out
+
+
+def test_backoff_delay_stays_monotone_below_the_cap():
+    from repro.optimize.faults import backoff_delay
+    # 0.1 * 2**k stays below the 2.0 cap through attempt 4; jitter of
+    # 0.25 < 0.5 cannot make a doubled next delay fall below the
+    # previous one, so the schedule keeps growing.
+    delays = [backoff_delay(k, 0.1, 2.0, key="job-x") for k in range(5)]
+    assert delays == sorted(delays)
+    assert all(b > a for a, b in zip(delays, delays[1:]))
+
+
+def test_retry_transient_sleeps_the_jittered_schedule(monkeypatch):
+    import repro.optimize.faults as faults_mod
+    from repro.optimize.faults import backoff_delay, retry_transient
+
+    sleeps = []
+    monkeypatch.setattr(faults_mod.time, "sleep", sleeps.append)
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise OSError("hiccup")
+        return "ok"
+
+    assert retry_transient(flaky, attempts=3, jitter_key="job-y") == "ok"
+    assert sleeps == [backoff_delay(0, key="job-y"),
+                      backoff_delay(1, key="job-y")]
