@@ -48,7 +48,7 @@ from repro.rf.noise import NoisyTwoPort, ca_from_cy
 from repro.rf.twoport import TwoPort
 from repro.util.constants import BOLTZMANN
 
-__all__ = ["ACResult", "solve_ac"]
+__all__ = ["ACResult", "assemble_tensor", "solve_ac"]
 
 
 @dataclass
@@ -252,6 +252,14 @@ def _assemble_tensor(circuit: Circuit, f_hz: np.ndarray,
         else:
             raise TypeError(f"unknown element type {type(element).__name__}")
     return y
+
+
+#: Public name of the tensor assembler.  The batched solver tiers
+#: (:mod:`repro.analysis.compiled` dense, :mod:`repro.analysis.sparsemna`
+#: condensed) both consume its output, so external callers building
+#: custom batches should use this instead of the private underscore
+#: name.
+assemble_tensor = _assemble_tensor
 
 
 def _eval_block(function, f_hz: np.ndarray, n_terminals: int) -> np.ndarray:

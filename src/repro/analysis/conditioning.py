@@ -27,6 +27,7 @@ from repro.obs import metrics as _obs_metrics
 __all__ = [
     "condition_log10",
     "observe_condition",
+    "observe_residual",
     "equilibrated_solve",
 ]
 
@@ -65,6 +66,26 @@ def observe_condition(matrix: np.ndarray, where: str) -> float:
         f"{where}.condition_log10", value if np.isfinite(value) else 320.0
     )
     return value
+
+
+def observe_residual(value: float, where: str) -> None:
+    """Sample one relative residual into the ``<where>.residual_log10``
+    histogram (no-op with guards off).
+
+    Used by the sparse solver's low-rank update path: the distribution
+    of a-posteriori residuals tells a run how close its Woodbury
+    updates sail to the refactorization threshold.  Zero (an exactly
+    satisfied system) clamps to the histogram floor instead of
+    ``-inf``; non-finite residuals clamp to the ceiling.
+    """
+    if not _guard_modes.enabled():
+        return
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        log = 320.0
+    else:
+        log = float(np.log10(max(value, 1e-320)))
+    _obs_metrics.observe(f"{where}.residual_log10", log)
 
 
 def _scale_vector(magnitudes: np.ndarray) -> np.ndarray:

@@ -52,6 +52,13 @@ from repro.analysis.compiled import (
     solve_tensor_batch,
     solve_tensor_batch_isolated,
 )
+from repro.analysis.conditioning import observe_condition
+from repro.analysis.sparsemna import (
+    MutableGroup,
+    PatternError,
+    build_plan,
+    structural_costs,
+)
 from repro.analysis.netlist import (
     Capacitor,
     NoiseCurrent,
@@ -196,13 +203,34 @@ class CompiledTemplate:
         Check the compiled engine against the scalar path at two probe
         design points (recommended; a few scalar solves at compile
         time).
+    solver:
+        Factorization tier for the batched MNA solves.  ``"dense"``
+        (default, the reference path) stamps full ``(B, F, n, n)``
+        tensors; ``"sparse"`` compiles a Schur-condensed plan
+        (:mod:`repro.analysis.sparsemna`) — the candidate-independent
+        block is LU-factorized once per topology per frequency with a
+        shared CSC pattern, and per candidate only the small reduced
+        system is refactorized (or Sherman-Morrison-updated when few
+        stamp groups vary).  ``"auto"`` picks by a deterministic
+        structural cost model, so every process compiling the same
+        template resolves identically; the decision is journaled as a
+        ``solver_decision`` event.  The sparse tier agrees with dense
+        to well under 1e-9 relative and is verified against the scalar
+        path by the same compile-time probes.
     """
 
     def __init__(self, template: AmplifierTemplate,
                  band_grid: Optional[FrequencyGrid] = None,
                  guard_grid: Optional[FrequencyGrid] = None,
-                 verify: bool = True):
+                 verify: bool = True,
+                 solver: str = "dense"):
+        if solver not in ("dense", "sparse", "auto"):
+            raise ValueError(
+                f"solver must be 'dense', 'sparse', or 'auto', "
+                f"got {solver!r}"
+            )
         self.template = template
+        self.solver = solver
         self.band_grid = band_grid or design_grid(17)
         self.guard_grid = guard_grid or stability_grid(24)
         self._n_band = len(self.band_grid)
@@ -212,6 +240,8 @@ class CompiledTemplate:
         self._f_fused = np.concatenate([self.band_grid.f_hz,
                                         self.guard_grid.f_hz])
         self._compile()
+        self._plan = None
+        self._solver_resolved = self._resolve_solver()
         if verify:
             self._verify()
 
@@ -229,11 +259,13 @@ class CompiledTemplate:
             "template": self.template,
             "band_grid": self.band_grid,
             "guard_grid": self.guard_grid,
+            "solver": self.solver,
         }
 
     def __setstate__(self, state):
         self.__init__(state["template"], state["band_grid"],
-                      state["guard_grid"], verify=False)
+                      state["guard_grid"], verify=False,
+                      solver=state.get("solver", "dense"))
 
     # -- compilation --------------------------------------------------------
     def _compile(self):
@@ -341,6 +373,201 @@ class CompiledTemplate:
         rows, cols, signs = (np.array(v) for v in zip(*entries))
         return StampSlot(element.name, rows.astype(int), cols.astype(int),
                          signs.astype(float))
+
+    # -- sparse plan --------------------------------------------------------
+    def _noise_column_count(self) -> int:
+        return (
+            sum(src.columns.shape[1] for src in self._const_noise)
+            + len(self._scalar_noise)
+            + sum(c.shape[1] for _, c in self._block_noise)
+        )
+
+    def _resolve_solver(self) -> str:
+        """Pick and prepare the factorization tier.
+
+        ``"auto"`` resolves through :func:`structural_costs` — a pure
+        function of the stamp structure, never of timing — so a fleet
+        worker recompiling this template makes the identical choice,
+        and its rows stay bit-identical to the parent's.  The decision
+        is journaled like the population-backend ``backend_decision``.
+        """
+        if self.solver == "dense":
+            return "dense"
+        touched = set()
+        for slot in self._slots.values():
+            touched.update(slot.rows.tolist())
+            touched.update(slot.cols.tolist())
+        if not touched:
+            touched = set(int(r) for r in self._port_rows)
+        n_rhs = self._port_rows.size + self._noise_column_count()
+        costs = structural_costs(self._n_nodes, len(touched), n_rhs,
+                                 self._port_rows.size)
+        if self.solver == "auto":
+            chosen = "sparse" if costs["sparse"] < costs["dense"] else "dense"
+            _obs_journal.emit(
+                "solver_decision",
+                chosen=chosen,
+                candidates={k: float(v) for k, v in costs.items()},
+                n_nodes=int(self._n_nodes),
+                n_reduced=len(touched),
+                rhs_columns=int(n_rhs),
+            )
+            if chosen == "dense":
+                return "dense"
+        try:
+            self._plan = self._build_sparse_plan()
+        except PatternError as exc:
+            if self.solver == "sparse":
+                raise CompileError(
+                    f"solver='sparse' requested but the template's "
+                    f"structure cannot be condensed: {exc}"
+                ) from None
+            _obs_metrics.inc("mna.sparse_pattern_fallbacks")
+            return "dense"
+        return "sparse"
+
+    def _build_sparse_plan(self):
+        """Compile the Schur-condensed plan over the fused grid.
+
+        The shared right-hand side carries the two port injections and
+        every noise-injection column; the plan condenses them once, so
+        a candidate batch costs one small adjoint solve plus a
+        ``matmul`` contraction.  The per-source column layout is
+        recorded for the fused noise-correlation assembly.
+        """
+        n_ports = self._port_rows.size
+        rhs = np.zeros(
+            (self._n_nodes, n_ports + self._noise_column_count()),
+            dtype=complex,
+        )
+        for col, row in enumerate(self._port_rows):
+            rhs[row, col] = 1.0
+        n_band = self._n_band
+        # Noise-column bookkeeping, offsets relative to the noise block:
+        # scalar-PSD entries fuse into one stacked matmul, (w, w) blocks
+        # group by width into one batched triple product per width.
+        sp_scalar: List[tuple] = []   # (col, "const" psd | "var" name)
+        sp_blocks: Dict[int, List[tuple]] = {}
+        offset = n_ports
+        for src in self._const_noise:
+            width = src.columns.shape[1]
+            rhs[:, offset:offset + width] = src.columns
+            psd = np.asarray(src.psd)
+            if psd.ndim == 1:
+                # A scalar PSD over w columns is w independent scalar
+                # sources sharing one density (the dense kernel's
+                # ``psd * (i @ i^H)`` sums identically).
+                for k in range(width):
+                    sp_scalar.append(
+                        (offset + k - n_ports, "const", psd[:n_band])
+                    )
+            else:
+                sp_blocks.setdefault(width, []).append(
+                    (offset - n_ports, "const", psd[:n_band])
+                )
+            offset += width
+        for name, columns in self._scalar_noise:
+            rhs[:, offset] = columns[:, 0]
+            sp_scalar.append((offset - n_ports, "var", name))
+            offset += 1
+        for name, columns in self._block_noise:
+            width = columns.shape[1]
+            rhs[:, offset:offset + width] = columns
+            sp_blocks.setdefault(width, []).append(
+                (offset - n_ports, "var", name)
+            )
+            offset += width
+
+        # Freeze the PSD layout into index arrays and pre-stacked
+        # constant tables so the per-batch assembly in
+        # :meth:`_sparse_figures` only fills the bias-dependent slots.
+        self._sc_cols = np.array([e[0] for e in sp_scalar], dtype=int)
+        self._sc_const = np.zeros((n_band, len(sp_scalar)))
+        self._sc_var: List[tuple] = []          # (stack index, source name)
+        for idx, (_, kind, payload) in enumerate(sp_scalar):
+            if kind == "const":
+                self._sc_const[:, idx] = payload
+            else:
+                self._sc_var.append((idx, payload))
+        self._blk_layout: Dict[int, tuple] = {}
+        for width, entries in sp_blocks.items():
+            cols = np.concatenate([
+                np.arange(c0, c0 + width) for c0, _, _ in entries
+            ])
+            const_psd = np.zeros((n_band, len(entries), width, width),
+                                 dtype=complex)
+            var_entries = []
+            for idx, (_, kind, payload) in enumerate(entries):
+                if kind == "const":
+                    const_psd[:, idx] = payload
+                else:
+                    var_entries.append((idx, payload))
+            self._blk_layout[width] = (cols, const_psd, var_entries)
+
+        groups = [MutableGroup(name, slot.rows, slot.cols, slot.signs)
+                  for name, slot in self._slots.items()]
+        return build_plan(self._base, groups, self._port_rows, self._z0,
+                          rhs, out_rows=list(self._port_rows))
+
+    @staticmethod
+    def _inv2x2(a: np.ndarray) -> np.ndarray:
+        """Explicit batched 2x2 inverse (the port count is fixed)."""
+        det = a[..., 0, 0] * a[..., 1, 1] - a[..., 0, 1] * a[..., 1, 0]
+        inv = np.empty_like(a)
+        inv[..., 0, 0] = a[..., 1, 1]
+        inv[..., 0, 1] = -a[..., 0, 1]
+        inv[..., 1, 0] = -a[..., 1, 0]
+        inv[..., 1, 1] = a[..., 0, 0]
+        return inv / det[..., None, None]
+
+    def _sparse_figures(self, v_ports: np.ndarray, n_batch: int,
+                        scalar_psds, block_psds):
+        """S-parameters and band noise correlation from the plan's
+        port-row solution ``(B, F_fused, 2, K)``."""
+        n_band = self._n_band
+        # The port loads are stamped into the reduced matrix, so the
+        # 2x2 port block of the solution is the *loaded* impedance
+        # matrix Z_L and the network admittance is Y = Z_L^-1 - G0.
+        # Substituting into y_to_s collapses the two inversions:
+        #   S = (I + Y z0)^-1 (I - Y z0) = 2 Z_L / z0 - I.
+        s = (2.0 / self._z0) * v_ports[..., :2]
+        s[..., 0, 0] -= 1.0
+        s[..., 1, 1] -= 1.0
+
+        zi = self._inv2x2(v_ports[:, :n_band, :, :2])
+        # Every noise transfer at once: one matmul instead of a
+        # per-source loop (i_n = -(Y_net + G0) v_loaded, as dense).
+        i_all = -(zi @ v_ports[:, :n_band, :, 2:])
+        cy = np.zeros((n_batch, n_band, 2, 2), dtype=complex)
+        if self._sc_cols.size:
+            i_s = i_all[..., self._sc_cols]              # (B, Fb, 2, S)
+            psd_stack = np.empty((n_batch, n_band, self._sc_cols.size))
+            psd_stack[...] = self._sc_const
+            for idx, name in self._sc_var:
+                psd_stack[:, :, idx] = scalar_psds[name][:, :n_band]
+            i_s_h = np.conjugate(np.swapaxes(i_s, -1, -2))
+            cy += (i_s * psd_stack[..., None, :]) @ i_s_h
+        for width, (cols, const_psd, var_entries) in self._blk_layout.items():
+            nb = const_psd.shape[1]
+            x = i_all[..., cols].reshape(
+                n_batch, n_band, 2, nb, width)           # (B, Fb, 2, nb, w)
+            if var_entries:
+                psd = np.empty(
+                    (n_batch, n_band, nb, width, width), dtype=complex)
+                psd[...] = const_psd
+                for idx, name in var_entries:
+                    psd[:, :, idx] = block_psds[name][:, :n_band]
+                psd = psd[:, :, None]                    # (B, Fb, 1, nb, w, w)
+            else:
+                psd = const_psd[None, :, None]           # (1, Fb, 1, nb, w, w)
+            # y[..., p, k, v] = sum_u x[..., p, k, u] psd[..., k, u, v];
+            # elementwise-and-sum beats batched matmul on 2x2 blocks.
+            y = (x[..., :, None] * psd).sum(axis=-2)
+            y = y.reshape(n_batch, n_band, 2, nb * width)
+            xh = np.conjugate(
+                x.reshape(n_batch, n_band, 2, nb * width))
+            cy += y @ np.swapaxes(xh, -1, -2)
+        return s, cy
 
     # -- per-candidate values ----------------------------------------------
     def _candidate_values(self, x_physical: np.ndarray,
@@ -452,10 +679,26 @@ class CompiledTemplate:
         drain bias currents ``(B,)``.
         """
         x_physical = np.atleast_2d(np.asarray(x_physical, dtype=float))
+        n_batch = x_physical.shape[0]
         values = self._candidate_values(x_physical)
         ids = values[3]
-        y_batch, noise_sources = self._stamped_batch(x_physical.shape[0],
-                                                     *values[:3])
+        if self._solver_resolved == "sparse":
+            # One condensed adjoint solve of the whole fused axis; the
+            # noise columns ride in the precomputed reduced RHS.
+            admittances, scalar_psds, block_psds = values[:3]
+            try:
+                v_ports = self._plan.solve_rows(admittances, n_batch,
+                                                update="auto")
+            except np.linalg.LinAlgError as exc:
+                raise ValueError(
+                    "singular circuit (floating node or degenerate "
+                    f"element): {exc}"
+                ) from None
+            with np.errstate(divide="ignore", invalid="ignore"):
+                s, cy_band = self._sparse_figures(v_ports, n_batch,
+                                                  scalar_psds, block_psds)
+            return s, cy_band, ids
+        y_batch, noise_sources = self._stamped_batch(n_batch, *values[:3])
         n_band = self._n_band
 
         # Two batched solves sharing the stamped tensor: the band slice
@@ -619,22 +862,32 @@ class CompiledTemplate:
 
         (admittances, scalar_psds, block_psds, ids,
          bad_bias) = self._candidate_values(x_physical, bad_bias="mask")
-        y_batch, noise_sources = self._stamped_batch(
-            n_batch, admittances, scalar_psds, block_psds
-        )
         n_band = self._n_band
-        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-            s_band, cy_band, _, failed_band = solve_tensor_batch_isolated(
-                y_batch[:, :n_band], self._port_rows, self._z0,
-                noise_sources,
+        if self._solver_resolved == "sparse":
+            s, cy_band, solver_failed = self._isolated_sparse(
+                n_batch, admittances, scalar_psds, block_psds
             )
-            s_guard, _, _, failed_guard = solve_tensor_batch_isolated(
-                y_batch[:, n_band:], self._port_rows, self._z0
+            with np.errstate(divide="ignore", invalid="ignore",
+                             over="ignore"):
+                batch = self._figures(s, cy_band, ids)
+        else:
+            y_batch, noise_sources = self._stamped_batch(
+                n_batch, admittances, scalar_psds, block_psds
             )
-            s = np.concatenate([s_band, s_guard], axis=1)
-            batch = self._figures(s, cy_band, ids)
-
-        solver_failed = failed_band | failed_guard
+            with np.errstate(divide="ignore", invalid="ignore",
+                             over="ignore"):
+                s_band, cy_band, _, failed_band = (
+                    solve_tensor_batch_isolated(
+                        y_batch[:, :n_band], self._port_rows, self._z0,
+                        noise_sources,
+                    )
+                )
+                s_guard, _, _, failed_guard = solve_tensor_batch_isolated(
+                    y_batch[:, n_band:], self._port_rows, self._z0
+                )
+                s = np.concatenate([s_band, s_guard], axis=1)
+                batch = self._figures(s, cy_band, ids)
+            solver_failed = failed_band | failed_guard
         finite = (
             np.isfinite(batch.nf_db).all(axis=1)
             & np.isfinite(batch.gt_db).all(axis=1)
@@ -706,6 +959,68 @@ class CompiledTemplate:
                 self._fill_row(batch, i, AmplifierPerformance.penalty(
                     self.band_grid, failures[i]))
         return batch, failures, n_fallbacks
+
+    def _isolated_sparse(self, n_batch: int, admittances, scalar_psds,
+                         block_psds):
+        """Failure-isolated sparse solve of one candidate batch.
+
+        The happy path is the condensed adjoint solve.  Candidates it
+        cannot represent — a singular reduced system or non-finite
+        results — are re-run through the *dense* isolated machinery as
+        a sub-batch, which carries the full PR 2-4 degradation chain
+        (per-row refactorization, equilibrated rescue, zero-fill +
+        ``failed`` flag) and is spliced back row-for-row.  Healthy rows
+        never leave the sparse path.
+        """
+        n_band = self._n_band
+        if _guard_modes.enabled():
+            # The sparse twin of the dense path's conditioning sample:
+            # the mid-grid *reduced* matrix of the first candidate is
+            # what this tier actually factorizes.
+            observe_condition(self._plan.sample_matrix(admittances), "mna")
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            try:
+                v_ports = self._plan.solve_rows(admittances, n_batch,
+                                                update="auto")
+            except np.linalg.LinAlgError:
+                v_ports = None
+                _obs_metrics.inc("mna.batch_refactorizations")
+            if v_ports is not None:
+                s, cy_band = self._sparse_figures(v_ports, n_batch,
+                                                  scalar_psds, block_psds)
+                bad = ~(
+                    np.isfinite(s).reshape(n_batch, -1).all(axis=1)
+                    & np.isfinite(cy_band).reshape(n_batch, -1).all(axis=1)
+                )
+            else:
+                s = np.zeros((n_batch, self._f_fused.size, 2, 2),
+                             dtype=complex)
+                cy_band = np.zeros((n_batch, n_band, 2, 2), dtype=complex)
+                bad = np.ones(n_batch, dtype=bool)
+
+        failed = np.zeros(n_batch, dtype=bool)
+        if np.any(bad):
+            idx = np.flatnonzero(bad)
+            _obs_metrics.inc("mna.sparse_isolated_fallbacks", int(idx.size))
+            sub_adm = {k: v[idx] for k, v in admittances.items()}
+            sub_scalar = {k: v[idx] for k, v in scalar_psds.items()}
+            sub_block = {k: v[idx] for k, v in block_psds.items()}
+            y_sub, noise_sub = self._stamped_batch(
+                idx.size, sub_adm, sub_scalar, sub_block
+            )
+            with np.errstate(divide="ignore", invalid="ignore",
+                             over="ignore"):
+                s_b, cy_b, _, f_band = solve_tensor_batch_isolated(
+                    y_sub[:, :n_band], self._port_rows, self._z0,
+                    noise_sub,
+                )
+                s_g, _, _, f_guard = solve_tensor_batch_isolated(
+                    y_sub[:, n_band:], self._port_rows, self._z0
+                )
+            s[idx] = np.concatenate([s_b, s_g], axis=1)
+            cy_band[idx] = cy_b
+            failed[idx] = f_band | f_guard
+        return s, cy_band, failed
 
     @staticmethod
     def _fill_row(batch: BatchPerformance, index: int,
@@ -787,7 +1102,8 @@ class CompiledMetricObjective:
                  metric: str = "nf_max_db",
                  band_grid: Optional[FrequencyGrid] = None,
                  guard_grid: Optional[FrequencyGrid] = None,
-                 sign: float = 1.0):
+                 sign: float = 1.0,
+                 solver: str = "dense"):
         if metric not in self.METRICS:
             raise ValueError(
                 f"metric must be one of {self.METRICS}, got {metric!r}"
@@ -797,10 +1113,12 @@ class CompiledMetricObjective:
         self.band_grid = band_grid
         self.guard_grid = guard_grid
         self.sign = float(sign)
+        self.solver = solver
 
     def __call__(self):
         engine = CompiledTemplate(self.template, self.band_grid,
-                                  self.guard_grid, verify=False)
+                                  self.guard_grid, verify=False,
+                                  solver=self.solver)
         metric, sign = self.metric, self.sign
 
         def scalar(unit_x: np.ndarray) -> float:

@@ -220,7 +220,26 @@ def _to_complex(a, b, data_format: str) -> np.ndarray:
 
 
 def _resample_noise(f_noise, noise: NoiseParameters, f_target, z0) -> NoiseParameters:
-    """Linear interpolation of noise parameters onto the S grid."""
+    """Linear interpolation of noise parameters onto the S grid.
+
+    ``np.interp`` clamps outside the measured band, which would
+    silently extend NFmin/rn/Gamma_opt flat over frequencies the
+    datasheet never characterized — that is reported as a contract
+    violation (an exception in strict mode, a ``GuardWarning`` in warn
+    mode) before the clamped values are returned.
+    """
+    f_target = np.asarray(f_target, dtype=float)
+    outside = (f_target < f_noise[0]) | (f_target > f_noise[-1])
+    if np.any(outside):
+        _contracts.report_violation(
+            "touchstone noise grid",
+            f"{int(np.sum(outside))} of {f_target.size} target "
+            f"frequencies lie outside the measured noise band "
+            f"[{f_noise[0] / 1e9:.3f}, {f_noise[-1] / 1e9:.3f}] GHz "
+            f"(target spans [{f_target.min() / 1e9:.3f}, "
+            f"{f_target.max() / 1e9:.3f}] GHz); noise parameters are "
+            f"clamped, not extrapolated",
+        )
     nfmin_db = np.interp(f_target, f_noise, noise.nfmin_db)
     rn = np.interp(f_target, f_noise, noise.rn)
     gamma = noise.gamma_opt(z0)

@@ -204,7 +204,7 @@ class JobRunner:
                 takeovers=record.takeovers,
             )
             if record.spec.kind == "experiment":
-                summary = self._run_experiment(record)
+                summary = self._run_experiment(record, run)
             else:
                 summary = self._run_optimize(record, run, journal)
             journal.run_end(status="completed")
@@ -295,7 +295,7 @@ class JobRunner:
             "run_dir": run.path,
         }
 
-    def _run_experiment(self, record: JobRecord) -> dict:
+    def _run_experiment(self, record: JobRecord, run) -> dict:
         spec = record.spec
         runner = _resolve_experiment(spec.experiment)
         self._control_check(record)  # heartbeat before the long haul
@@ -307,6 +307,10 @@ class JobRunner:
                 if isinstance(item, (int, float, str, bool)) \
                         or item is None:
                     summary[str(key)] = item
+        # Experiment jobs honor the same fetch contract as optimize
+        # jobs: ServiceClient.result() reads result.json from the run
+        # dir, so a completed job must always have written one.
+        self._write_result(run, {"result": summary})
         return summary
 
     @staticmethod

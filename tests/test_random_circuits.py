@@ -13,9 +13,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.acsolver import solve_ac
-from repro.analysis.compiled import solve_ac_batch
+from repro.analysis.acsolver import assemble_tensor, solve_ac
+from repro.analysis.compiled import (
+    solve_ac_batch,
+    solve_tensor_batch,
+    solve_tensor_batch_isolated,
+)
 from repro.analysis.netlist import Circuit
+from repro.analysis.sparsemna import MutableGroup, build_plan
 from repro.rf.frequency import FrequencyGrid
 from repro.util.constants import T0_KELVIN
 
@@ -167,3 +172,119 @@ class TestBatchedSolverEquivalence:
         circuits = [_random_passive_circuit(3), _random_passive_circuit(5)]
         with pytest.raises(ValueError):
             solve_ac_batch(circuits, GRID)
+
+
+class TestSparseSolverEquivalence:
+    """The condensed (sparse) tier must agree with dense to <= 1e-9."""
+
+    @staticmethod
+    def _batch(seed: int, n: int = 4):
+        return [
+            _random_passive_circuit(seed,
+                                    value_rng=np.random.default_rng(9000 + k))
+            for k in range(n)
+        ]
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=20, deadline=None)
+    def test_sparse_matches_dense_on_random_ladders(self, seed):
+        circuits = self._batch(seed)
+        probes = ("out", "in")
+        dense = solve_ac_batch(circuits, GRID, probe_nodes=probes,
+                               solver="dense")
+        sparse = solve_ac_batch(circuits, GRID, probe_nodes=probes,
+                                solver="sparse")
+        np.testing.assert_allclose(sparse.s, dense.s, rtol=1e-9, atol=1e-12)
+        # cy entries span the batch's PSD scale down to pure
+        # cancellation residue; the condensation reorders the
+        # arithmetic, so absolute noise up to ~1e-13 of the dominant
+        # entry is expected there, not a defect.
+        np.testing.assert_allclose(sparse.cy, dense.cy, rtol=1e-9,
+                                   atol=1e-13 * np.abs(dense.cy).max())
+        np.testing.assert_allclose(sparse.node_transfers,
+                                   dense.node_transfers,
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_sparse_matches_dense_on_lna_template(self):
+        from repro.core.amplifier import AmplifierTemplate, DesignVariables
+        from repro.core.engine import CompiledTemplate
+        from repro.experiments.common import reference_device
+
+        template = AmplifierTemplate(reference_device().small_signal)
+        dense = CompiledTemplate(template, solver="dense", verify=False)
+        sparse = CompiledTemplate(template, solver="sparse", verify=False)
+        pop = np.random.default_rng(7).random((8, len(DesignVariables.NAMES)))
+        rd = dense.performance_batch(pop)
+        rs = sparse.performance_batch(pop)
+        for name in ("nf_db", "gt_db", "s11_db", "s22_db", "mu_min"):
+            np.testing.assert_allclose(
+                getattr(rs, name), getattr(rd, name), rtol=1e-9, atol=1e-9,
+                err_msg=name,
+            )
+
+    def test_sparse_isolation_flags_singular_rows(self):
+        # A batch whose candidates differ in a few entries (so the
+        # sparse tier engages) with two rows made exactly singular:
+        # the isolated wrapper must flag them and keep healthy rows.
+        n_batch, n_nodes = 5, 4
+        f = GRID.f_hz
+        y = np.zeros((n_batch, f.size, n_nodes, n_nodes), dtype=complex)
+        g_chain = 1.0 / 75.0
+        for a, b in ((0, 2), (2, 3), (3, 1)):
+            y[:, :, a, a] += g_chain
+            y[:, :, b, b] += g_chain
+            y[:, :, a, b] -= g_chain
+            y[:, :, b, a] -= g_chain
+        for i in range(n_batch):  # per-candidate shunt: the stamp hull
+            y[i, :, 2, 2] += 1e-3 * (1.0 + 0.2 * i)
+        singular = (1, 3)
+        for i in singular:
+            y[i] = 1.0
+            y[i, :, 0, 0] -= 1.0 / 50.0
+            y[i, :, 1, 1] -= 1.0 / 50.0
+        ports = np.array([0, 1])
+        before = y.copy()
+        s, cy, _, failed = solve_tensor_batch_isolated(
+            y, ports, 50.0, solver="sparse"
+        )
+        assert failed.tolist() == [False, True, False, True, False]
+        assert np.all(s[list(singular)] == 0.0)
+        np.testing.assert_array_equal(y, before)  # still non-mutating
+        healthy = [0, 2, 4]
+        s_ref, _, _ = solve_tensor_batch(y[healthy], ports, 50.0)
+        np.testing.assert_allclose(s[healthy], s_ref, rtol=1e-9, atol=1e-12)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_sherman_morrison_matches_full_refactorization(self, seed):
+        # One rank-1 group varying across the batch: the Woodbury
+        # update must agree with per-candidate refactorization.
+        circuit = _random_passive_circuit(seed)
+        n_nodes = len(circuit.node_names)
+        base = assemble_tensor(circuit, GRID.f_hz, n_nodes)
+        ports = np.array([circuit.node_index("in"),
+                          circuit.node_index("out")])
+        rhs = np.zeros((n_nodes, 2), dtype=complex)
+        rhs[ports[0], 0] = 1.0
+        rhs[ports[1], 1] = 1.0
+        group = MutableGroup("gshunt", np.array([ports[0]]),
+                             np.array([ports[0]]), np.array([1.0]))
+        plan = build_plan(base, [group], ports, 50.0, rhs,
+                          out_rows=[int(p) for p in ports])
+        rng = np.random.default_rng(seed)
+        coeffs = {"gshunt": rng.uniform(1e-3, 2e-2, size=(6, 1))
+                  * np.ones((1, GRID.f_hz.size))}
+        full = plan.solve_rows(coeffs, 6, update="full")
+        assert plan.last_update == "full"
+        wood = plan.solve_rows(coeffs, 6, update="woodbury")
+        assert plan.last_update == "woodbury"
+        np.testing.assert_allclose(wood, full, rtol=1e-9, atol=1e-12)
+
+        # Independent dense reference for the same perturbed batch.
+        y = np.broadcast_to(base, (6,) + base.shape).copy()
+        y[:, :, ports[0], ports[0]] += coeffs["gshunt"]
+        y[:, :, ports[0], ports[0]] += 1.0 / 50.0
+        y[:, :, ports[1], ports[1]] += 1.0 / 50.0
+        x = np.linalg.solve(y, rhs)
+        np.testing.assert_allclose(full, x[:, :, ports, :],
+                                   rtol=1e-9, atol=1e-12)

@@ -454,6 +454,11 @@ class TestJobService:
         assert record.result["score"] == 1.5
         assert record.result["label"] == "ok"
         assert "payload" not in record.result
+        # The fetch contract holds for experiment jobs too: a completed
+        # job always has a result.json behind ServiceClient.result().
+        payload = client.result(job)
+        assert payload["result"]["score"] == 1.5
+        assert payload["result"]["experiment"] == "fake-driver"
 
     def test_driver_submit_helpers_package_experiment_jobs(self, tmp_path):
         from repro.experiments import e5_optimizer_comparison as e5

@@ -190,6 +190,32 @@ class TestFormats:
         with pytest.raises(ValueError, match="row 2"):
             read_touchstone(text)
 
+    def test_truncated_noise_block_reports_extrapolation(self, fg):
+        """Noise data covering only part of the S grid must not be
+        silently clamp-extended over the uncharacterized band."""
+        from repro.guards.contracts import ContractViolation, GuardWarning
+        from repro.guards.modes import guard_mode
+
+        network = attenuator(fg, 3.0)
+        body = write_touchstone(TouchstoneData(network=network))
+        body += "! noise parameters\n"
+        # Noise measured over 1.0-1.5 GHz only; the S grid reaches 2.0.
+        body += "1.0 0.5 0.3 20 0.15\n1.5 0.7 0.25 40 0.18\n"
+        with guard_mode("strict"):
+            with pytest.raises(ContractViolation,
+                               match="outside the measured noise band"):
+                read_touchstone(body)
+        with guard_mode("warn"):
+            with pytest.warns(GuardWarning,
+                              match="outside the measured noise band"):
+                parsed = read_touchstone(body)
+        # Warn mode still returns the clamped values.
+        assert parsed.noise is not None
+        assert parsed.noise.nfmin_db[-1] == pytest.approx(0.7, abs=1e-6)
+        with guard_mode("off"):
+            parsed = read_touchstone(body)
+        assert parsed.noise is not None
+
     def test_noise_on_other_grid_is_resampled(self, fg):
         network = attenuator(fg, 3.0)
         body = write_touchstone(TouchstoneData(network=network))
