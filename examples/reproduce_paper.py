@@ -2,7 +2,8 @@
 
 Run:  python examples/reproduce_paper.py [--fast] [E1 E5 ...]
 
-Without arguments, runs all eleven reconstructed experiments (see
+Without arguments, runs all twelve experiments (the eleven
+reconstructed paper artifacts plus the E12 robust-front extension; see
 DESIGN.md for the experiment index) and prints each paper-style report.
 ``--fast`` uses reduced optimization budgets where available.
 Positional arguments select a subset, e.g. ``E1 E7``.
@@ -23,6 +24,7 @@ FAST_KWARGS = {
     "E9": {"profile": "fast"},
     "E10": {"profile": "fast"},
     "E11": {"profile": "fast"},
+    "E12": {"population_size": 12, "n_generations": 6, "n_trials": 4},
 }
 
 

@@ -755,21 +755,47 @@ class CompiledTemplate:
             figures = self._figures(s, cy_band, ids)
         _obs_metrics.inc("engine.batch_solves")
         _obs_metrics.inc("engine.candidates", unit_x.shape[0])
-        if _guard_modes.enabled():
-            # Physical-sanity contract on the reported figures.  The
-            # check is read-only: strict mode raises, warn mode counts
-            # and warns — the returned values are bit-for-bit those of
-            # the unguarded path either way.
-            bad = _contracts.noise_figure_violation_mask(figures.nf_db)
-            if np.any(bad):
-                rows = np.flatnonzero(bad)
-                _contracts.report_violation(
-                    "performance",
-                    f"candidates {rows.tolist()} report NF < 0 dB "
-                    f"(min {float(np.min(figures.nf_db[rows])):.3e} dB): "
-                    f"negative noise power is unphysical",
-                )
+        self._guard_batch_figures(figures)
         return figures
+
+    def performance_batch_physical(self, x_physical: np.ndarray
+                                   ) -> BatchPerformance:
+        """Figures of merit for a (B, n_vars) batch of *physical* vectors.
+
+        Unlike :meth:`performance_batch` no unit-box clip is applied:
+        robust corner sweeps legitimately evaluate component values
+        outside the optimization box (a +5 % inductor above ``UPPER``
+        is still a buildable board).  Matches
+        ``[template.evaluate(DesignVariables.from_vector(v), band,
+        guard) for v in x_physical]`` to ~1e-10.
+        """
+        x_physical = np.atleast_2d(np.asarray(x_physical, dtype=float))
+        with _obs_tracer.span("engine.performance_batch",
+                              batch=x_physical.shape[0]):
+            s, cy_band, ids = self.solve_batch(x_physical)
+            figures = self._figures(s, cy_band, ids)
+        _obs_metrics.inc("engine.batch_solves")
+        _obs_metrics.inc("engine.candidates", x_physical.shape[0])
+        self._guard_batch_figures(figures)
+        return figures
+
+    @staticmethod
+    def _guard_batch_figures(figures: BatchPerformance) -> None:
+        if not _guard_modes.enabled():
+            return
+        # Physical-sanity contract on the reported figures.  The
+        # check is read-only: strict mode raises, warn mode counts
+        # and warns — the returned values are bit-for-bit those of
+        # the unguarded path either way.
+        bad = _contracts.noise_figure_violation_mask(figures.nf_db)
+        if np.any(bad):
+            rows = np.flatnonzero(bad)
+            _contracts.report_violation(
+                "performance",
+                f"candidates {rows.tolist()} report NF < 0 dB "
+                f"(min {float(np.min(figures.nf_db[rows])):.3e} dB): "
+                f"negative noise power is unphysical",
+            )
 
     def _figures(self, s: np.ndarray, cy_band: np.ndarray,
                  ids: np.ndarray) -> BatchPerformance:
@@ -840,9 +866,39 @@ class CompiledTemplate:
         unit_x = np.atleast_2d(np.asarray(unit_x, dtype=float))
         with _obs_tracer.span("engine.performance_batch_isolated",
                               batch=unit_x.shape[0]):
-            batch, failures, n_fallbacks = self._batch_isolated(unit_x)
+            batch, failures, n_fallbacks = self._batch_isolated(
+                self._to_physical(unit_x), unit_x,
+                lambda i: DesignVariables.from_unit(unit_x[i]),
+            )
+        self._record_isolated(unit_x.shape[0], failures, n_fallbacks)
+        return batch, failures, n_fallbacks
+
+    def performance_batch_physical_isolated(self, x_physical: np.ndarray):
+        """Fault-isolated twin of :meth:`performance_batch_physical`.
+
+        The same degradation chain as
+        :meth:`performance_batch_isolated` (compiled batch -> per-row
+        scalar fallback -> finite penalty figures) applied to raw
+        physical design vectors with no unit-box clip — robust corner
+        sweeps use this so one unsolvable corner quarantines through
+        the :class:`EvaluationFailure` taxonomy while the healthy
+        corners stay bit-identical to the plain physical batch path.
+        ``EvaluationFailure.x`` carries the *physical* row.
+        """
+        x_physical = np.atleast_2d(np.asarray(x_physical, dtype=float))
+        with _obs_tracer.span("engine.performance_batch_isolated",
+                              batch=x_physical.shape[0]):
+            batch, failures, n_fallbacks = self._batch_isolated(
+                x_physical, x_physical,
+                lambda i: DesignVariables.from_vector(x_physical[i]),
+            )
+        self._record_isolated(x_physical.shape[0], failures, n_fallbacks)
+        return batch, failures, n_fallbacks
+
+    @staticmethod
+    def _record_isolated(n_batch: int, failures, n_fallbacks: int) -> None:
         _obs_metrics.inc("engine.batch_solves")
-        _obs_metrics.inc("engine.candidates", unit_x.shape[0])
+        _obs_metrics.inc("engine.candidates", n_batch)
         if n_fallbacks:
             _obs_metrics.inc("engine.scalar_fallbacks", n_fallbacks)
         n_penalties = sum(1 for f in failures if f is not None)
@@ -850,13 +906,14 @@ class CompiledTemplate:
             _obs_metrics.inc("engine.penalty_rows", n_penalties)
         if n_fallbacks or n_penalties:
             _obs_journal.emit("engine_degraded",
-                              batch=int(unit_x.shape[0]),
+                              batch=int(n_batch),
                               scalar_fallbacks=int(n_fallbacks),
                               penalty_rows=int(n_penalties))
-        return batch, failures, n_fallbacks
 
-    def _batch_isolated(self, unit_x: np.ndarray):
-        x_physical = self._to_physical(unit_x)
+    def _batch_isolated(self, x_physical: np.ndarray, x_report: np.ndarray,
+                        decode):
+        """Shared isolated solve; ``x_report`` rows label failures and
+        ``decode(i)`` rebuilds row *i* for the scalar fallback."""
         n_batch = x_physical.shape[0]
         failures: List[Optional[EvaluationFailure]] = [None] * n_batch
 
@@ -902,7 +959,7 @@ class CompiledTemplate:
                 CATEGORY_BAD_BIAS,
                 "device biased outside the saturated forward region "
                 "(gds <= 0)",
-                x=unit_x[i].copy(),
+                x=x_report[i].copy(),
             )
             self._fill_row(batch, i, AmplifierPerformance.penalty(
                 self.band_grid, failures[i]))
@@ -914,13 +971,12 @@ class CompiledTemplate:
             with np.errstate(divide="ignore", invalid="ignore"):
                 try:
                     scalar = self.template.evaluate(
-                        DesignVariables.from_unit(unit_x[i]),
-                        self.band_grid, self.guard_grid,
+                        decode(i), self.band_grid, self.guard_grid,
                     )
                 except FAILURE_EXCEPTIONS as exc:
                     failures[i] = EvaluationFailure(
                         classify_exception(exc), str(exc),
-                        x=unit_x[i].copy(),
+                        x=x_report[i].copy(),
                     )
                     self._fill_row(batch, i, AmplifierPerformance.penalty(
                         self.band_grid, failures[i]))
@@ -929,7 +985,7 @@ class CompiledTemplate:
                 failures[i] = EvaluationFailure(
                     category,
                     "scalar fallback also produced non-finite figures",
-                    x=unit_x[i].copy(),
+                    x=x_report[i].copy(),
                 )
                 self._fill_row(batch, i, AmplifierPerformance.penalty(
                     self.band_grid, failures[i]))
@@ -954,7 +1010,7 @@ class CompiledTemplate:
                 )
                 _contracts.report_violation("performance", message)
                 failures[i] = EvaluationFailure(
-                    CATEGORY_CONTRACT, message, x=unit_x[i].copy()
+                    CATEGORY_CONTRACT, message, x=x_report[i].copy()
                 )
                 self._fill_row(batch, i, AmplifierPerformance.penalty(
                     self.band_grid, failures[i]))

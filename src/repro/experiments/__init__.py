@@ -17,6 +17,7 @@ from repro.experiments import (
     e9_measured_sparams,
     e10_measured_nf,
     e11_intermodulation,
+    e12_robust_front,
 )
 
 REGISTRY = {
@@ -31,6 +32,7 @@ REGISTRY = {
     "E9": e9_measured_sparams,
     "E10": e10_measured_nf,
     "E11": e11_intermodulation,
+    "E12": e12_robust_front,
 }
 
 __all__ = [
@@ -46,4 +48,5 @@ __all__ = [
     "e9_measured_sparams",
     "e10_measured_nf",
     "e11_intermodulation",
+    "e12_robust_front",
 ]

@@ -49,6 +49,7 @@ __all__ = [
     "check_passive_network",
     "check_optimization_result",
     "check_pareto_front",
+    "check_yield_fraction",
     "noise_figure_violation_mask",
 ]
 
@@ -337,6 +338,27 @@ def check_pareto_front(x, objectives, name: str) -> None:
     if np.any(np.isnan(objectives)):
         report_violation(
             "optimizer_result", f"{name}: front contains NaN objectives"
+        )
+
+
+def check_yield_fraction(values, name: str) -> None:
+    """Yield fractions must be finite and inside [0, 1].
+
+    A yield outside the unit interval means the corner bookkeeping
+    miscounted (e.g. a quarantined corner scored as both pass and
+    fail) — a logic error, not a numerical one, so it is reported at
+    every robust-evaluation trust boundary.
+    """
+    if not enabled():
+        return
+    arr = np.atleast_1d(np.asarray(values, dtype=float))
+    bad = ~np.isfinite(arr) | (arr < 0.0) | (arr > 1.0)
+    if np.any(bad):
+        idx = int(np.flatnonzero(bad)[0])
+        report_violation(
+            "robust_yield",
+            f"{name}: yield fraction outside [0, 1] "
+            f"(first at index {idx}: {arr[idx]!r})",
         )
 
 

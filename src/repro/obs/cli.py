@@ -107,6 +107,8 @@ def _cmd_summary(args) -> int:
         ("guard violations", summary.guard_violations),
         ("cache hit rate", summary.cache_hit_rate),
         ("wall time [s]", summary.wall_time_s),
+        ("best yield", summary.yield_fraction),
+        ("worst-case NF [dB]", summary.worst_case_nf_db),
         ("resumes", summary.n_resumes),
     ]
     for label, value in rows:

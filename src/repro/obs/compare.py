@@ -66,6 +66,11 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[Optional[str], Optional[float], str]] = {
     "guard_violations": ("abs", 0.0, "increase"),
     "cache_hit_rate": ("abs", 0.05, "decrease"),
     "wall_time_s": (None, None, "increase"),
+    # Robust-run columns (absent on nominal runs — skipped as
+    # "missing on one side"): yield regresses when it drops,
+    # worst-case NF when it grows.
+    "yield_fraction": ("abs", 1e-9, "decrease"),
+    "worst_case_nf_db": ("rel", 0.01, "increase"),
 }
 
 #: Relative tolerance applied to intersecting numeric keys of a bare
@@ -127,6 +132,8 @@ class RunSummary:
     guard_violations: Optional[float] = None
     cache_hit_rate: Optional[float] = None
     wall_time_s: Optional[float] = None
+    yield_fraction: Optional[float] = None
+    worst_case_nf_db: Optional[float] = None
     counters: Dict[str, float] = field(default_factory=dict)
     n_resumes: int = 0
     truncated_tail: bool = False
@@ -149,6 +156,8 @@ class RunSummary:
             "guard_violations": self.guard_violations,
             "cache_hit_rate": self.cache_hit_rate,
             "wall_time_s": self.wall_time_s,
+            "yield_fraction": self.yield_fraction,
+            "worst_case_nf_db": self.worst_case_nf_db,
             "counters": dict(self.counters),
             "n_resumes": self.n_resumes,
             "truncated_tail": self.truncated_tail,
@@ -177,6 +186,8 @@ class RunSummary:
             guard_violations=opt("guard_violations", float),
             cache_hit_rate=opt("cache_hit_rate", float),
             wall_time_s=opt("wall_time_s", float),
+            yield_fraction=opt("yield_fraction", float),
+            worst_case_nf_db=opt("worst_case_nf_db", float),
             counters={str(k): float(v)
                       for k, v in dict(data.get("counters", {})).items()},
             n_resumes=int(data.get("n_resumes", 0)),
@@ -231,6 +242,19 @@ def summarize_replay(replay: JournalReplay) -> RunSummary:
     if start is not None:
         run_id = str(start.get("run_id", ""))
 
+    # Robust runs annotate generation records with named extras (see
+    # RobustStateSink); the latest value wins, like the counters.
+    yield_fraction = None
+    worst_case_nf = None
+    for record in reversed(records):
+        extra = record.extra or {}
+        if yield_fraction is None and "yield_best" in extra:
+            yield_fraction = float(extra["yield_best"])
+        if worst_case_nf is None and "nf_worst_best" in extra:
+            worst_case_nf = float(extra["nf_worst_best"])
+        if yield_fraction is not None and worst_case_nf is not None:
+            break
+
     return RunSummary(
         run_id=run_id,
         source=replay.path,
@@ -248,6 +272,8 @@ def summarize_replay(replay: JournalReplay) -> RunSummary:
         guard_violations=counters.get("guards.violations", 0.0),
         cache_hit_rate=hit_rate,
         wall_time_s=wall_time,
+        yield_fraction=yield_fraction,
+        worst_case_nf_db=worst_case_nf,
         counters=counters,
         n_resumes=replay.n_resumes,
         truncated_tail=replay.truncated_tail,
@@ -438,7 +464,7 @@ def compare_summaries(baseline: RunSummary, candidate: RunSummary,
 
     scalar_fields = ("final_best", "n_generations", "total_nfev",
                      "n_failures", "guard_violations", "cache_hit_rate",
-                     "wall_time_s")
+                     "wall_time_s", "yield_fraction", "worst_case_nf_db")
     if not (baseline.bare or candidate.bare):
         for name in scalar_fields:
             kind, tol, direction = rules[name]

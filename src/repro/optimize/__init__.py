@@ -48,6 +48,30 @@ from repro.optimize.goal_attainment import (
     goal_attainment_standard,
 )
 from repro.optimize.nsga2 import Nsga2Result, nsga2
+
+#: Robust-evaluation names resolved lazily (PEP 562): robust.py imports
+#: repro.core.engine, whose own import of repro.optimize.faults runs
+#: this package __init__ — an eager import here would close that cycle
+#: while the engine module is still half-initialized.
+_ROBUST_EXPORTS = (
+    "CornerSet",
+    "QuadraticSurrogate",
+    "RobustEvaluator",
+    "RobustFigures",
+    "RobustScalarObjective",
+    "RobustStateSink",
+    "TemperatureCoefficients",
+    "build_robust_problem",
+    "robust_score",
+)
+
+
+def __getattr__(name):
+    if name in _ROBUST_EXPORTS:
+        from repro.optimize import robust
+        return getattr(robust, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 from repro.optimize.scalarization import epsilon_constraint, weighted_sum
 from repro.optimize.pareto import (
     dominates,
@@ -96,6 +120,15 @@ __all__ = [
     "goal_attainment_standard",
     "Nsga2Result",
     "nsga2",
+    "CornerSet",
+    "QuadraticSurrogate",
+    "RobustEvaluator",
+    "RobustFigures",
+    "RobustScalarObjective",
+    "RobustStateSink",
+    "TemperatureCoefficients",
+    "build_robust_problem",
+    "robust_score",
     "epsilon_constraint",
     "weighted_sum",
     "dominates",

@@ -311,6 +311,40 @@ def _build_rosenbrock(params: dict) -> dict:
     }
 
 
+@register_objective("robust.optimize")
+def _build_robust_optimize(params: dict) -> dict:
+    """Yield-aware robust scalarization of the paper's LNA.
+
+    Builds a :class:`repro.optimize.robust.RobustScalarObjective` —
+    worst-case NF over a tolerance corner set plus a yield-shortfall
+    penalty — against the reference device.  The evaluator compiles
+    lazily inside whichever process leases the job (and inside each
+    fleet worker via the picklable factory), and the corner set is a
+    pure function of the params, so a lease takeover resumes
+    bit-identical evaluations.
+    """
+    from repro.core.amplifier import DesignVariables
+    from repro.optimize.robust import RobustScalarObjective
+
+    objective = RobustScalarObjective(
+        n_mc_trials=int(params.get("n_trials", 8)),
+        seed=params.get("corner_seed", 0),
+        yield_weight=float(params.get("yield_weight", 5.0)),
+        n_band=int(params.get("n_band", 9)),
+        n_guard=int(params.get("n_guard", 12)),
+        solver=str(params.get("solver", "auto")),
+        nf_ship_limit_db=float(params.get("nf_ship_limit_db", 0.8)),
+        gt_ship_limit_db=float(params.get("gt_ship_limit_db", 13.0)),
+    )
+    dim = len(DesignVariables.NAMES)
+    return {
+        "objective": objective,
+        "objective_batch": objective.batch,
+        "lower": np.zeros(dim),
+        "upper": np.ones(dim),
+    }
+
+
 @register_objective("lna.metric")
 def _build_lna_metric(params: dict) -> dict:
     """The paper's LNA, optimizing one compiled figure of merit.

@@ -70,6 +70,7 @@ _EXPERIMENTS: Dict[str, object] = {
     "e5_optimizer_comparison": "repro.experiments.e5_optimizer_comparison",
     "e6_tradeoff_front": "repro.experiments.e6_tradeoff_front",
     "e8_selected_design": "repro.experiments.e8_selected_design",
+    "e12_robust_front": "repro.experiments.e12_robust_front",
 }
 
 

@@ -53,6 +53,13 @@ class TestExamples:
         assert "step 1: multi-objective optimization" in out
         assert "step 5: two-tone IM3 check" in out
 
+    def test_robust_yield_front_fast(self, capsys):
+        _run("robust_yield_front.py", argv=["--fast"])
+        out = capsys.readouterr().out
+        assert "one batched MNA call" in out
+        assert "Monte-Carlo yield" in out
+        assert "yield-aware robust Pareto front" in out
+
     @pytest.mark.parametrize("experiment_id", ["E7"])
     def test_reproduce_paper_subset(self, capsys, experiment_id):
         _run("reproduce_paper.py", argv=["--fast", experiment_id])

@@ -23,8 +23,8 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_eleven_registered(self):
-        assert set(REGISTRY) == {f"E{i}" for i in range(1, 12)}
+    def test_all_twelve_registered(self):
+        assert set(REGISTRY) == {f"E{i}" for i in range(1, 13)}
 
     def test_every_module_has_run_and_format(self):
         for module in REGISTRY.values():
