@@ -89,21 +89,25 @@ def run(population_size: int = 24, n_generations: int = 25,
         gt_ship_limit_db: float = 11.0,
         checkpoint_store=None, checkpoint_every: int = 1,
         resume: bool = True,
-        record_to: Optional[str] = None) -> E12Result:
+        record_to: Optional[str] = None,
+        warm_start: Optional[str] = None) -> E12Result:
     """Trace the robust front with NSGA-II over a corner-swept evaluator.
 
     ``record_to`` names a runs root; generations are then journaled
     with yield / worst-case-NF columns (``repro-obs summary`` reports
     them).  With a *checkpoint_store* the run — including the corner
     RNG and surrogate history — is SIGKILL-recoverable: rerunning with
-    the same arguments resumes bit-for-bit.
+    the same arguments resumes bit-for-bit.  ``warm_start`` names a
+    runs root: NSGA-II's initial population is then seeded from the
+    nearest archived run's final population (see
+    :func:`repro.obs.analytics.warm_start_population`).
     """
+    config = {"experiment": "e12",
+              "population_size": int(population_size),
+              "n_generations": int(n_generations),
+              "n_trials": int(n_trials)}
     recording = (
-        recorded_run(record_to, name="e12",
-                     config={"experiment": "e12",
-                             "population_size": int(population_size),
-                             "n_generations": int(n_generations),
-                             "n_trials": int(n_trials)},
+        recorded_run(record_to, name="e12", config=config,
                      seeds={"seed": int(seed)})
         if record_to is not None else nullcontext()
     )
@@ -111,6 +115,12 @@ def run(population_size: int = 24, n_generations: int = 25,
             "e12.run", population=population_size,
             generations=n_generations):
         journal = run_dir.journal if run_dir is not None else None
+        seeds = None
+        if warm_start is not None:
+            from repro.obs.analytics import warm_start_population
+            seeds = warm_start_population(
+                config, warm_start, algorithm="nsga2",
+                population_size=population_size)
         template = AmplifierTemplate(reference_device().small_signal)
         # The per-corner shipping limits already carry the design
         # margins (every corner must meet NF/GT/stability for the
@@ -140,6 +150,7 @@ def run(population_size: int = 24, n_generations: int = 25,
             population_size=population_size,
             n_generations=n_generations,
             seed=seed,
+            initial_population=seeds,
             checkpoint_store=checkpoint_store,
             checkpoint_every=checkpoint_every,
             resume=resume,

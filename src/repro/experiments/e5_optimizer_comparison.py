@@ -53,7 +53,8 @@ class E5Result:
 
 def run(seed: int = 0, goals=DEFAULT_GOALS, engine: str = "compiled",
         workers: Optional[int] = None,
-        record_to: Optional[str] = None) -> E5Result:
+        record_to: Optional[str] = None,
+        warm_start: Optional[str] = None) -> E5Result:
     """Run the three optimizers on a fresh LNA problem each.
 
     ``engine`` selects the evaluation path ("compiled" batches the
@@ -65,9 +66,16 @@ def run(seed: int = 0, goals=DEFAULT_GOALS, engine: str = "compiled",
     ``record_to`` names a runs root: the experiment is then recorded as
     a run directory (flight-recorder journal + metrics/trace exports,
     see :mod:`repro.obs.runs`) addressable with ``repro-obs``.
+    ``warm_start`` names a runs root to consult for the nearest
+    archived run's final population (see
+    :func:`repro.obs.analytics.warm_start_population`); the improved
+    method's probe stage is seeded from it, and the
+    ``warmstart_decision`` is journaled when ``record_to`` is active.
     """
     goals = np.asarray(goals, dtype=float)
     rows = []
+    config = {"experiment": "e5", "engine": engine,
+              "goals": goals.tolist()}
 
     def record(name, flow, result):
         perf = flow.evaluator.performance(result.x)
@@ -82,15 +90,18 @@ def run(seed: int = 0, goals=DEFAULT_GOALS, engine: str = "compiled",
         })
 
     recording = (
-        recorded_run(record_to, name="e5",
-                     config={"experiment": "e5", "engine": engine,
-                             "goals": goals.tolist()},
+        recorded_run(record_to, name="e5", config=config,
                      seeds={"seed": int(seed)})
         if record_to is not None else nullcontext()
     )
     with recording as run_dir, _obs_tracer.span("e5.run"):
         journal = run_dir.journal if run_dir is not None else None
         device = reference_device()
+        seeds = None
+        if warm_start is not None:
+            from repro.obs.analytics import warm_start_population
+            seeds = warm_start_population(config, warm_start,
+                                          population_size=40)
 
         with _obs_tracer.span("e5.improved_goal_attainment"), \
                 DesignFlow(device.small_signal, engine=engine,
@@ -98,6 +109,7 @@ def run(seed: int = 0, goals=DEFAULT_GOALS, engine: str = "compiled",
             record("improved goal attainment", flow,
                    flow.run_improved(goals=goals, seed=seed, n_probe=40,
                                      n_starts=3, tighten_rounds=2,
+                                     initial_population=seeds,
                                      on_generation=journal))
 
         with _obs_tracer.span("e5.standard_goal_attainment"), \

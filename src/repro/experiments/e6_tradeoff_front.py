@@ -57,7 +57,8 @@ class E6Result:
 
 def run(n_points: int = 5, seed: int = 0, engine: str = "compiled",
         workers: Optional[int] = None,
-        record_to: Optional[str] = None) -> E6Result:
+        record_to: Optional[str] = None,
+        warm_start: Optional[str] = None) -> E6Result:
     """Trace the front with both methods.
 
     ``workers > 1`` shards every flow's population-level evaluations
@@ -65,11 +66,14 @@ def run(n_points: int = 5, seed: int = 0, engine: str = "compiled",
     :class:`~repro.core.design.DesignFlow`).  ``record_to`` names a
     runs root; the sweep is then journaled as one run (each goal
     point's generations carry distinct algorithm tags).
+    ``warm_start`` names a runs root whose nearest archived final
+    population seeds every goal point's probe stage (see
+    :func:`repro.obs.analytics.warm_start_population`).
     """
+    config = {"experiment": "e6", "engine": engine,
+              "n_points": int(n_points)}
     recording = (
-        recorded_run(record_to, name="e6",
-                     config={"experiment": "e6", "engine": engine,
-                             "n_points": int(n_points)},
+        recorded_run(record_to, name="e6", config=config,
                      seeds={"seed": int(seed)})
         if record_to is not None else nullcontext()
     )
@@ -77,6 +81,11 @@ def run(n_points: int = 5, seed: int = 0, engine: str = "compiled",
                                                 n_points=n_points):
         journal = run_dir.journal if run_dir is not None else None
         device = reference_device()
+        seeds = None
+        if warm_start is not None:
+            from repro.obs.analytics import warm_start_population
+            seeds = warm_start_population(config, warm_start,
+                                          population_size=32)
         nf_goals = np.linspace(0.50, 0.85, n_points)
         gt_goals = np.linspace(18.0, 12.0, n_points)
 
@@ -89,6 +98,7 @@ def run(n_points: int = 5, seed: int = 0, engine: str = "compiled",
                 result = flow.run_improved(
                     goals=np.array([nf_goal, -gt_goal]), seed=seed,
                     n_probe=32, n_starts=2, tighten_rounds=1,
+                    initial_population=seeds,
                     on_generation=journal,
                 )
             if result.constraint_violation <= 1e-6:

@@ -31,6 +31,13 @@ import os
 import time
 from typing import Callable, Optional, Tuple
 
+from repro.obs.analytics import (
+    FleetView,
+    RunIndex,
+    config_distance,
+    load_final_population,
+    warm_start_population,
+)
 from repro.obs.compare import (
     RunDiff,
     RunSummary,
@@ -49,9 +56,11 @@ from repro.obs.journal import (
     emit,
     get_journal,
     read_events,
+    read_tail_events,
     replay_journal,
     set_journal,
 )
+from repro.obs.promexport import PromExporter, render_prometheus
 from repro.obs.metrics import (
     Metrics,
     format_metrics,
@@ -116,7 +125,15 @@ __all__ = [
     "set_journal",
     "emit",
     "read_events",
+    "read_tail_events",
     "replay_journal",
+    "FleetView",
+    "RunIndex",
+    "config_distance",
+    "load_final_population",
+    "warm_start_population",
+    "PromExporter",
+    "render_prometheus",
     "RunDir",
     "RunRegistry",
     "create_run",

@@ -1,10 +1,14 @@
 """``repro-obs`` — terminal front-end for the flight-recorder layer.
 
-Five subcommands — read-only except ``gc --force``::
+Six subcommands — read-only except ``gc --force`` (the ``fleet``
+family maintains the runs index as a side effect)::
 
-    repro-obs tail    <run|journal> [-n 20] [--event generation]
+    repro-obs tail    <run|journal> [-n 20] [--event generation] [-f]
     repro-obs summary <run|journal> [--json]
     repro-obs compare <baseline> <candidate> [--tol NAME=KIND:TOL[:DIR]]
+                      [--summary-json PATH]
+    repro-obs fleet   summary|curves|failures|top [--algorithm A]
+                      [--experiment E] [--status S] [--json]
     repro-obs gc      [--service ROOT] [--force]
     repro-obs flame   <run|trace.json> [--min-fraction 0.005]
 
@@ -54,6 +58,11 @@ def _parse_tolerance(spec: str) -> Tuple[str, Tuple[str, float, str]]:
             f"bad tolerance {spec!r}; expected NAME=KIND:TOL[:DIR], "
             f"e.g. final_best=rel:0.05:increase"
         )
+    if not name.strip():
+        raise argparse.ArgumentTypeError(
+            f"bad tolerance {spec!r}: empty metric name "
+            f"(expected NAME=KIND:TOL[:DIR])"
+        )
     if kind not in ("rel", "abs"):
         raise argparse.ArgumentTypeError(
             f"bad tolerance kind {kind!r} in {spec!r} (rel or abs)"
@@ -70,20 +79,59 @@ def _parse_tolerance(spec: str) -> Tuple[str, Tuple[str, float, str]]:
 # -- subcommands -------------------------------------------------------------
 
 def _cmd_tail(args) -> int:
-    from repro.obs.journal import read_events
+    """Print the last N events, reading the file backwards.
+
+    The bounded tail read (:func:`repro.obs.journal.read_tail_events`)
+    touches only the final blocks of the journal, so tailing a
+    multi-gigabyte live run is as cheap as tailing a small one.
+    ``--follow`` then streams new events as the run appends them,
+    exiting at the ``run_end`` trailer (or on Ctrl-C).
+    """
+    import time as _time
+
+    from repro.obs.journal import read_tail_events
     path = _journal_path(args.run, args.runs_root)
-    events, truncated, n_corrupt = read_events(path)
-    if args.event:
-        events = [e for e in events if e.get("event") == args.event]
-    for event in events[-args.lines:]:
+    events, truncated = read_tail_events(path, args.lines,
+                                         event=args.event or None)
+    for event in events:
         print(json.dumps(event, separators=(",", ":"), default=str))
-    if truncated:
+    if truncated and not args.follow:
         print("(truncated tail: last line was torn mid-write)",
               file=sys.stderr)
-    if n_corrupt:
-        print(f"({n_corrupt} corrupt interior line(s) skipped)",
-              file=sys.stderr)
-    return 0
+    if not args.follow:
+        return 0
+    if any(e.get("event") == "run_end" for e in events):
+        return 0  # the run already finished; nothing to follow
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            remainder = b""
+            while True:
+                chunk = handle.read(65536)
+                if not chunk:
+                    _time.sleep(args.poll)
+                    continue
+                remainder += chunk
+                lines = remainder.split(b"\n")
+                remainder = lines.pop()  # partial line stays buffered
+                for raw in lines:
+                    if not raw:
+                        continue
+                    try:
+                        event = json.loads(raw.decode("utf-8"))
+                    except (ValueError, UnicodeDecodeError):
+                        continue
+                    if not isinstance(event, dict):
+                        continue
+                    if not args.event \
+                            or event.get("event") == args.event \
+                            or event.get("event") == "run_end":
+                        print(json.dumps(event, separators=(",", ":"),
+                                         default=str), flush=True)
+                    if event.get("event") == "run_end":
+                        return 0
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_summary(args) -> int:
@@ -136,6 +184,11 @@ def _cmd_compare(args) -> int:
         tolerances=tolerances or None,
         counter_checks=counter_checks or None,
     )
+    if args.summary_json:
+        # Archive the full check table regardless of verdict, so a CI
+        # gate keeps the evidence of what was compared even on failure.
+        with open(args.summary_json, "w", encoding="utf-8") as handle:
+            handle.write(diff.to_json() + "\n")
     if args.json:
         print(diff.to_json())
     else:
@@ -146,11 +199,124 @@ def _cmd_compare(args) -> int:
 def _parse_counter(spec: str) -> Tuple[str, float]:
     try:
         name, tol = spec.split("=", 1)
-        return name.strip(), float(tol)
+        parsed = name.strip(), float(tol)
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"bad counter check {spec!r}; expected NAME=RELTOL"
         )
+    if not parsed[0]:
+        raise argparse.ArgumentTypeError(
+            f"bad counter check {spec!r}: empty counter name "
+            f"(expected NAME=RELTOL)"
+        )
+    return parsed
+
+
+def _fleet_view(args):
+    from repro.obs.analytics import FleetView, RunIndex
+    root = args.runs_root or os.environ.get("REPRO_RUNS_DIR") or "runs"
+    index = RunIndex(root)
+    if getattr(args, "rebuild", False):
+        index.rebuild()
+        return FleetView(index=index, refresh=False)
+    return FleetView(index=index)
+
+
+def _fleet_filters(args) -> Dict[str, Optional[str]]:
+    return {
+        "algorithm": args.algorithm,
+        "experiment": args.experiment,
+        "config_fingerprint": args.fingerprint,
+        "status": args.status,
+    }
+
+
+def _cmd_fleet_summary(args) -> int:
+    view = _fleet_view(args)
+    summary = view.summary(**_fleet_filters(args))
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"runs        : {summary['n_runs']}")
+    for label, bucket in (("status", "by_status"),
+                          ("algorithm", "by_algorithm"),
+                          ("experiment", "by_experiment")):
+        tallies = summary[bucket]
+        if tallies:
+            rendered = ", ".join(f"{key}={count}" for key, count
+                                 in sorted(tallies.items()))
+            print(f"{label:<12}: {rendered}")
+    print(f"evaluations : {summary['total_nfev']}")
+    print(f"wall time   : {summary['total_wall_time_s']:.3g} s")
+    if summary["best"] is not None:
+        print(f"best        : {summary['best']['final_best']:.6g} "
+              f"({summary['best']['run_id']})")
+    failures = summary["failures"]
+    print(f"failures    : {failures['total']} across "
+          f"{failures['runs_with_failures']} run(s), "
+          f"guard violations {failures['guard_violations']:g}")
+    rates = summary["rates"]
+    for label, key in (("cache hit rate", "cache_hit_rate"),
+                       ("woodbury engagement", "woodbury_engagement"),
+                       ("screen fraction", "screen_fraction")):
+        value = rates[key]
+        if value is not None:
+            print(f"{label:<19} : {value:.3f}")
+    return 0
+
+
+def _cmd_fleet_curves(args) -> int:
+    view = _fleet_view(args)
+    envelopes = view.envelopes(n_grid=args.grid, **_fleet_filters(args))
+    if args.json:
+        print(json.dumps(envelopes, indent=2, sort_keys=True))
+        return 0
+    if not envelopes:
+        print("no complete convergence curves in the selection")
+        return 0
+    for label, envelope in envelopes.items():
+        print(f"{label} ({envelope['n_runs']} run(s)):")
+        print("  progress  median        q25           q75")
+        for i, progress in enumerate(envelope["grid"]):
+            print(f"  {progress:>8.2f}  {envelope['median'][i]:<12.6g} "
+                  f"{envelope['q25'][i]:<12.6g} "
+                  f"{envelope['q75'][i]:<12.6g}")
+    return 0
+
+
+def _cmd_fleet_failures(args) -> int:
+    view = _fleet_view(args)
+    failures = view.failures(**_fleet_filters(args))
+    if args.json:
+        print(json.dumps(failures, indent=2, sort_keys=True))
+        return 0
+    print(f"total failures   : {failures['total']}")
+    print(f"guard violations : {failures['guard_violations']:g}")
+    print(f"affected runs    : {failures['runs_with_failures']}")
+    for category, count in sorted(failures["by_category"].items(),
+                                  key=lambda kv: (-kv[1], kv[0])):
+        print(f"  {category:<16} {count}")
+    for worst in failures["worst_runs"]:
+        print(f"  worst: {worst['run_id']}  "
+              f"({worst['n_failures']} failure(s))")
+    return 0
+
+
+def _cmd_fleet_top(args) -> int:
+    view = _fleet_view(args)
+    rows = view.top(n=args.n, key=args.key, **_fleet_filters(args))
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("no runs with a finite value for that key")
+        return 0
+    for rank, row in enumerate(rows, 1):
+        print(f"{rank:>3}. {row['run_id']:<40} "
+              f"{args.key}={row[args.key]:.6g}  "
+              f"nfev={row['total_nfev']}  "
+              f"[{','.join(row['algorithms']) or '-'}]")
+    return 0
 
 
 def _cmd_gc(args) -> int:
@@ -262,6 +428,10 @@ def build_parser() -> argparse.ArgumentParser:
     tail.add_argument("-n", "--lines", type=int, default=20)
     tail.add_argument("--event", default=None,
                       help="only events of this type (e.g. generation)")
+    tail.add_argument("-f", "--follow", action="store_true",
+                      help="keep streaming new events until run_end")
+    tail.add_argument("--poll", type=float, default=0.2,
+                      help="follow-mode poll interval in seconds")
     tail.set_defaults(handler=_cmd_tail)
 
     summary = sub.add_parser("summary", help="summarize one run")
@@ -288,7 +458,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--json", action="store_true",
                          help="machine-readable RunDiff JSON")
+    compare.add_argument(
+        "--summary-json", metavar="PATH", default=None,
+        help="also write the full RunDiff check table to PATH "
+             "(written even when the diff regresses)",
+    )
     compare.set_defaults(handler=_cmd_compare)
+
+    fleet = sub.add_parser(
+        "fleet", help="indexed analytics across every run under the "
+                      "runs root")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def _fleet_common(sub_parser):
+        sub_parser.add_argument("--algorithm", default=None,
+                                help="only runs that ran this algorithm")
+        sub_parser.add_argument("--experiment", default=None,
+                                help="only runs of this experiment "
+                                     "(e5, e12, ...)")
+        sub_parser.add_argument("--fingerprint", default=None,
+                                help="only runs with this config "
+                                     "fingerprint")
+        sub_parser.add_argument("--status", default=None,
+                                help="only runs with this outcome "
+                                     "(completed, failed, incomplete)")
+        sub_parser.add_argument("--rebuild", action="store_true",
+                                help="drop the index and re-derive every "
+                                     "entry from its journal first")
+        sub_parser.add_argument("--json", action="store_true",
+                                help="machine-readable JSON output")
+
+    fleet_summary = fleet_sub.add_parser(
+        "summary", help="headline numbers for the (filtered) fleet")
+    _fleet_common(fleet_summary)
+    fleet_summary.set_defaults(handler=_cmd_fleet_summary)
+
+    fleet_curves = fleet_sub.add_parser(
+        "curves", help="median/IQR convergence envelopes per algorithm")
+    _fleet_common(fleet_curves)
+    fleet_curves.add_argument("--grid", type=int, default=12,
+                              help="points on the normalized progress "
+                                   "grid")
+    fleet_curves.set_defaults(handler=_cmd_fleet_curves)
+
+    fleet_failures = fleet_sub.add_parser(
+        "failures", help="failure taxonomy and guard-violation roll-up")
+    _fleet_common(fleet_failures)
+    fleet_failures.set_defaults(handler=_cmd_fleet_failures)
+
+    fleet_top = fleet_sub.add_parser(
+        "top", help="best runs by a summary key")
+    _fleet_common(fleet_top)
+    fleet_top.add_argument("-n", type=int, default=10)
+    fleet_top.add_argument("--key", default="final_best",
+                           help="entry key to rank by (ascending)")
+    fleet_top.set_defaults(handler=_cmd_fleet_top)
 
     gc = sub.add_parser(
         "gc", help="find (and with --force delete) orphaned run "

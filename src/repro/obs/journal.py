@@ -61,6 +61,7 @@ __all__ = [
     "RunJournal",
     "JournalReplay",
     "read_events",
+    "read_tail_events",
     "replay_journal",
     "config_fingerprint",
     "get_journal",
@@ -468,6 +469,63 @@ def has_run_end(path: str, tail_bytes: int = 65536) -> bool:
         if isinstance(event, dict) and event.get("event") == "run_end":
             return True
     return False
+
+
+def read_tail_events(path: str, n: int, event: Optional[str] = None,
+                     block_size: int = 65536):
+    """The last *n* events of a journal, without reading the whole file.
+
+    Walks the file backwards in *block_size* chunks, parsing complete
+    lines as they become available, and stops as soon as *n* matching
+    events (optionally filtered by *event* type) are in hand — tailing
+    the last 20 events of a multi-gigabyte journal costs one or two
+    block reads.  Returns ``(events_in_file_order, truncated_tail)``
+    with the same damage tolerance as :func:`read_events`: a torn final
+    line is dropped and flagged, corrupt interior lines are skipped.
+    """
+    if n <= 0:
+        return [], False
+    with open(path, "rb") as handle:
+        handle.seek(0, os.SEEK_END)
+        position = handle.tell()
+        truncated = False
+        drop_last = True  # until the file's true final line is judged
+        carry = b""       # partial first line of the processed region
+        collected: List[dict] = []
+        while position > 0 and len(collected) < n:
+            step = min(block_size, position)
+            position -= step
+            handle.seek(position)
+            block = handle.read(step) + carry
+            lines = block.split(b"\n")
+            # The first fragment may continue a line from the block
+            # before it (earlier in the file) — hold it back unless we
+            # have reached the start of the file.
+            carry = lines[0] if position > 0 else b""
+            start = 1 if position > 0 else 0
+            for raw in reversed(lines[start:]):
+                if drop_last:
+                    # The bytes after the final newline: a torn tail if
+                    # non-empty, the usual trailing split if empty.
+                    drop_last = False
+                    if raw:
+                        truncated = True
+                    continue
+                if not raw:
+                    continue
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                if event is not None and record.get("event") != event:
+                    continue
+                collected.append(record)
+                if len(collected) >= n:
+                    break
+    collected.reverse()
+    return collected, truncated
 
 
 def read_events(path: str):

@@ -1,0 +1,235 @@
+"""Prometheus text-format export for the metrics registry.
+
+The :class:`~repro.obs.metrics.Metrics` registry already holds the
+fleet's economics — solver counters, cache hits, queue-depth gauges.
+This module renders them in the Prometheus exposition format
+(text/plain, version 0.0.4) two ways, both stdlib-only:
+
+* :meth:`PromExporter.write_textfile` — an atomic snapshot for the
+  node-exporter *textfile collector* (``*.prom`` drop directory), the
+  right shape for the :class:`~repro.service.supervisor.JobService`
+  supervisor sweep: one ``os.replace`` per sweep, scrape-safe because
+  the collector never sees a half-written file.
+* :meth:`PromExporter.serve` — a `ThreadingHTTPServer` on a daemon
+  thread answering any ``GET`` with the current rendering, for direct
+  scraping of a live service without a node exporter in between.
+
+Besides the registry, an exporter carries *collectors*: callables
+returning labelled samples ``(name, labels, value)`` evaluated at
+render time.  The job service uses one to publish per-job generation
+progress and queue depth by state — values that live in the queue's
+lease records, not in the registry.
+
+Naming follows the Prometheus conventions: counters get a ``_total``
+suffix, every name is prefixed with the exporter namespace, and any
+character outside ``[a-zA-Z0-9_:]`` (the registry uses dots) becomes
+``_`` — ``evaluator.cache_hits`` exports as
+``repro_evaluator_cache_hits_total``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import tempfile
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Metrics, get_metrics
+
+__all__ = [
+    "CONTENT_TYPE",
+    "PromExporter",
+    "render_prometheus",
+]
+
+#: The exposition content type Prometheus scrapers negotiate.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: One collector sample: ``(metric name, labels, value)``.
+Sample = Tuple[str, Dict[str, str], float]
+
+#: A collector yields samples at render time (live queue state etc.).
+Collector = Callable[[], Iterable[Sample]]
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize_name(name: str) -> str:
+    name = _NAME_BAD.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _sanitize_label(name: str) -> str:
+    name = _LABEL_BAD.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = [
+        f'{_sanitize_label(str(key))}="'
+        f'{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(metrics: Optional[Metrics] = None,
+                      namespace: str = "repro",
+                      collectors: Sequence[Collector] = ()) -> str:
+    """One exposition-format document for *metrics* + *collectors*.
+
+    Registry counters export as Prometheus counters (``_total``
+    suffix), registry gauges and all collector samples as gauges.
+    Samples sharing a metric name are grouped under one ``# TYPE``
+    header, as the format requires.
+    """
+    metrics = metrics if metrics is not None else get_metrics()
+    prefix = _sanitize_name(namespace) + "_" if namespace else ""
+    lines: List[str] = []
+
+    for name, value in sorted(metrics.counters().items()):
+        metric = prefix + _sanitize_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    gauge_samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for name, value in metrics.gauges().items():
+        metric = prefix + _sanitize_name(name)
+        gauge_samples.setdefault(metric, []).append(({}, float(value)))
+    for collector in collectors:
+        try:
+            samples = list(collector())
+        except Exception:
+            # A dead collector (queue torn down mid-scrape) must not
+            # take the whole exposition with it.
+            continue
+        for name, labels, value in samples:
+            metric = prefix + _sanitize_name(str(name))
+            gauge_samples.setdefault(metric, []).append(
+                (dict(labels or {}), float(value)))
+
+    for metric in sorted(gauge_samples):
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in gauge_samples[metric]:
+            lines.append(
+                f"{metric}{_format_labels(labels)} {_format_value(value)}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class PromExporter:
+    """Render, snapshot, and serve one registry + collector set."""
+
+    def __init__(self, metrics: Optional[Metrics] = None,
+                 namespace: str = "repro",
+                 collectors: Sequence[Collector] = ()):
+        self.metrics = metrics
+        self.namespace = namespace
+        self._collectors: List[Collector] = list(collectors)
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def add_collector(self, collector: Collector) -> None:
+        self._collectors.append(collector)
+
+    def render(self) -> str:
+        return render_prometheus(self.metrics, self.namespace,
+                                 self._collectors)
+
+    def write_textfile(self, path: str) -> None:
+        """Atomic snapshot: scrapers see the old file or the new one."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".prom.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(self.render())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- http ---------------------------------------------------------------
+    def serve(self, port: int = 0, host: str = "127.0.0.1") -> int:
+        """Start the scrape endpoint; returns the bound port.
+
+        ``port=0`` binds an ephemeral port (the test-friendly default).
+        The server runs on a daemon thread and answers every ``GET``
+        path with the current rendering, so both ``/metrics`` and
+        ``/`` scrape configurations work.
+        """
+        if self._server is not None:
+            return self._server.server_address[1]
+        exporter = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (http.server API)
+                body = exporter.render().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # silence per-scrape noise
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="prom-exporter", daemon=True)
+        self._thread.start()
+        return self._server.server_address[1]
+
+    @property
+    def port(self) -> Optional[int]:
+        return (None if self._server is None
+                else self._server.server_address[1])
+
+    def close(self) -> None:
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "PromExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -32,6 +32,7 @@ journal::
 from __future__ import annotations
 
 import os
+import stat
 import time
 from contextlib import contextmanager
 from typing import List, Optional
@@ -172,15 +173,35 @@ class RunRegistry:
         )
 
     def list_runs(self) -> List[str]:
-        """Run ids under the root (sorted lexically = chronologically)."""
+        """Run ids in deterministic creation order (oldest first).
+
+        Ordering is ``(st_ctime_ns, run_id)`` of each run directory —
+        stable across filesystems that return ``os.listdir`` in
+        arbitrary order, and unaffected by appends to a run's existing
+        artifacts (journal writes touch the file inode, not the
+        directory's).  Creating a *new* entry inside a run directory
+        does bump its ctime, so a run reorders at most once per new
+        artifact, never per write.  Non-run entries — regular files,
+        plus anything starting with ``_`` or ``.`` such as the fleet
+        index ``_index.jsonl`` — are skipped.
+        """
         try:
             entries = os.listdir(self.root)
         except FileNotFoundError:
             return []
-        return sorted(
-            entry for entry in entries
-            if os.path.isdir(os.path.join(self.root, entry))
-        )
+        keyed = []
+        for entry in entries:
+            if entry.startswith(("_", ".")):
+                continue
+            path = os.path.join(self.root, entry)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue  # raced with a concurrent gc
+            if not stat.S_ISDIR(info.st_mode):
+                continue
+            keyed.append((info.st_ctime_ns, entry))
+        return [entry for _, entry in sorted(keyed)]
 
     def load_run(self, run_id: str) -> RunDir:
         """Address an existing run; ``KeyError`` when it does not exist."""
@@ -193,14 +214,14 @@ class RunRegistry:
         return run
 
     def latest(self) -> Optional[RunDir]:
-        """The most recently modified run, or ``None`` when empty."""
-        newest, newest_mtime = None, -1.0
-        for run_id in self.list_runs():
-            path = os.path.join(self.root, run_id)
-            mtime = os.path.getmtime(path)
-            if mtime > newest_mtime:
-                newest, newest_mtime = run_id, mtime
-        return RunDir(self.root, newest) if newest is not None else None
+        """The most recently *created* run, or ``None`` when empty.
+
+        Defined as the last entry of :meth:`list_runs` — deterministic
+        creation order, so a resumed older run (journal appends) never
+        shadows a newer one the way journal-mtime-based "latest" would.
+        """
+        runs = self.list_runs()
+        return RunDir(self.root, runs[-1]) if runs else None
 
     def summarize_run(self, run_id: str):
         """Summary of one run's journal (see :mod:`repro.obs.compare`)."""

@@ -56,8 +56,10 @@ from repro.optimize.faults import (
     classify_exception,
 )
 from repro.optimize.metaheuristics import (
+    _emit_final_population,
     _restore_telemetry,
     _save_checkpoint,
+    _seed_population,
     latin_hypercube,
 )
 
@@ -329,6 +331,7 @@ def goal_attainment_improved(
     tighten_rounds: int = 2,
     tighten_fraction: float = 0.04,
     seed: Optional[int] = 0,
+    initial_population: Optional[np.ndarray] = None,
     max_iterations: int = 200,
     workers: Optional[int] = None,
     checkpoint_store: Optional[CheckpointStore] = None,
@@ -336,6 +339,12 @@ def goal_attainment_improved(
     on_generation: Optional[Callable[[GenerationRecord], None]] = None,
 ) -> GoalAttainmentResult:
     """The paper-style improved goal attainment (see module docstring).
+
+    ``initial_population`` warm-starts the probe stage: its rows
+    (clipped to the bounds) replace the leading LHS probes, so the
+    multi-start ordering sees a nearby archived run's best designs
+    first.  The finished run journals its NLP starts plus the final
+    design as a ``final_population`` event for future warm starts.
 
     ``workers > 1`` shards the population-level probe stage — the only
     batched part of this algorithm — across a thread pool
@@ -365,6 +374,7 @@ def goal_attainment_improved(
                 n_probe=n_probe, n_starts=n_starts,
                 tighten_rounds=tighten_rounds,
                 tighten_fraction=tighten_fraction, seed=seed,
+                initial_population=initial_population,
                 max_iterations=max_iterations, workers=None,
                 checkpoint_store=checkpoint_store, resume=resume,
                 on_generation=on_generation,
@@ -437,6 +447,8 @@ def goal_attainment_improved(
         probe_start = time.monotonic()
         probes = latin_hypercube(n_probe, problem.lower, problem.upper,
                                  rng)
+        probes = _seed_population(probes, initial_population,
+                                  problem.lower, problem.upper)
         with _obs_tracer.span("goal_attainment.probe", n_probe=n_probe):
             if problem.objectives_batch is not None:
                 # Population-level evaluation: one batched model solve
@@ -553,6 +565,16 @@ def goal_attainment_improved(
                      best.success, best.message, history)
     if checkpoint_store is not None:
         checkpoint_store.clear()
+    # The NLP starts plus the winning design are this algorithm's best
+    # warm-start seeds; gammas approximate the fitness ordering.
+    seeds = np.vstack([np.asarray(final.x, dtype=float)[None, :]]
+                      + [np.asarray(s, dtype=float)[None, :]
+                         for s in starts])
+    gammas = [float(final.gamma)] + [
+        float(history[k]) if k < len(history) else float("inf")
+        for k in range(len(starts))
+    ]
+    _emit_final_population(algorithm, seeds, gammas)
     return final
 
 

@@ -139,6 +139,48 @@ def _restore_telemetry(on_generation, payload: dict):
         restore_fn(state)
 
 
+def _seed_population(population: np.ndarray, seeds,
+                     lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
+    """Overwrite the leading rows of a cold population with *seeds*.
+
+    The cold population is always drawn first (same RNG consumption
+    with or without seeding, so warm and cold runs stay comparable);
+    the archived rows then replace up to the first ``len(seeds)`` rows,
+    clipped into the current box.  Extra seed rows are dropped —
+    partial seeding of a larger population keeps LHS coverage for the
+    rest.
+    """
+    if seeds is None:
+        return population
+    matrix = np.atleast_2d(np.asarray(seeds, dtype=float))
+    if matrix.ndim != 2 or matrix.shape[1] != population.shape[1]:
+        raise ValueError(
+            f"initial_population has shape {matrix.shape}; expected "
+            f"(k, {population.shape[1]})"
+        )
+    k = min(matrix.shape[0], population.shape[0])
+    population[:k] = np.clip(matrix[:k], lower, upper)
+    return population
+
+
+def _emit_final_population(algorithm: str, population: np.ndarray,
+                           fitness) -> None:
+    """Journal the final population for future warm starts.
+
+    The event is the warm-start handoff: ``repro.obs.analytics`` reads
+    it back through the bounded tail reader and feeds the rows into a
+    later run's ``initial_population=``.  Non-finite fitness rows are
+    kept — the seeding path clips and the receiving optimizer
+    re-evaluates everything anyway.
+    """
+    _obs_journal.emit(
+        "final_population",
+        algorithm=algorithm,
+        population=[[float(v) for v in row] for row in population],
+        fitness=[float(v) for v in np.asarray(fitness, dtype=float)],
+    )
+
+
 def _emit_generation(on_generation, algorithm: str, generation: int,
                      nfev: int, fitness, health: RunHealth,
                      wall_time_s: float, violation: float = float("nan"),
@@ -172,6 +214,7 @@ def differential_evolution(
     tolerance: float = 1e-10,
     seed: Optional[int] = None,
     initial: Optional[np.ndarray] = None,
+    initial_population: Optional[np.ndarray] = None,
     objective_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
@@ -182,6 +225,13 @@ def differential_evolution(
     on_generation: Optional[Callable[[GenerationRecord], None]] = None,
 ) -> OptimizationResult:
     """DE/rand/1/bin with mutation dither and bounce-back bound repair.
+
+    ``initial_population`` warm-starts the search: its rows (clipped to
+    the bounds) replace the leading rows of the LHS initialization —
+    typically the final population of a nearby archived run, found via
+    :func:`repro.obs.analytics.warm_start_population`.  ``initial``
+    still overwrites row 0 afterwards, and the completed run journals
+    its own ``final_population`` event for the next warm start.
 
     When ``objective_batch`` (a ``(B, n) -> (B,)`` map), ``workers``,
     or ``backend`` is given, each generation's trial vectors are built
@@ -245,6 +295,8 @@ def differential_evolution(
         else:
             init_start = time.monotonic()
             population = latin_hypercube(pop_size, lower, upper, rng)
+            population = _seed_population(population, initial_population,
+                                          lower, upper)
             if initial is not None:
                 population[0] = np.clip(np.asarray(initial, dtype=float),
                                         lower, upper)
@@ -315,6 +367,8 @@ def differential_evolution(
                 if checkpoint_store is not None:
                     checkpoint_store.clear()
                 best_idx = int(np.argmin(fitness))
+                _emit_final_population("differential_evolution",
+                                       population, fitness)
                 return OptimizationResult(
                     x=population[best_idx].copy(), fun=best, nfev=nfev,
                     n_iterations=iteration, converged=True, history=history,
@@ -336,6 +390,7 @@ def differential_evolution(
         if checkpoint_store is not None:
             checkpoint_store.clear()
         best_idx = int(np.argmin(fitness))
+        _emit_final_population("differential_evolution", population, fitness)
         return OptimizationResult(
             x=population[best_idx].copy(), fun=float(fitness[best_idx]),
             nfev=nfev, n_iterations=max_iterations, converged=False,
@@ -358,6 +413,7 @@ def particle_swarm(
     social: float = 1.49,
     tolerance: float = 1e-10,
     seed: Optional[int] = None,
+    initial_population: Optional[np.ndarray] = None,
     objective_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
@@ -368,6 +424,11 @@ def particle_swarm(
     on_generation: Optional[Callable[[GenerationRecord], None]] = None,
 ) -> OptimizationResult:
     """Global-best PSO with velocity clamping at half the box width.
+
+    ``initial_population`` warm-starts the swarm the same way as
+    :func:`differential_evolution`: archived rows replace the leading
+    LHS positions (velocities stay randomly drawn), and the finished
+    run journals its personal-best set as a ``final_population`` event.
 
     When ``objective_batch``, ``workers``, or ``backend`` is given,
     each iteration's particle positions are evaluated in one
@@ -426,6 +487,8 @@ def particle_swarm(
         else:
             init_start = time.monotonic()
             positions = latin_hypercube(n_particles, lower, upper, rng)
+            positions = _seed_population(positions, initial_population,
+                                         lower, upper)
             velocities = rng.uniform(-0.1, 0.1,
                                      size=(n_particles, dim)) * span
             if evaluator is not None:
@@ -482,6 +545,8 @@ def particle_swarm(
             ):
                 if checkpoint_store is not None:
                     checkpoint_store.clear()
+                _emit_final_population("particle_swarm", personal_best,
+                                       personal_fitness)
                 return OptimizationResult(
                     x=global_best, fun=global_fitness, nfev=nfev,
                     n_iterations=iteration, converged=True, history=history,
@@ -507,6 +572,8 @@ def particle_swarm(
                 )
         if checkpoint_store is not None:
             checkpoint_store.clear()
+        _emit_final_population("particle_swarm", personal_best,
+                               personal_fitness)
         return OptimizationResult(
             x=global_best, fun=global_fitness, nfev=nfev,
             n_iterations=max_iterations, converged=False, history=history,

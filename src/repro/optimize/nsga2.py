@@ -38,9 +38,11 @@ from repro.optimize.faults import (
 from repro.optimize.batching import BatchShardExecutor, validate_workers
 from repro.optimize.goal_attainment import MultiObjectiveProblem
 from repro.optimize.metaheuristics import (
+    _emit_final_population,
     _emit_generation,
     _restore_telemetry,
     _save_checkpoint,
+    _seed_population,
     latin_hypercube,
 )
 
@@ -114,6 +116,7 @@ def nsga2(
     crossover_eta: float = 15.0,
     mutation_eta: float = 20.0,
     seed: Optional[int] = 0,
+    initial_population: Optional[np.ndarray] = None,
     workers: Optional[int] = None,
     checkpoint_store: Optional[CheckpointStore] = None,
     checkpoint_every: int = 10,
@@ -121,6 +124,13 @@ def nsga2(
     on_generation: Optional[Callable[[GenerationRecord], None]] = None,
 ) -> Nsga2Result:
     """Run NSGA-II on *problem* and return the final first front.
+
+    ``initial_population`` warm-starts the run: its rows (clipped to
+    the box) replace the leading rows of the LHS initialization —
+    typically a nearby archived run's final population found through
+    :func:`repro.obs.analytics.warm_start_population`.  The finished
+    run journals its own final population (with the first objective as
+    the fitness ordering) for the next warm start.
 
     ``workers > 1`` shards the problem's batch callables across a
     thread pool (:meth:`MultiObjectiveProblem.sharded`): the model's
@@ -158,7 +168,7 @@ def nsga2(
             problem, population_size, n_generations,
             crossover_probability, crossover_eta, mutation_eta, rng,
             health, algorithm, checkpoint_store, checkpoint_every,
-            resume, on_generation,
+            resume, on_generation, initial_population,
         )
     finally:
         if executor is not None:
@@ -168,7 +178,8 @@ def nsga2(
 def _nsga2_run(problem, population_size, n_generations,
                crossover_probability, crossover_eta, mutation_eta, rng,
                health, algorithm, checkpoint_store, checkpoint_every,
-               resume, on_generation) -> Nsga2Result:
+               resume, on_generation,
+               initial_population=None) -> Nsga2Result:
     dim = problem.lower.size
     checkpoint = resume_or_none(checkpoint_store, algorithm) \
         if resume else None
@@ -193,6 +204,8 @@ def _nsga2_run(problem, population_size, n_generations,
         init_start = time.monotonic()
         population = latin_hypercube(population_size, problem.lower,
                                      problem.upper, rng)
+        population = _seed_population(population, initial_population,
+                                      problem.lower, problem.upper)
         objectives, violations = _evaluate(problem, population, health)
         nfev = population_size
         start_generation = 0
@@ -238,6 +251,7 @@ def _nsga2_run(problem, population_size, n_generations,
     first = np.asarray(fronts[0], dtype=int)
     if checkpoint_store is not None:
         checkpoint_store.clear()
+    _emit_final_population(algorithm, population, objectives[:, 0])
     return Nsga2Result(
         x=population[first],
         objectives=objectives[first],

@@ -283,14 +283,36 @@ class JobQueue:
         return record
 
     def renew(self, job_id: str, owner: str, lease_s: float,
-              now: Optional[float] = None) -> JobRecord:
-        """Extend the lease (the runner's heartbeat)."""
+              now: Optional[float] = None,
+              progress: Optional[dict] = None) -> JobRecord:
+        """Extend the lease (the runner's heartbeat).
+
+        *progress* — a small JSON-able dict (generation, nfev, best) —
+        rides inside the lease record, so live per-job telemetry costs
+        nothing beyond the heartbeat write the runner already pays.
+        It is visible through :meth:`leased_progress` until the lease
+        retires; no ``JobRecord`` schema change is involved.
+        """
         now = time.time() if now is None else float(now)
         record = self._owned(job_id, owner)
         record.lease["expires_at"] = now + float(lease_s)
+        if progress is not None:
+            record.lease["progress"] = dict(progress)
         self._write_record(JOB_STATE_LEASED, record)
         _obs_metrics.inc("service.lease_renewals")
         return record
+
+    def leased_progress(self) -> Dict[str, dict]:
+        """Latest heartbeat progress of every currently leased job."""
+        progress: Dict[str, dict] = {}
+        for job_id in self._list_ids(JOB_STATE_LEASED):
+            record = self._read_record(self._path(JOB_STATE_LEASED, job_id))
+            if record is None or record.lease is None:
+                continue
+            payload = record.lease.get("progress")
+            if isinstance(payload, dict):
+                progress[job_id] = dict(payload)
+        return progress
 
     # -- terminal / requeue transitions ---------------------------------------
     def _finish(self, record: JobRecord, state: str) -> None:

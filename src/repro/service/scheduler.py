@@ -121,12 +121,12 @@ class _SupervisedSink:
     trace rides inside optimizer checkpoints and survives takeover.
     """
 
-    def __init__(self, journal: RunJournal, control: Callable[[], None]):
+    def __init__(self, journal: RunJournal, control: Callable[..., None]):
         self._journal = journal
         self._control = control
 
     def __call__(self, record) -> None:
-        self._control()
+        self._control(record)
         self._journal(record)
 
     def state(self):
@@ -169,8 +169,15 @@ class JobRunner:
         self.drain = drain
 
     # -- control ------------------------------------------------------------
-    def _control_check(self, record: JobRecord) -> None:
-        """One generation-boundary tick; raises to stop the optimizer."""
+    def _control_check(self, record: JobRecord,
+                       generation=None) -> None:
+        """One generation-boundary tick; raises to stop the optimizer.
+
+        When the tick fires from the generation sink, the generation
+        record's progress (generation index, cumulative nfev, current
+        best) piggybacks on the lease heartbeat — the supervisor's
+        Prometheus collector reads it back out of the lease records.
+        """
         if self.drain is not None and self.drain():
             raise DrainRequested(record.job_id)
         if self.queue.cancel_requested(record.job_id):
@@ -179,7 +186,18 @@ class JobRunner:
                 and record.started_at is not None \
                 and time.time() - record.started_at > record.spec.deadline_s:
             raise JobDeadlineExceeded(record.job_id)
-        self.queue.renew(record.job_id, self.owner, self.lease_s)
+        progress = None
+        if generation is not None:
+            try:
+                progress = {
+                    "generation": int(generation.generation),
+                    "nfev": int(generation.nfev),
+                    "best": float(generation.best),
+                }
+            except (AttributeError, TypeError, ValueError):
+                progress = None
+        self.queue.renew(record.job_id, self.owner, self.lease_s,
+                         progress=progress)
 
     # -- execution ----------------------------------------------------------
     def run(self, record: JobRecord) -> dict:
@@ -249,7 +267,8 @@ class JobRunner:
             objective_batch = None
 
         sink = _SupervisedSink(
-            journal, lambda: self._control_check(record))
+            journal,
+            lambda generation=None: self._control_check(record, generation))
         budget = dict(spec.budget)
         common = dict(
             max_iterations=int(budget.get("max_iterations", 50)),

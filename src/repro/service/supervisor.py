@@ -44,6 +44,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.obs import metrics as _obs_metrics
+from repro.obs.promexport import PromExporter
 from repro.obs.runs import RunRegistry
 from repro.optimize import fleet as _fleet
 from repro.service.jobs import (JobRecord, JobSpec, TERMINAL_STATES,
@@ -92,13 +93,23 @@ class JobService:
         Supervisor sweep period (lease recovery + shm janitor).
     max_pending:
         Admission-control ceiling forwarded to the queue.
+    prom_textfile:
+        Optional path: every supervisor sweep atomically rewrites this
+        file in Prometheus textfile-collector format (queue depths,
+        per-job generation progress, evaluator throughput).
+    prom_port:
+        Optional port for a live scrape endpoint (0 = ephemeral);
+        served from :meth:`start` until :meth:`stop`.  The bound port
+        is available as ``service.exporter.port``.
     """
 
     def __init__(self, root: str, slots: int = 2, lease_s: float = 30.0,
                  poll_interval_s: float = 0.05,
                  recovery_interval_s: float = 1.0,
                  max_pending: int = 256,
-                 name: str = "service"):
+                 name: str = "service",
+                 prom_textfile: Optional[str] = None,
+                 prom_port: Optional[int] = None):
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
         paths = service_paths(root)
@@ -111,6 +122,10 @@ class JobService:
         self.recovery_interval_s = float(recovery_interval_s)
         self.name = str(name)
         self.service_run = None
+        self.prom_textfile = prom_textfile
+        self.prom_port = prom_port
+        self.exporter: Optional[PromExporter] = None
+        self._last_nfev_sweep: Optional[tuple] = None
         self._drain = threading.Event()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
@@ -137,6 +152,11 @@ class JobService:
         # service's shm segments are unlinked.
         self.queue.recover_expired()
         self._sweep_segments()
+        if self.prom_textfile is not None or self.prom_port is not None:
+            self.exporter = PromExporter(collectors=[self._prom_samples])
+            if self.prom_port is not None:
+                bound = self.exporter.serve(port=self.prom_port)
+                self.queue._emit("prom_endpoint", port=bound)
         supervisor = threading.Thread(
             target=self._supervisor_loop, name=f"{self.name}-supervisor",
             daemon=True)
@@ -167,6 +187,14 @@ class JobService:
         for thread in self._threads:
             thread.join(max(0.0, deadline - time.monotonic()))
         self._stop.set()
+        exporter, self.exporter = self.exporter, None
+        if exporter is not None:
+            if self.prom_textfile is not None:
+                try:
+                    exporter.write_textfile(self.prom_textfile)
+                except OSError:
+                    pass
+            exporter.close()
         journal = self.queue.journal
         self.queue.journal = None
         self._sweep_segments()
@@ -276,10 +304,51 @@ class JobService:
                 registry = _obs_metrics.get_metrics()
                 for state, depth in self.queue.counts().items():
                     registry.gauge(f"service.queue.{state}", depth)
+                self._update_throughput(registry)
+                if self.exporter is not None \
+                        and self.prom_textfile is not None:
+                    self.exporter.write_textfile(self.prom_textfile)
             except Exception:  # noqa: BLE001 - the sweep must never die
                 _obs_metrics.inc("service.supervisor_errors")
             if self._drain.is_set():
                 break
+
+    def _update_throughput(self, registry) -> None:
+        """Evaluator throughput from heartbeat nfev deltas.
+
+        The per-job progress payloads the runners piggyback on lease
+        renewals give a fleet-wide cumulative nfev; its delta between
+        sweeps, over wall time, is the live evaluations/second gauge.
+        A negative delta (job finished, lease retired) resets the
+        baseline instead of publishing a bogus rate.
+        """
+        total_nfev = sum(
+            int(progress.get("nfev", 0))
+            for progress in self.queue.leased_progress().values()
+        )
+        now = time.monotonic()
+        previous = self._last_nfev_sweep
+        self._last_nfev_sweep = (now, total_nfev)
+        if previous is None:
+            return
+        then, nfev_then = previous
+        elapsed = now - then
+        delta = total_nfev - nfev_then
+        if elapsed > 0 and delta >= 0:
+            registry.gauge("service.eval_per_s", delta / elapsed)
+
+    def _prom_samples(self):
+        """Collector: live queue depth + per-job progress gauges."""
+        for state, depth in self.queue.counts().items():
+            yield ("service_queue_depth", {"state": state}, float(depth))
+        for job_id, progress in self.queue.leased_progress().items():
+            labels = {"job": job_id}
+            for key, metric in (("generation", "run_generation"),
+                                ("nfev", "run_nfev"),
+                                ("best", "run_best")):
+                value = progress.get(key)
+                if isinstance(value, (int, float)):
+                    yield (metric, labels, float(value))
 
     def _sweep_segments(self) -> int:
         """Unlink fleet shm segments whose owning process is dead."""
